@@ -1,0 +1,47 @@
+"""E10 / Section VI-C: area overheads.
+
+* RoMe MC scheduling logic is ~9 % of the conventional MC's.
+* The command generator occupies ~0.003 % of the logic die.
+* The four extra channels cost ~12 extra interface pins and ~0.1 % of die
+  area in micro-bumps, for 12.5 % more bandwidth.
+"""
+
+from repro.analysis.area import (
+    channel_expansion_area,
+    command_generator_area,
+    conventional_scheduling_logic,
+    mc_area_comparison,
+    rome_scheduling_logic,
+)
+from repro.core.pins import channel_expansion
+
+
+def _area_rows():
+    conventional = conventional_scheduling_logic()
+    rome = rome_scheduling_logic()
+    comparison = mc_area_comparison(conventional, rome)
+    generator = command_generator_area()
+    expansion = channel_expansion()
+    bumps = channel_expansion_area()
+    return [
+        {"metric": "conventional MC scheduling logic (um^2)",
+         "value": conventional.total_area_um2()},
+        {"metric": "RoMe MC scheduling logic (um^2)", "value": rome.total_area_um2()},
+        {"metric": "RoMe / conventional area ratio", "value": comparison.ratio},
+        {"metric": "command generator total (um^2)", "value": generator["total_um2"]},
+        {"metric": "command generator / logic die", "value": generator["logic_die_fraction"]},
+        {"metric": "extra interface pins", "value": float(expansion.extra_pins)},
+        {"metric": "bandwidth gain", "value": expansion.bandwidth_gain},
+        {"metric": "extra ubump area fraction", "value": bumps["ubump_area_fraction"]},
+    ]
+
+
+def test_area_overheads(benchmark, table_printer):
+    rows = benchmark(_area_rows)
+    table_printer("Section VI-C: area overheads", rows)
+    values = {row["metric"]: row["value"] for row in rows}
+    assert 0.05 < values["RoMe / conventional area ratio"] < 0.15
+    assert values["command generator / logic die"] < 1e-4
+    assert values["extra interface pins"] == 12
+    assert values["bandwidth gain"] == 0.125
+    assert values["extra ubump area fraction"] < 0.005

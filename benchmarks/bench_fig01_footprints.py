@@ -1,0 +1,41 @@
+"""E1 / Figure 1: weight, activation, and KV-cache size distributions.
+
+Regenerates the per-model, per-stage tensor-size populations and reports the
+same qualitative observation the paper makes: most weight and KV-cache
+accesses exceed several hundred kilobytes, dwarfing the 32 B access
+granularity of conventional HBM.
+"""
+
+from repro.llm.models import MODELS
+from repro.llm.traffic import Stage, figure1_table, stage_traffic
+
+
+def _build_rows():
+    return figure1_table(list(MODELS.values()), batch=64, sequence_length=8192)
+
+
+def test_fig01_footprint_distributions(benchmark, table_printer):
+    rows = benchmark(_build_rows)
+    table_printer("Figure 1: tensor-size distributions (batch 64, seq 8K)", rows)
+    for row in rows:
+        assert row["fraction_weights_over_100KB"] > 0.9
+        assert row["weight_max_bytes"] > 10 * (1 << 20)
+
+
+def test_fig01_kv_cache_grows_in_decode(benchmark, table_printer):
+    def build():
+        rows = []
+        for model in MODELS.values():
+            decode = stage_traffic(model, Stage.DECODE, batch=64)
+            rows.append(
+                {
+                    "model": model.name,
+                    "kv_per_layer_per_seq_bytes": decode.summary()["kv_cache"]["median"],
+                    "kv_total_gib_batch64": 64 * model.kv_bytes_per_sequence(8192) / (1 << 30),
+                }
+            )
+        return rows
+
+    rows = benchmark(build)
+    table_printer("Figure 1 (companion): KV-cache footprint at seq 8K", rows)
+    assert all(row["kv_per_layer_per_seq_bytes"] >= 100 * 1024 for row in rows)

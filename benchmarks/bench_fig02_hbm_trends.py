@@ -1,0 +1,38 @@
+"""E2 / Figure 2: HBM generation trends.
+
+(a) data rate, core frequency, and channel width across HBM1..HBM4;
+(b) growth of the C/A-pin overhead (C/A pins per DQ pin and C/A bandwidth).
+"""
+
+from repro.analysis.trends import (
+    ca_overhead_growth,
+    core_frequency_growth,
+    data_rate_growth,
+    hbm_generation_trends,
+)
+
+
+def test_fig02_generation_trends(benchmark, table_printer):
+    rows = benchmark(hbm_generation_trends)
+    table_printer("Figure 2: HBM generation trends", rows)
+    # Shape checks: data rate up ~8x, core frequency only ~2x, C/A overhead ~2x.
+    assert data_rate_growth() >= 6.0
+    assert core_frequency_growth() <= 3.0
+    assert 1.5 <= ca_overhead_growth() <= 3.0
+
+
+def test_fig02_channel_width_narrows_while_channels_multiply(benchmark, table_printer):
+    rows = benchmark(hbm_generation_trends)
+    widths = [row["channel_width_bits"] for row in rows]
+    channels = [row["channels_per_cube"] for row in rows]
+    table_printer(
+        "Figure 2 (companion): channel width vs channel count",
+        [
+            {"generation": row["generation"],
+             "channel_width_bits": row["channel_width_bits"],
+             "channels_per_cube": row["channels_per_cube"]}
+            for row in rows
+        ],
+    )
+    assert widths[0] == 128 and widths[-1] == 64
+    assert channels[0] == 8 and channels[-1] == 32

@@ -1,0 +1,37 @@
+"""E3 / Figure 10: command-issue latency versus the number of C/A pins.
+
+The RD_row-to-RD_row interval stays pinned at the 64 ns data-transfer time,
+while the access-to-REF latency grows as pins shrink; five pins is the
+smallest count that still fits within the 2 x tRRDS budget.
+"""
+
+from repro.core.pins import ca_pin_sweep, channel_expansion, minimum_ca_pins
+
+
+def test_fig10_ca_pin_sweep(benchmark, table_printer):
+    rows = benchmark(ca_pin_sweep)
+    table_printer("Figure 10: issue latency vs C/A pins", rows)
+    assert all(row["rd_row_to_rd_row_ns"] == 64.0 for row in rows)
+    latencies = [row["access_to_ref_ns"] for row in rows]
+    assert latencies == sorted(latencies)          # latency grows as pins shrink
+    assert all(row["meets_budget"] for row in rows)
+    assert minimum_ca_pins() == 5
+
+
+def test_fig10_channel_expansion_consequence(benchmark, table_printer):
+    expansion = benchmark(channel_expansion)
+    table_printer(
+        "Section IV-E: channel expansion funded by saved C/A pins",
+        [
+            {
+                "baseline_channels": expansion.baseline.num_channels,
+                "rome_pins_per_channel": expansion.rome.pins_per_channel,
+                "added_channels": expansion.added_channels,
+                "extra_pins": expansion.extra_pins,
+                "bandwidth_gain": expansion.bandwidth_gain,
+            }
+        ],
+    )
+    assert expansion.added_channels == 4
+    assert expansion.extra_pins == 12
+    assert expansion.bandwidth_gain == 0.125

@@ -1,0 +1,41 @@
+"""E5 / Figure 12: TPOT of HBM4 vs RoMe across batch sizes (decode, seq 8K).
+
+The paper reports average TPOT reductions of 10.4 % (DeepSeek-V3), 10.2 %
+(Grok 1), and 9.0 % (Llama 3), bounded above by RoMe's 12.5 % bandwidth gain
+and attenuated by layers that are not memory-bound.
+"""
+
+import pytest
+
+from repro.llm.inference import batch_sweep, max_batch_size
+from repro.llm.models import DEEPSEEK_V3, GROK_1, LLAMA_3_405B
+
+SEQUENCE_LENGTH = 8192
+PAPER_REDUCTIONS = {
+    "DeepSeek-V3": 0.104,
+    "Grok 1": 0.102,
+    "Llama 3": 0.090,
+}
+
+
+def _sweep(model):
+    limit = max_batch_size(model, SEQUENCE_LENGTH)
+    batches = [b for b in (8, 16, 32, 64, 128, 256, 512, 1024) if b <= limit]
+    return batch_sweep(model, batches, SEQUENCE_LENGTH)
+
+
+@pytest.mark.parametrize("model", [DEEPSEEK_V3, GROK_1, LLAMA_3_405B],
+                         ids=lambda m: m.name)
+def test_fig12_tpot_sweep(benchmark, table_printer, model):
+    rows = benchmark(_sweep, model)
+    table_printer(f"Figure 12: TPOT sweep for {model.name}", rows)
+    # RoMe wins at every batch point.
+    assert all(row["rome_tpot_ms"] < row["hbm4_tpot_ms"] for row in rows)
+    # The average reduction tracks the paper's number for this model.
+    average = sum(row["tpot_reduction"] for row in rows) / len(rows)
+    assert average == pytest.approx(PAPER_REDUCTIONS[model.name], abs=0.045)
+    # And never exceeds the 12.5 % bandwidth gain.
+    assert max(row["tpot_reduction"] for row in rows) <= 0.125
+    # Execution times are in the single-digit-to-tens-of-ms range (Figure 12
+    # annotates 5.7-20.5 ms).
+    assert all(1.0 < row["hbm4_tpot_ms"] < 40.0 for row in rows)

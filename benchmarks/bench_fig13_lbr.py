@@ -1,0 +1,64 @@
+"""E6 / Figure 13: channel load-balance rate (LBR) of RoMe across batch sizes.
+
+LBR stays close to 1 for all three models (4 KB interleaving spreads LLM
+tensors almost evenly over the 288 channels) and improves with batch size as
+the KV-cache and activation footprints grow.
+"""
+
+import pytest
+
+from repro.llm.accelerator import rome_accelerator
+from repro.llm.inference import decode_tpot, max_batch_size
+from repro.llm.models import DEEPSEEK_V3, GROK_1, LLAMA_3_405B
+
+SEQUENCE_LENGTH = 8192
+
+
+def _lbr_sweep(model):
+    limit = max_batch_size(model, SEQUENCE_LENGTH)
+    rows = []
+    for batch in (8, 16, 32, 64, 128, 256, 512, 1024):
+        if batch > limit:
+            break
+        result = decode_tpot(model, batch, SEQUENCE_LENGTH, rome_accelerator())
+        rows.append(
+            {
+                "model": model.name,
+                "batch": batch,
+                "lbr_attention": result.lbr_attention,
+                "lbr_ffn": result.lbr_ffn,
+            }
+        )
+    return rows
+
+
+@pytest.mark.parametrize("model", [DEEPSEEK_V3, GROK_1, LLAMA_3_405B],
+                         ids=lambda m: m.name)
+def test_fig13_lbr_sweep(benchmark, table_printer, model):
+    rows = benchmark(_lbr_sweep, model)
+    table_printer(f"Figure 13: RoMe channel load balance for {model.name}", rows)
+    # LBR stays in the 0.85-1.0 band the paper plots.
+    for row in rows:
+        assert 0.85 <= row["lbr_attention"] <= 1.0
+        assert 0.85 <= row["lbr_ffn"] <= 1.0
+    # Attention LBR does not degrade as batch grows (KV cache dominates).
+    assert rows[-1]["lbr_attention"] >= rows[0]["lbr_attention"] - 0.01
+
+
+def test_fig13_deepseek_attention_lbr_highest_at_small_batch(benchmark, table_printer):
+    def build():
+        rows = {}
+        for model in (DEEPSEEK_V3, GROK_1, LLAMA_3_405B):
+            result = decode_tpot(model, 8, SEQUENCE_LENGTH, rome_accelerator())
+            rows[model.name] = result.lbr_attention
+        return rows
+
+    lbrs = benchmark(build)
+    table_printer(
+        "Figure 13 (companion): LBR_attn at batch 8",
+        [{"model": name, "lbr_attention": value} for name, value in lbrs.items()],
+    )
+    # DeepSeek-V3's data-parallel attention keeps its weights unsharded and
+    # therefore the most evenly striped (Section VI-B).
+    assert lbrs["DeepSeek-V3"] >= lbrs["Grok 1"]
+    assert lbrs["DeepSeek-V3"] >= lbrs["Llama 3"] - 0.01

@@ -1,0 +1,49 @@
+"""E4 / Table V: HBM4 vs RoMe system configuration and derived timing.
+
+Builds both configurations from first principles (the conventional timing
+set, the adopted VBA organization, and the channel expansion) and checks that
+the derived RoMe timing parameters match the values in Table V.
+"""
+
+from repro.core.pins import channel_expansion
+from repro.core.timing import ROME_TIMING, derive_rome_timing
+from repro.core.virtual_bank import paper_vba_config
+from repro.dram.stack import hbm4_stack_config
+from repro.dram.timing import HBM4_TIMING
+
+
+def _build_table():
+    derived = derive_rome_timing(HBM4_TIMING, paper_vba_config())
+    expansion = channel_expansion()
+    stack = hbm4_stack_config()
+    return [
+        {
+            "parameter": "channels/cube",
+            "hbm4": stack.num_channels,
+            "rome": stack.num_channels + expansion.added_channels,
+        },
+        {"parameter": "banks/channel", "hbm4": 128, "rome": paper_vba_config().vbas_per_channel},
+        {"parameter": "row size (B)", "hbm4": HBM4_TIMING.row_size_bytes,
+         "rome": paper_vba_config().effective_row_bytes},
+        {"parameter": "AG_MC (B)", "hbm4": 32, "rome": 4096},
+        {"parameter": "bandwidth (GB/s)", "hbm4": stack.peak_bandwidth_gbps,
+         "rome": stack.peak_bandwidth_gbps * 1.125},
+        {"parameter": "tR2RS", "hbm4": "-", "rome": derived.tR2RS},
+        {"parameter": "tR2WS", "hbm4": "-", "rome": derived.tR2WS},
+        {"parameter": "tW2RS", "hbm4": "-", "rome": derived.tW2RS},
+        {"parameter": "tW2WS", "hbm4": "-", "rome": derived.tW2WS},
+        {"parameter": "tRD_row", "hbm4": "-", "rome": derived.tRD_row},
+        {"parameter": "tWR_row", "hbm4": "-", "rome": derived.tWR_row},
+    ]
+
+
+def test_table5_configuration(benchmark, table_printer):
+    rows = benchmark(_build_table)
+    table_printer("Table V: HBM4 vs RoMe configuration", rows)
+    derived = derive_rome_timing(HBM4_TIMING, paper_vba_config())
+    assert derived.tR2RS == ROME_TIMING.tR2RS == 64
+    assert derived.tR2WS == ROME_TIMING.tR2WS == 69
+    assert derived.tW2RS == ROME_TIMING.tW2RS == 71
+    assert derived.tW2WS == ROME_TIMING.tW2WS == 64
+    assert derived.tRD_row == ROME_TIMING.tRD_row == 95
+    assert derived.tWR_row == ROME_TIMING.tWR_row == 115

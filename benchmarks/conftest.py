@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation and
+prints the rows/series it reports, so running
+``pytest benchmarks/ --benchmark-only`` reproduces the whole evaluation
+section.  The printed output is the artifact; pytest-benchmark's timing is a
+bonus that tracks how long each experiment takes to regenerate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List
+
+import pytest
+
+
+def print_table(title: str, rows: List[Dict[str, Any]]) -> None:
+    """Pretty-print experiment rows under a banner."""
+    print()
+    print(f"=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    keys = list(rows[0].keys())
+    print(" | ".join(f"{key:>20}" for key in keys))
+    for row in rows:
+        cells = []
+        for key in keys:
+            value = row.get(key, "")
+            if isinstance(value, float):
+                cells.append(f"{value:>20.4g}")
+            else:
+                cells.append(f"{str(value):>20}")
+        print(" | ".join(cells))
+
+
+@pytest.fixture
+def table_printer():
+    return print_table

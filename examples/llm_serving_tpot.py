@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""LLM-serving scenario: regenerate the Figure 12 / Figure 13 sweeps.
+
+Sweeps the decode batch size for DeepSeek-V3, Grok 1, and Llama 3-405B on the
+eight-accelerator serving system of Section VI-A and prints, for each batch
+point, the HBM4 and RoMe TPOT, the TPOT reduction, and RoMe's channel
+load-balance ratios.
+
+Usage::
+
+    python examples/llm_serving_tpot.py [--sequence-length 8192]
+"""
+
+import argparse
+
+from repro.llm.inference import batch_sweep, max_batch_size
+from repro.llm.models import MODELS
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sequence-length", type=int, default=8192)
+    parser.add_argument("--batches", type=int, nargs="+",
+                        default=[8, 16, 32, 64, 128, 256, 512, 1024])
+    args = parser.parse_args()
+
+    for model in MODELS.values():
+        limit = max_batch_size(model, args.sequence_length)
+        batches = [b for b in args.batches if b <= limit]
+        print(f"\n=== {model.name} (max batch at {args.sequence_length}-token "
+              f"context: {limit}) ===")
+        header = (f"{'batch':>6} {'HBM4 ms':>9} {'RoMe ms':>9} {'reduction':>10} "
+                  f"{'LBR attn':>9} {'LBR ffn':>8}")
+        print(header)
+        for row in batch_sweep(model, batches, args.sequence_length):
+            print(
+                f"{row['batch']:>6} {row['hbm4_tpot_ms']:>9.2f} "
+                f"{row['rome_tpot_ms']:>9.2f} {row['tpot_reduction']:>9.1%} "
+                f"{row['rome_lbr_attention']:>9.3f} {row['rome_lbr_ffn']:>8.3f}"
+            )
+
+
+if __name__ == "__main__":
+    main()

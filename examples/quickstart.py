@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Quickstart: compare HBM4 and RoMe on a streaming workload and an LLM.
+
+Runs in a few seconds and touches the three layers of the library:
+
+1. the cycle-level memory simulators (one HBM4 channel vs one RoMe channel
+   streaming the same bytes),
+2. the C/A-pin / channel-expansion analysis that gives RoMe its 12.5 %
+   bandwidth advantage, and
+3. the end-to-end LLM decode model (TPOT for Grok 1 at batch 64).
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro.core.pins import channel_expansion, minimum_ca_pins
+from repro.llm.inference import decode_comparison
+from repro.llm.models import GROK_1
+from repro.sim.runner import measure_conventional_streaming, measure_rome_streaming
+
+
+def main() -> None:
+    print("== 1. Cycle-level streaming comparison (one channel, 96 KiB) ==")
+    hbm4 = measure_conventional_streaming(total_bytes=96 * 1024)
+    rome = measure_rome_streaming(total_bytes=96 * 1024)
+    print(f"  HBM4 : {hbm4.summary()}")
+    print(f"  RoMe : {rome.summary()}")
+    print(f"  HBM4 column commands : {hbm4.command_counts.get('RD', 0)}")
+    print(f"  RoMe row commands    : {rome.command_counts.get('RD_row', 0)}")
+
+    print("\n== 2. C/A pins and channel expansion (Sections IV-D/E) ==")
+    print(f"  minimum C/A pins per RoMe channel : {minimum_ca_pins()}")
+    expansion = channel_expansion()
+    print(f"  channel expansion                 : {expansion.describe()}")
+
+    print("\n== 3. LLM decode TPOT (Grok 1, batch 64, sequence 8K) ==")
+    comparison = decode_comparison(GROK_1, batch=64)
+    hbm4_tpot = comparison["hbm4"].tpot_ms
+    rome_tpot = comparison["rome"].tpot_ms
+    print(f"  HBM4 TPOT : {hbm4_tpot:.2f} ms")
+    print(f"  RoMe TPOT : {rome_tpot:.2f} ms")
+    print(f"  reduction : {(1 - rome_tpot / hbm4_tpot) * 100:.1f} %")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Explore the virtual-bank design space of Section IV-B.
+
+For each of the six VBA configurations (Figure 7b/c/d x Figure 8a/b) this
+prints the effective row size, the number of virtual banks per channel, the
+derived RoMe timing parameters, the estimated DRAM-die area overhead, and the
+measured streaming-bandwidth utilization of a single channel -- showing why
+the paper adopts the interleaved-bank + lockstep-PC point.
+
+Usage::
+
+    python examples/vba_design_space.py
+"""
+
+from repro.core.controller import RoMeControllerConfig
+from repro.core.interface import RowRequestKind, requests_for_transfer
+from repro.core.timing import derive_rome_timing
+from repro.core.virtual_bank import VBA_DESIGN_SPACE, paper_vba_config
+from repro.dram.timing import HBM4_TIMING
+from repro.sim.memory_system import MemorySystemConfig, RoMeMemorySystem
+
+
+def measure(vba) -> float:
+    timing = derive_rome_timing(HBM4_TIMING, vba)
+    system = RoMeMemorySystem(
+        MemorySystemConfig(
+            num_channels=1,
+            rome_controller=RoMeControllerConfig(
+                timing=timing, vba=vba, num_stack_ids=1, enable_refresh=False
+            ),
+        )
+    )
+    system.enqueue_many(
+        requests_for_transfer(
+            64 * vba.effective_row_bytes,
+            kind=RowRequestKind.RD_ROW,
+            effective_row_bytes=vba.effective_row_bytes,
+            num_channels=1,
+            vbas_per_channel=vba.vbas_per_channel_per_sid,
+        )
+    )
+    system.run_until_idle()
+    return system.result().utilization
+
+
+def main() -> None:
+    adopted = paper_vba_config()
+    print(f"{'bank merge':>22} {'PC merge':>13} {'row B':>6} {'VBAs':>5} "
+          f"{'tRD_row':>8} {'area':>7} {'util':>6}")
+    for vba in VBA_DESIGN_SPACE:
+        timing = derive_rome_timing(HBM4_TIMING, vba)
+        utilization = measure(vba)
+        marker = "  <== adopted" if (vba.bank_merge is adopted.bank_merge and
+                                     vba.pc_merge is adopted.pc_merge) else ""
+        print(
+            f"{vba.bank_merge.value:>22} {vba.pc_merge.value:>13} "
+            f"{vba.effective_row_bytes:>6} {vba.vbas_per_channel_per_sid:>5} "
+            f"{timing.tRD_row:>8} {vba.area_overhead_fraction:>6.0%} "
+            f"{utilization:>6.1%}{marker}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""repro: reproduction of RoMe (HPCA 2026), a row-granularity HBM memory system.
+
+The package is organized by subsystem:
+
+* :mod:`repro.dram` -- conventional HBM device substrate (banks, bank groups,
+  pseudo channels, channels, timing, refresh, energy).
+* :mod:`repro.controller` -- the conventional FR-FCFS memory controller.
+* :mod:`repro.core` -- RoMe itself: the row-granularity interface, virtual
+  banks, the logic-die command generator, the simplified controller, and the
+  C/A-pin / channel-expansion analysis.
+* :mod:`repro.sim` -- trace generators, multi-channel memory systems, and
+  measurement helpers.
+* :mod:`repro.llm` -- LLM workload models (DeepSeek-V3, Grok 1, Llama 3-405B)
+  and the accelerator roofline used for end-to-end TPOT studies.
+* :mod:`repro.analysis` -- channel load balance, energy breakdowns, and
+  area/pin-budget analyses.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,32 @@
+"""Analysis models: channel load balance, energy breakdowns, and area."""
+
+from repro.analysis.lbr import ChannelLoadModel, tensor_set_lbr
+from repro.analysis.energy_report import (
+    EnergyReport,
+    TrafficProfile,
+    energy_comparison,
+    traffic_profile_for_decode,
+)
+from repro.analysis.area import (
+    AreaBreakdown,
+    SchedulingLogicModel,
+    channel_expansion_area,
+    command_generator_area,
+    mc_area_comparison,
+)
+from repro.analysis.trends import hbm_generation_trends
+
+__all__ = [
+    "AreaBreakdown",
+    "ChannelLoadModel",
+    "EnergyReport",
+    "SchedulingLogicModel",
+    "TrafficProfile",
+    "channel_expansion_area",
+    "command_generator_area",
+    "energy_comparison",
+    "hbm_generation_trends",
+    "mc_area_comparison",
+    "tensor_set_lbr",
+    "traffic_profile_for_decode",
+]

@@ -1,0 +1,189 @@
+"""DRAM energy comparison between HBM4 and RoMe (Figure 14).
+
+The energy difference between the two systems comes from command counts, not
+from the data itself: RoMe needs far fewer activations per byte for streaming
+tensors (one ACT pair per 4 KB effective row instead of one ACT per 1 KB row)
+and sends a single row-level command across the interposer instead of 32
+column commands, while slight overfetch adds a little data-movement energy
+back.  This module converts a decode step's per-device traffic into
+activation / CAS / command-generator energy for both memory systems.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.dram.energy import EnergyModel
+from repro.llm.accelerator import AcceleratorSpec, hbm4_accelerator, rome_accelerator
+from repro.llm.layers import Operator, build_decode_operators
+from repro.llm.models import ModelConfig
+from repro.llm.parallelism import ParallelismConfig, default_decode_parallelism
+
+
+@dataclass
+class TrafficProfile:
+    """Per-device memory traffic of one decode step."""
+
+    tensor_bytes: List[float] = field(default_factory=list)
+    read_bytes: float = 0.0
+    write_bytes: float = 0.0
+
+    @property
+    def total_bytes(self) -> float:
+        return self.read_bytes + self.write_bytes
+
+    @classmethod
+    def from_operators(cls, operators: Sequence[Operator]) -> "TrafficProfile":
+        profile = cls()
+        for op in operators:
+            reads = op.weight_bytes + op.activation_bytes / 2.0 + op.kv_read_bytes
+            writes = op.activation_bytes / 2.0 + op.kv_write_bytes
+            profile.read_bytes += reads
+            profile.write_bytes += writes
+            if op.tensor_bytes:
+                profile.tensor_bytes.extend(op.tensor_bytes)
+            elif op.memory_bytes:
+                profile.tensor_bytes.append(op.memory_bytes)
+        return profile
+
+
+def traffic_profile_for_decode(
+    model: ModelConfig,
+    batch: int,
+    sequence_length: int,
+    parallelism: Optional[ParallelismConfig] = None,
+) -> TrafficProfile:
+    """Traffic profile of one decode step on one accelerator."""
+    parallelism = parallelism or default_decode_parallelism(model)
+    operators = build_decode_operators(model, batch, sequence_length, parallelism)
+    return TrafficProfile.from_operators(operators)
+
+
+def _activations_for_tensor(
+    tensor_bytes: float,
+    num_channels: int,
+    interleave_bytes: int,
+    row_bytes: int,
+    acts_per_row: int,
+) -> int:
+    """Row activations needed to stream one tensor.
+
+    The tensor is interleaved across channels at ``interleave_bytes``
+    granularity; each channel activates enough rows to cover its share.
+    """
+    if tensor_bytes <= 0:
+        return 0
+    blocks = math.ceil(tensor_bytes / interleave_bytes)
+    channels_touched = min(num_channels, blocks)
+    per_channel_bytes = tensor_bytes / channels_touched
+    rows_per_channel = math.ceil(per_channel_bytes / row_bytes)
+    return channels_touched * rows_per_channel * acts_per_row
+
+
+@dataclass
+class EnergyReport:
+    """Energy breakdown of one decode step on one memory system."""
+
+    name: str
+    act_pj: float
+    cas_pj: float
+    command_generator_pj: float
+    interface_command_pj: float
+    activates: int
+    interface_commands: int
+    bytes_transferred: float
+
+    @property
+    def total_pj(self) -> float:
+        return (
+            self.act_pj
+            + self.cas_pj
+            + self.command_generator_pj
+            + self.interface_command_pj
+        )
+
+    def breakdown(self) -> Dict[str, float]:
+        return {
+            "act_pj": self.act_pj,
+            "cas_pj": self.cas_pj,
+            "command_generator_pj": self.command_generator_pj,
+            "interface_command_pj": self.interface_command_pj,
+            "total_pj": self.total_pj,
+        }
+
+
+def _energy_for_profile(
+    name: str,
+    profile: TrafficProfile,
+    accelerator: AcceleratorSpec,
+    energy_model: EnergyModel,
+    rome: bool,
+) -> EnergyReport:
+    num_channels = accelerator.num_channels
+    if rome:
+        interleave = 4096
+        effective_row = 4096
+        acts_per_row = 2          # two constituent banks per VBA
+        bytes_per_interface_command = 4096.0
+    else:
+        interleave = 32
+        effective_row = 1024
+        acts_per_row = 1
+        bytes_per_interface_command = 32.0
+
+    activates = 0
+    transferred = 0.0
+    for tensor in profile.tensor_bytes:
+        activates += _activations_for_tensor(
+            tensor, num_channels, interleave, effective_row, acts_per_row
+        )
+        if rome:
+            transferred += math.ceil(tensor / 4096.0) * 4096.0  # overfetch
+        else:
+            transferred += math.ceil(tensor / 32.0) * 32.0
+    interface_commands = int(math.ceil(transferred / bytes_per_interface_command))
+
+    read_fraction = (
+        profile.read_bytes / profile.total_bytes if profile.total_bytes else 1.0
+    )
+    cas_pj = transferred * (
+        read_fraction * energy_model.read_pj_per_byte
+        + (1.0 - read_fraction) * energy_model.write_pj_per_byte
+        + energy_model.io_pj_per_byte
+    )
+    act_pj = activates * energy_model.act_pj_per_row
+    command_pj = interface_commands * energy_model.command_pj
+    generator_pj = (
+        interface_commands * energy_model.command_generator_pj if rome else 0.0
+    )
+    return EnergyReport(
+        name=name,
+        act_pj=act_pj,
+        cas_pj=cas_pj,
+        command_generator_pj=generator_pj,
+        interface_command_pj=command_pj,
+        activates=activates,
+        interface_commands=interface_commands,
+        bytes_transferred=transferred,
+    )
+
+
+def energy_comparison(
+    model: ModelConfig,
+    batch: int = 256,
+    sequence_length: int = 8192,
+    parallelism: Optional[ParallelismConfig] = None,
+    energy_model: Optional[EnergyModel] = None,
+) -> Dict[str, EnergyReport]:
+    """Figure 14: HBM4 vs RoMe energy for one decode step of ``model``."""
+    energy_model = energy_model or EnergyModel()
+    profile = traffic_profile_for_decode(model, batch, sequence_length, parallelism)
+    hbm4 = _energy_for_profile(
+        "hbm4", profile, hbm4_accelerator(), energy_model, rome=False
+    )
+    rome = _energy_for_profile(
+        "rome", profile, rome_accelerator(), energy_model, rome=True
+    )
+    return {"hbm4": hbm4, "rome": rome}

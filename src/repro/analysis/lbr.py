@@ -1,0 +1,98 @@
+"""Channel load-balance rate (LBR) model.
+
+RoMe interleaves data across channels at 4 KB granularity instead of 32 B, so
+small or oddly-sized tensors leave some channels with one more chunk than
+others; the channel load balance rate quantifies that imbalance (Figure 13).
+``LBR = total_chunks / (num_channels * max_chunks_on_any_channel)``: a value
+of 1.0 means perfectly even distribution (the 32 B baseline is essentially
+always 1.0), lower values mean the most-loaded channel throttles effective
+bandwidth.
+
+The model assumes each tensor is laid out contiguously and striped round-robin
+across channels from its own allocation start, which is the worst-case (all
+per-tensor remainders can land on the same channels).  The optimistic variant
+assumes allocations continue the stripe across tensors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import used only for type checking
+    from repro.llm.layers import Operator
+
+
+def _chunks(size_bytes: float, chunk_bytes: int) -> int:
+    if size_bytes <= 0:
+        return 0
+    return int(math.ceil(size_bytes / chunk_bytes))
+
+
+def tensor_set_lbr(
+    tensor_sizes: Sequence[float],
+    num_channels: int,
+    chunk_bytes: int,
+    alignment: str = "worst",
+) -> float:
+    """LBR of a set of contiguously allocated tensors.
+
+    Parameters
+    ----------
+    tensor_sizes:
+        Sizes in bytes of the individually contiguous tensors streamed.
+    num_channels:
+        Memory channels across the accelerator (288 for RoMe, 256 for HBM4).
+    chunk_bytes:
+        Interleaving granularity (4096 for RoMe, 32 for the baseline).
+    alignment:
+        ``"worst"`` assumes every tensor's remainder chunks pile onto the same
+        channels; ``"best"`` assumes the stripe continues across tensors.
+    """
+    if num_channels <= 0:
+        raise ValueError("num_channels must be positive")
+    total_chunks = sum(_chunks(size, chunk_bytes) for size in tensor_sizes)
+    if total_chunks == 0:
+        return 1.0
+    if alignment == "best":
+        max_load = math.ceil(total_chunks / num_channels)
+    elif alignment == "worst":
+        max_load = sum(
+            math.ceil(_chunks(size, chunk_bytes) / num_channels)
+            for size in tensor_sizes
+            if size > 0
+        )
+    else:
+        raise ValueError("alignment must be 'worst' or 'best'")
+    max_load = max(1, max_load)
+    return min(1.0, total_chunks / (num_channels * max_load))
+
+
+@dataclass(frozen=True)
+class ChannelLoadModel:
+    """LBR model bound to one memory system's channel count and granularity."""
+
+    num_channels: int
+    chunk_bytes: int
+    alignment: str = "worst"
+
+    def lbr(self, tensor_sizes: Sequence[float]) -> float:
+        return tensor_set_lbr(
+            tensor_sizes, self.num_channels, self.chunk_bytes, self.alignment
+        )
+
+    def operator_lbr(self, operator: "Operator") -> float:
+        """LBR of a single operator.
+
+        Uses the operator's recorded per-tensor sizes; operators that did not
+        record them are treated as a single contiguous stream.
+        """
+        sizes: Iterable[float] = operator.tensor_bytes or (operator.memory_bytes,)
+        return self.lbr(list(sizes))
+
+    def describe(self) -> str:
+        return (
+            f"{self.num_channels} channels x {self.chunk_bytes} B chunks "
+            f"({self.alignment}-case alignment)"
+        )

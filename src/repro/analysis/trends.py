@@ -1,0 +1,41 @@
+"""HBM generation trend analysis (Figure 2)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.dram.generations import GENERATION_ORDER, HBM_GENERATIONS, trend_table
+
+
+def hbm_generation_trends() -> List[Dict[str, float]]:
+    """One row per generation with the Figure 2 quantities, in order."""
+    table = trend_table()
+    rows: List[Dict[str, float]] = []
+    for name in GENERATION_ORDER:
+        row: Dict[str, float] = {"generation": name}  # type: ignore[dict-item]
+        row.update(table[name])
+        rows.append(row)
+    return rows
+
+
+def ca_overhead_growth() -> float:
+    """Ratio of HBM4's C/A-per-DQ pin overhead to HBM1's (paper: ~2x)."""
+    first = HBM_GENERATIONS["HBM1"].ca_per_dq_ratio
+    last = HBM_GENERATIONS["HBM4"].ca_per_dq_ratio
+    return last / first
+
+
+def core_frequency_growth() -> float:
+    """Core-frequency growth across generations (modest, ~2x)."""
+    return (
+        HBM_GENERATIONS["HBM4"].core_frequency_mhz
+        / HBM_GENERATIONS["HBM1"].core_frequency_mhz
+    )
+
+
+def data_rate_growth() -> float:
+    """External data-rate growth across generations (~8x)."""
+    return (
+        HBM_GENERATIONS["HBM4"].data_rate_gbps
+        / HBM_GENERATIONS["HBM1"].data_rate_gbps
+    )

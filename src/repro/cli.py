@@ -1,0 +1,226 @@
+"""Command-line interface for the RoMe reproduction.
+
+Provides quick access to the main experiments without writing code:
+
+* ``rome-repro tpot`` -- Figure 12: TPOT for HBM4 vs RoMe across batch sizes.
+* ``rome-repro lbr`` -- Figure 13: channel load-balance ratio sweep.
+* ``rome-repro energy`` -- Figure 14: DRAM energy breakdown at batch 256.
+* ``rome-repro bandwidth`` -- cycle-level streaming-bandwidth comparison.
+* ``rome-repro queue-depth`` -- request-queue-depth sensitivity.
+* ``rome-repro pins`` -- Figure 10: C/A pin sweep and channel expansion.
+* ``rome-repro design-space`` -- the six-point VBA design space.
+* ``rome-repro trends`` -- Figure 2: HBM generation trends.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+
+def _print_rows(rows: List[Dict[str, Any]], as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(rows, indent=2, default=str))
+        return
+    if not rows:
+        print("(no rows)")
+        return
+    keys = list(rows[0].keys())
+    header = "  ".join(f"{key:>18}" for key in keys)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        cells = []
+        for key in keys:
+            value = row.get(key, "")
+            if isinstance(value, float):
+                cells.append(f"{value:>18.4g}")
+            else:
+                cells.append(f"{str(value):>18}")
+        print("  ".join(cells))
+
+
+def _models(names: Optional[List[str]] = None):
+    from repro.llm.models import MODELS, model_by_name
+
+    if not names:
+        return list(MODELS.values())
+    return [model_by_name(name) for name in names]
+
+
+def cmd_tpot(args: argparse.Namespace) -> int:
+    from repro.llm.inference import batch_sweep, max_batch_size
+
+    rows: List[Dict[str, Any]] = []
+    for model in _models(args.model):
+        limit = max_batch_size(model, args.sequence_length)
+        batches = [b for b in args.batches if b <= limit] or [limit]
+        rows.extend(batch_sweep(model, batches, args.sequence_length))
+    _print_rows(rows, args.json)
+    return 0
+
+
+def cmd_lbr(args: argparse.Namespace) -> int:
+    from repro.llm.inference import decode_tpot, max_batch_size
+    from repro.llm.accelerator import rome_accelerator
+
+    rows = []
+    for model in _models(args.model):
+        limit = max_batch_size(model, args.sequence_length)
+        for batch in [b for b in args.batches if b <= limit]:
+            result = decode_tpot(
+                model, batch, args.sequence_length, rome_accelerator()
+            )
+            rows.append(
+                {
+                    "model": model.name,
+                    "batch": batch,
+                    "lbr_attention": result.lbr_attention,
+                    "lbr_ffn": result.lbr_ffn,
+                }
+            )
+    _print_rows(rows, args.json)
+    return 0
+
+
+def cmd_energy(args: argparse.Namespace) -> int:
+    from repro.analysis.energy_report import energy_comparison
+
+    rows = []
+    for model in _models(args.model):
+        reports = energy_comparison(model, batch=args.batch,
+                                    sequence_length=args.sequence_length)
+        hbm4, rome = reports["hbm4"], reports["rome"]
+        rows.append(
+            {
+                "model": model.name,
+                "hbm4_total_pj": hbm4.total_pj,
+                "rome_total_pj": rome.total_pj,
+                "energy_reduction": 1.0 - rome.total_pj / hbm4.total_pj,
+                "act_energy_ratio": rome.act_pj / hbm4.act_pj if hbm4.act_pj else 0.0,
+            }
+        )
+    _print_rows(rows, args.json)
+    return 0
+
+
+def cmd_bandwidth(args: argparse.Namespace) -> int:
+    from repro.sim.runner import (
+        measure_conventional_streaming,
+        measure_rome_streaming,
+    )
+
+    hbm4 = measure_conventional_streaming(total_bytes=args.bytes)
+    rome = measure_rome_streaming(total_bytes=args.bytes)
+    rows = [
+        {
+            "system": result.name,
+            "achieved_gbps": result.bandwidth.achieved_gbps,
+            "utilization": result.utilization,
+            "avg_read_latency_ns": result.latency.average,
+        }
+        for result in (hbm4, rome)
+    ]
+    _print_rows(rows, args.json)
+    return 0
+
+
+def cmd_queue_depth(args: argparse.Namespace) -> int:
+    from repro.sim.runner import queue_depth_sweep
+
+    rows = []
+    for system, depths in (("rome", args.rome_depths), ("hbm4", args.hbm4_depths)):
+        sweep = queue_depth_sweep(depths, system=system, total_bytes=args.bytes)
+        for depth, utilization in sweep.items():
+            rows.append({"system": system, "depth": depth, "utilization": utilization})
+    _print_rows(rows, args.json)
+    return 0
+
+
+def cmd_pins(args: argparse.Namespace) -> int:
+    from repro.core.pins import ca_pin_sweep, channel_expansion, minimum_ca_pins
+
+    rows = ca_pin_sweep()
+    _print_rows(rows, args.json)
+    expansion = channel_expansion()
+    print()
+    print(f"minimum C/A pins: {minimum_ca_pins()}")
+    print(f"channel expansion: {expansion.describe()}")
+    return 0
+
+
+def cmd_design_space(args: argparse.Namespace) -> int:
+    from repro.core.virtual_bank import design_space_summary
+
+    _print_rows(design_space_summary(), args.json)
+    return 0
+
+
+def cmd_trends(args: argparse.Namespace) -> int:
+    from repro.analysis.trends import hbm_generation_trends
+
+    _print_rows(hbm_generation_trends(), args.json)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rome-repro",
+        description="Reproduction experiments for RoMe (HPCA 2026).",
+    )
+    parser.add_argument("--json", action="store_true", help="emit JSON rows")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_model_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--model", action="append",
+                       help="model name (repeatable); default: all three")
+        p.add_argument("--sequence-length", type=int, default=8192)
+
+    p = sub.add_parser("tpot", help="Figure 12: TPOT across batch sizes")
+    add_model_args(p)
+    p.add_argument("--batches", type=int, nargs="+",
+                   default=[8, 16, 32, 64, 128, 256, 512, 1024])
+    p.set_defaults(func=cmd_tpot)
+
+    p = sub.add_parser("lbr", help="Figure 13: channel load balance ratio")
+    add_model_args(p)
+    p.add_argument("--batches", type=int, nargs="+",
+                   default=[8, 16, 32, 64, 128, 256, 512, 1024])
+    p.set_defaults(func=cmd_lbr)
+
+    p = sub.add_parser("energy", help="Figure 14: DRAM energy at batch 256")
+    add_model_args(p)
+    p.add_argument("--batch", type=int, default=256)
+    p.set_defaults(func=cmd_energy)
+
+    p = sub.add_parser("bandwidth", help="cycle-level streaming bandwidth")
+    p.add_argument("--bytes", type=int, default=256 * 1024)
+    p.set_defaults(func=cmd_bandwidth)
+
+    p = sub.add_parser("queue-depth", help="request-queue depth sensitivity")
+    p.add_argument("--bytes", type=int, default=128 * 1024)
+    p.add_argument("--rome-depths", type=int, nargs="+", default=[1, 2, 4, 8])
+    p.add_argument("--hbm4-depths", type=int, nargs="+", default=[8, 16, 32, 64])
+    p.set_defaults(func=cmd_queue_depth)
+
+    p = sub.add_parser("pins", help="Figure 10 + Section IV-E channel expansion")
+    p.set_defaults(func=cmd_pins)
+
+    p = sub.add_parser("design-space", help="Section IV-B VBA design space")
+    p.set_defaults(func=cmd_design_space)
+
+    p = sub.add_parser("trends", help="Figure 2 HBM generation trends")
+    p.set_defaults(func=cmd_trends)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

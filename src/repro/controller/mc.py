@@ -1,0 +1,279 @@
+"""Conventional HBM4 memory controller.
+
+Drives one HBM channel (two pseudo channels) with the architecture of
+Figure 4: an address-mapping front end, CAM-style read/write request queues,
+per-bank state logic (owned by the channel's bank objects), and an FR-FCFS
+command scheduler with a page policy and per-bank refresh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from collections import deque
+
+from repro.controller.page_policy import PagePolicy, make_page_policy
+from repro.controller.queues import RequestQueue, bank_key
+from repro.controller.request import MemoryRequest, Transaction, decompose
+from repro.controller.scheduler import FrFcfsScheduler, SchedulerDecision
+from repro.dram.address import AddressMapping, baseline_hbm4_mapping
+from repro.dram.channel import Channel, ChannelConfig
+from repro.dram.commands import CommandKind
+from repro.dram.energy import EnergyCounters
+from repro.dram.refresh import RefreshEngine, RefreshMode
+from repro.dram.timing import TimingParameters
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Static configuration of the conventional memory controller."""
+
+    timing: TimingParameters = field(default_factory=TimingParameters)
+    read_queue_depth: int = 64
+    write_queue_depth: int = 64
+    page_policy: str = "open"
+    refresh_mode: RefreshMode = RefreshMode.PER_BANK
+    enable_refresh: bool = True
+    num_bank_groups: int = 4
+    banks_per_group: int = 4
+    num_stack_ids: int = 1
+    num_pseudo_channels: int = 2
+
+    def channel_config(self) -> ChannelConfig:
+        return ChannelConfig(
+            timing=self.timing,
+            num_pseudo_channels=self.num_pseudo_channels,
+            num_bank_groups=self.num_bank_groups,
+            banks_per_group=self.banks_per_group,
+            num_stack_ids=self.num_stack_ids,
+        )
+
+    @property
+    def banks_per_pseudo_channel(self) -> int:
+        return self.num_bank_groups * self.banks_per_group * self.num_stack_ids
+
+    def local_mapping(self, num_channels: int = 1) -> AddressMapping:
+        """Address mapping consistent with this controller's bank topology."""
+        return AddressMapping(
+            granularity_bytes=self.timing.access_granularity_bytes,
+            num_channels=num_channels,
+            num_pseudo_channels=self.num_pseudo_channels,
+            num_stack_ids=self.num_stack_ids,
+            num_bank_groups=self.num_bank_groups,
+            banks_per_group=self.banks_per_group,
+            columns_per_row=self.timing.columns_per_row,
+        )
+
+
+@dataclass
+class ControllerStats:
+    """Aggregate statistics of one controller run."""
+
+    served_reads: int = 0
+    served_writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    read_latencies: List[int] = field(default_factory=list)
+    issued_commands: Dict[str, int] = field(default_factory=dict)
+    refreshes_issued: int = 0
+
+    def note_command(self, kind: CommandKind) -> None:
+        self.issued_commands[kind.value] = self.issued_commands.get(kind.value, 0) + 1
+
+    @property
+    def average_read_latency(self) -> float:
+        if not self.read_latencies:
+            return 0.0
+        return sum(self.read_latencies) / len(self.read_latencies)
+
+
+class ConventionalMemoryController:
+    """The baseline (HBM4) memory controller for one channel."""
+
+    def __init__(
+        self,
+        config: Optional[ControllerConfig] = None,
+        mapping: Optional[AddressMapping] = None,
+        channel_id: int = 0,
+    ) -> None:
+        self.config = config or ControllerConfig()
+        self.mapping = mapping or self.config.local_mapping()
+        self.channel = Channel(self.config.channel_config(), channel_id=channel_id)
+        self.read_queue = RequestQueue(capacity=self.config.read_queue_depth)
+        self.write_queue = RequestQueue(capacity=self.config.write_queue_depth)
+        #: Host-side backlog: transactions waiting for queue space. Models
+        #: the limited look-ahead a finite CAM provides.
+        self._backlog: Deque[Transaction] = deque()
+        self._page_policy: PagePolicy = make_page_policy(self.config.page_policy)
+        refresh_engines: List[RefreshEngine] = []
+        if self.config.enable_refresh:
+            refresh_engines = [
+                RefreshEngine(
+                    timing=self.config.timing,
+                    num_stack_ids=self.config.num_stack_ids,
+                    num_bank_groups=self.config.num_bank_groups,
+                    banks_per_group=self.config.banks_per_group,
+                    mode=self.config.refresh_mode,
+                )
+                for _ in range(self.config.num_pseudo_channels)
+            ]
+        self.scheduler = FrFcfsScheduler(
+            channel=self.channel,
+            page_policy=self._page_policy,
+            refresh_engines=refresh_engines,
+        )
+        self.stats = ControllerStats()
+        self._pending_transactions: Dict[int, int] = {}
+        self._requests: Dict[int, MemoryRequest] = {}
+        self.now = 0
+
+    # -------------------------------------------------------------- enqueue
+
+    def enqueue(self, request: MemoryRequest) -> None:
+        """Accept a host request and split it into DRAM transactions."""
+        transactions = decompose(request, self.mapping)
+        if not transactions:
+            request.completion_ns = request.arrival_ns
+            return
+        self._requests[request.request_id] = request
+        self._pending_transactions[request.request_id] = len(transactions)
+        for transaction in transactions:
+            self._backlog.append(transaction)
+
+    def _fill_queues(self) -> None:
+        while self._backlog:
+            transaction = self._backlog[0]
+            queue = self.write_queue if transaction.is_write else self.read_queue
+            if not queue.push(transaction):
+                break
+            self._backlog.popleft()
+
+    # ----------------------------------------------------------- completion
+
+    def _complete_transaction(self, transaction: Transaction, data_ns: int) -> None:
+        transaction.served = True
+        transaction.data_ready_ns = data_ns
+        request = transaction.request
+        remaining = self._pending_transactions[request.request_id] - 1
+        self._pending_transactions[request.request_id] = remaining
+        if transaction.is_read:
+            self.stats.served_reads += 1
+            self.stats.bytes_read += transaction.size_bytes
+        else:
+            self.stats.served_writes += 1
+            self.stats.bytes_written += transaction.size_bytes
+        if remaining == 0:
+            request.completion_ns = data_ns
+            if request.is_read:
+                self.stats.read_latencies.append(data_ns - request.arrival_ns)
+            del self._pending_transactions[request.request_id]
+            del self._requests[request.request_id]
+
+    # ------------------------------------------------------------------ tick
+
+    def tick(self) -> None:
+        """Advance the controller by one nanosecond."""
+        now = self.now
+        self.channel.tick(now)
+        self._fill_queues()
+        timing = self.config.timing
+
+        # 1. Refresh has priority when it can no longer be postponed.
+        refresh_decision = self.scheduler.pick_refresh(now)
+        issued_row_command = False
+        if refresh_decision is not None:
+            self._issue(refresh_decision, now)
+            issued_row_command = True
+
+        # 2. Column commands (row hits), one per pseudo channel, respecting
+        #    write-drain mode.
+        draining = self.scheduler.update_write_drain(self.write_queue)
+        if draining or self.read_queue.is_empty:
+            priority = [(self.write_queue, True), (self.read_queue, True)]
+        else:
+            priority = [(self.read_queue, True), (self.write_queue, False)]
+        for _ in range(self.config.num_pseudo_channels):
+            column_decision = self.scheduler.pick_column(priority, now)
+            if column_decision is None:
+                break
+            self._issue(column_decision, now)
+            transaction = column_decision.transaction
+            assert transaction is not None
+            data_latency = timing.tCL if transaction.is_read else timing.tCWL
+            data_ns = now + data_latency + timing.burst_ns
+            self._page_policy.note_access(
+                bank_key(transaction), transaction.coordinate.row, was_hit=True
+            )
+            queue = self.write_queue if transaction.is_write else self.read_queue
+            queue.remove(transaction)
+            self._complete_transaction(transaction, data_ns)
+
+        # 3. Row commands (ACT or policy-driven PRE), one per pseudo channel.
+        row_budget = self.config.num_pseudo_channels - (1 if issued_row_command else 0)
+        for _ in range(row_budget):
+            row_decision = self.scheduler.pick_row(priority, now)
+            if row_decision is None:
+                break
+            self._issue(row_decision, now)
+
+        self.now = now + 1
+
+    def _issue(self, decision: SchedulerDecision, now: int) -> None:
+        self.channel.issue(decision.command, now)
+        self.stats.note_command(decision.command.kind)
+        if decision.refresh_target is not None:
+            engine = self.scheduler.refresh_engines[decision.command.pseudo_channel]
+            engine.note_refresh_issued(decision.refresh_target, now)
+            self.stats.refreshes_issued += 1
+
+    # ------------------------------------------------------------------ run
+
+    def run_until_idle(self, max_ns: int = 10_000_000) -> int:
+        """Tick until all accepted requests have completed; returns end time."""
+        while (self._backlog or not self.read_queue.is_empty
+               or not self.write_queue.is_empty or self._pending_transactions):
+            if self.now >= max_ns:
+                raise RuntimeError(
+                    f"controller did not drain within {max_ns} ns; "
+                    f"{len(self._pending_transactions)} requests outstanding"
+                )
+            self.tick()
+        return self.now
+
+    def run_for(self, duration_ns: int) -> None:
+        end = self.now + duration_ns
+        while self.now < end:
+            self.tick()
+
+    # ---------------------------------------------------------------- stats
+
+    @property
+    def outstanding_requests(self) -> int:
+        return len(self._pending_transactions)
+
+    def bandwidth_utilization(self) -> float:
+        """Fraction of peak data bandwidth delivered so far."""
+        if self.now == 0:
+            return 0.0
+        peak = self.channel.config.peak_bandwidth_bytes_per_ns
+        delivered = (self.stats.bytes_read + self.stats.bytes_written) / self.now
+        return delivered / peak
+
+    def energy_counters(self) -> EnergyCounters:
+        """Collect counters needed by the energy model."""
+        commands = self.channel.command_counts()
+        activates = commands.get("ACT", 0)
+        precharges = commands.get("PRE", 0) + commands.get("PREA", 0)
+        interface_commands = sum(commands.values())
+        return EnergyCounters(
+            activates=activates,
+            precharges=precharges,
+            reads_bytes=self.stats.bytes_read,
+            writes_bytes=self.stats.bytes_written,
+            interface_commands=interface_commands,
+            refreshes=commands.get("REFpb", 0) + commands.get("REFab", 0),
+            elapsed_ns=float(self.now),
+            num_channels=1,
+            row_bytes=self.config.timing.row_size_bytes,
+        )

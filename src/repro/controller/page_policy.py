@@ -1,0 +1,125 @@
+"""Row-buffer (page) policies.
+
+After serving the column accesses to an open row the controller must decide
+when to precharge it.  Conventional controllers choose between open-page,
+close-page, and adaptive policies depending on the access pattern
+(Section II-D); RoMe removes the decision entirely because every row access is
+self-contained (the command generator always precharges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.controller.queues import BankKey, RequestQueue
+from repro.controller.request import Transaction
+
+
+class PagePolicy:
+    """Interface for page policies."""
+
+    name = "abstract"
+
+    def should_precharge(
+        self,
+        key: BankKey,
+        open_row: Optional[int],
+        queue: RequestQueue,
+        now: int,
+    ) -> bool:
+        """Return True when the bank's open row should be closed now."""
+        raise NotImplementedError
+
+    def note_access(self, key: BankKey, row: int, was_hit: bool) -> None:
+        """Observe a serviced column access (used by adaptive policies)."""
+
+
+class OpenPagePolicy(PagePolicy):
+    """Leave rows open until a conflicting request needs the bank.
+
+    This is the baseline policy the paper uses for the conventional MC: it
+    maximizes row-buffer locality for streaming accesses.
+    """
+
+    name = "open"
+
+    def should_precharge(self, key, open_row, queue, now) -> bool:
+        if open_row is None:
+            return False
+        pending = queue.for_bank(key)
+        if not pending:
+            return False
+        # Precharge only when the oldest pending access to this bank targets
+        # a different row and no remaining request hits the open row.
+        if any(t.coordinate.row == open_row for t in pending):
+            return False
+        return True
+
+
+class ClosePagePolicy(PagePolicy):
+    """Precharge as soon as no queued request hits the open row."""
+
+    name = "close"
+
+    def should_precharge(self, key, open_row, queue, now) -> bool:
+        if open_row is None:
+            return False
+        return not queue.row_hits(key, open_row)
+
+
+@dataclass
+class AdaptivePagePolicy(PagePolicy):
+    """Switch between open- and close-page behaviour per bank.
+
+    Tracks a small saturating counter of recent row-hit outcomes per bank;
+    below the threshold the bank behaves close-page, above it open-page.
+    """
+
+    window: int = 16
+    threshold: float = 0.5
+    _history: Dict[BankKey, Tuple[int, int]] = field(default_factory=dict)
+
+    name = "adaptive"
+
+    def note_access(self, key: BankKey, row: int, was_hit: bool) -> None:
+        hits, total = self._history.get(key, (0, 0))
+        hits += 1 if was_hit else 0
+        total += 1
+        if total > self.window:
+            # Exponential-ish decay keeps the counter bounded.
+            hits = hits // 2
+            total = total // 2
+        self._history[key] = (hits, total)
+
+    def hit_rate(self, key: BankKey) -> float:
+        hits, total = self._history.get(key, (0, 0))
+        if total == 0:
+            return 1.0
+        return hits / total
+
+    def should_precharge(self, key, open_row, queue, now) -> bool:
+        if open_row is None:
+            return False
+        if queue.row_hits(key, open_row):
+            return False
+        if self.hit_rate(key) >= self.threshold:
+            # Behave like open page: wait for an actual conflict.
+            pending = queue.for_bank(key)
+            return bool(pending)
+        return True
+
+
+def make_page_policy(name: str) -> PagePolicy:
+    """Factory for page policies by name (``open``, ``close``, ``adaptive``)."""
+    policies = {
+        "open": OpenPagePolicy,
+        "close": ClosePagePolicy,
+        "adaptive": AdaptivePagePolicy,
+    }
+    try:
+        return policies[name]()
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown page policy {name!r}; choose from {sorted(policies)}"
+        ) from exc

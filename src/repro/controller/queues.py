@@ -1,0 +1,98 @@
+"""Request queues of the conventional memory controller.
+
+The paper notes that both the request queue and the per-bank state logic are
+commonly implemented with content-addressable memory (CAM) so ready requests
+can be found in one cycle, and that high bandwidth utilization requires a
+large queue (HBM4 needs a depth of at least ~45 entries to hide tRC;
+Section V-A).  The queue below models that structure functionally: a bounded
+buffer with associative lookups by bank and by open row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.controller.request import Transaction
+
+
+BankKey = Tuple[int, int, int, int]  # (pseudo_channel, stack_id, bank_group, bank)
+
+
+def bank_key(transaction: Transaction) -> BankKey:
+    coord = transaction.coordinate
+    return (coord.pseudo_channel, coord.stack_id, coord.bank_group, coord.bank)
+
+
+@dataclass
+class RequestQueue:
+    """A bounded, associatively searchable transaction queue."""
+
+    capacity: int
+    _entries: List[Transaction] = field(default_factory=list)
+    #: Peak occupancy observed, for area/scheduling-complexity reporting.
+    peak_occupancy: int = 0
+    total_enqueued: int = 0
+    rejected: int = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    def push(self, transaction: Transaction) -> bool:
+        """Append ``transaction``; returns False (and counts it) when full."""
+        if self.is_full:
+            self.rejected += 1
+            return False
+        self._entries.append(transaction)
+        self.total_enqueued += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+        return True
+
+    def remove(self, transaction: Transaction) -> None:
+        self._entries.remove(transaction)
+
+    # ----------------------------------------------------------- CAM lookups
+
+    def oldest(self) -> Optional[Transaction]:
+        return self._entries[0] if self._entries else None
+
+    def for_bank(self, key: BankKey) -> List[Transaction]:
+        """All queued transactions targeting one bank, oldest first."""
+        return [t for t in self._entries if bank_key(t) == key]
+
+    def row_hits(self, key: BankKey, open_row: int) -> List[Transaction]:
+        """Queued transactions that hit ``open_row`` in the given bank."""
+        return [
+            t for t in self._entries
+            if bank_key(t) == key and t.coordinate.row == open_row
+        ]
+
+    def oldest_per_bank(self) -> Dict[BankKey, Transaction]:
+        """The oldest pending transaction for every bank with pending work."""
+        result: Dict[BankKey, Transaction] = {}
+        for transaction in self._entries:
+            key = bank_key(transaction)
+            if key not in result:
+                result[key] = transaction
+        return result
+
+    def select(self, predicate: Callable[[Transaction], bool]) -> List[Transaction]:
+        return [t for t in self._entries if predicate(t)]
+
+    def banks_with_pending(self) -> Iterable[BankKey]:
+        return self.oldest_per_bank().keys()

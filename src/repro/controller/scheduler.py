@@ -1,0 +1,198 @@
+"""FR-FCFS command scheduling for the conventional controller.
+
+The scheduler implements the First-Ready, First-Come-First-Served policy used
+by the paper's baseline (Section VI-A): column commands to already-open rows
+are preferred over row commands, and within each class the oldest transaction
+wins.  It also handles write draining, the page policy's precharge decisions,
+and per-bank refresh with bounded postponement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.controller.page_policy import PagePolicy
+from repro.controller.queues import BankKey, RequestQueue, bank_key
+from repro.controller.request import Transaction
+from repro.dram.bank import Bank
+from repro.dram.channel import Channel
+from repro.dram.commands import Command, CommandKind
+from repro.dram.refresh import RefreshEngine, RefreshTarget
+
+
+@dataclass
+class SchedulerDecision:
+    """A command chosen for issue plus the transaction it serves (if any)."""
+
+    command: Command
+    transaction: Optional[Transaction] = None
+    refresh_target: Optional[RefreshTarget] = None
+
+
+class FrFcfsScheduler:
+    """First-ready FCFS scheduler over one HBM channel."""
+
+    def __init__(
+        self,
+        channel: Channel,
+        page_policy: PagePolicy,
+        refresh_engines: Optional[List[RefreshEngine]] = None,
+        write_drain_high: float = 0.75,
+        write_drain_low: float = 0.25,
+    ) -> None:
+        self.channel = channel
+        self.page_policy = page_policy
+        self.refresh_engines = refresh_engines or []
+        self.write_drain_high = write_drain_high
+        self.write_drain_low = write_drain_low
+        self._draining_writes = False
+
+    # ------------------------------------------------------------ utilities
+
+    def _bank_for(self, transaction: Transaction) -> Bank:
+        coord = transaction.coordinate
+        pc = self.channel.pseudo_channel(coord.pseudo_channel)
+        return pc.bank(coord.bank_group, coord.bank, coord.stack_id)
+
+    def _column_command(self, transaction: Transaction) -> Command:
+        coord = transaction.coordinate
+        kind = CommandKind.WR if transaction.is_write else CommandKind.RD
+        return Command(
+            kind=kind,
+            channel=self.channel.channel_id,
+            pseudo_channel=coord.pseudo_channel,
+            stack_id=coord.stack_id,
+            bank_group=coord.bank_group,
+            bank=coord.bank,
+            row=coord.row,
+            column=coord.column,
+            request_id=transaction.request.request_id,
+        )
+
+    def _act_command(self, transaction: Transaction) -> Command:
+        coord = transaction.coordinate
+        return Command(
+            kind=CommandKind.ACT,
+            channel=self.channel.channel_id,
+            pseudo_channel=coord.pseudo_channel,
+            stack_id=coord.stack_id,
+            bank_group=coord.bank_group,
+            bank=coord.bank,
+            row=coord.row,
+            request_id=transaction.request.request_id,
+        )
+
+    def _pre_command(self, key: BankKey) -> Command:
+        pseudo_channel, stack_id, bank_group, bank = key
+        return Command(
+            kind=CommandKind.PRE,
+            channel=self.channel.channel_id,
+            pseudo_channel=pseudo_channel,
+            stack_id=stack_id,
+            bank_group=bank_group,
+            bank=bank,
+        )
+
+    def update_write_drain(self, write_queue: RequestQueue) -> bool:
+        """Hysteretic switch into/out of write-drain mode."""
+        if write_queue.capacity == 0:
+            return False
+        occupancy = write_queue.occupancy / write_queue.capacity
+        if not self._draining_writes and occupancy >= self.write_drain_high:
+            self._draining_writes = True
+        elif self._draining_writes and occupancy <= self.write_drain_low:
+            self._draining_writes = False
+        return self._draining_writes
+
+    # --------------------------------------------------------------- refresh
+
+    def pick_refresh(self, now: int) -> Optional[SchedulerDecision]:
+        """Issue an overdue per-bank refresh if it is critical or convenient."""
+        for pc_index, engine in enumerate(self.refresh_engines):
+            target = engine.most_urgent(now)
+            if target is None:
+                continue
+            critical = engine.is_critical(target, now)
+            command = Command(
+                kind=CommandKind.REFPB,
+                channel=self.channel.channel_id,
+                pseudo_channel=pc_index,
+                stack_id=target.stack_id,
+                bank_group=target.bank_group,
+                bank=target.bank,
+            )
+            if self.channel.can_issue(command, now):
+                return SchedulerDecision(command=command, refresh_target=target)
+            if critical:
+                # The bank must be made refreshable: precharge it if needed.
+                pc = self.channel.pseudo_channel(pc_index)
+                bank = pc.bank(target.bank_group, target.bank, target.stack_id)
+                if bank.has_open_row:
+                    pre = Command(
+                        kind=CommandKind.PRE,
+                        channel=self.channel.channel_id,
+                        pseudo_channel=pc_index,
+                        stack_id=target.stack_id,
+                        bank_group=target.bank_group,
+                        bank=target.bank,
+                    )
+                    if self.channel.can_issue(pre, now):
+                        return SchedulerDecision(command=pre, refresh_target=None)
+        return None
+
+    # --------------------------------------------------------------- picking
+
+    def pick_column(
+        self,
+        queues: Iterable[Tuple[RequestQueue, bool]],
+        now: int,
+    ) -> Optional[SchedulerDecision]:
+        """Pick the oldest first-ready column command.
+
+        ``queues`` is an iterable of (queue, enabled) pairs in priority
+        order, so the controller can prioritize reads or drain writes.
+        Queue entries are stored in arrival order, so the first transaction
+        that can legally issue is the oldest ready one (FR-FCFS).
+        """
+        for queue, enabled in queues:
+            if not enabled:
+                continue
+            for transaction in queue:
+                if transaction.served:
+                    continue
+                bank = self._bank_for(transaction)
+                if not bank.is_row_hit(transaction.coordinate.row):
+                    continue
+                command = self._column_command(transaction)
+                if self.channel.can_issue(command, now):
+                    return SchedulerDecision(command=command, transaction=transaction)
+        return None
+
+    def pick_row(
+        self,
+        queues: Iterable[Tuple[RequestQueue, bool]],
+        now: int,
+    ) -> Optional[SchedulerDecision]:
+        """Pick an ACT (row miss) or a policy-driven PRE (row conflict)."""
+        for queue, enabled in queues:
+            if not enabled:
+                continue
+            for key, transaction in queue.oldest_per_bank().items():
+                bank = self._bank_for(transaction)
+                row = transaction.coordinate.row
+                if bank.is_row_hit(row):
+                    continue
+                if bank.has_open_row:
+                    # Row conflict: ask the page policy whether to close it.
+                    if self.page_policy.should_precharge(
+                        key, bank.open_row, queue, now
+                    ):
+                        pre = self._pre_command(key)
+                        if self.channel.can_issue(pre, now):
+                            return SchedulerDecision(command=pre)
+                    continue
+                act = self._act_command(transaction)
+                if self.channel.can_issue(act, now):
+                    return SchedulerDecision(command=act)
+        return None

@@ -1,0 +1,60 @@
+"""RoMe: the row-granularity access memory system (the paper's contribution).
+
+* :mod:`repro.core.interface` -- the row-level request/command interface
+  (``RD_row`` / ``WR_row``).
+* :mod:`repro.core.virtual_bank` -- the virtual bank (VBA) design space of
+  Figures 7 and 8.
+* :mod:`repro.core.command_generator` -- the logic-die command generator that
+  expands row-level commands into fixed conventional command sequences.
+* :mod:`repro.core.timing` -- RoMe's reduced timing-parameter set (Table III).
+* :mod:`repro.core.controller` -- the simplified RoMe memory controller
+  (Section V-A).
+* :mod:`repro.core.refresh` -- the paired per-bank refresh optimization
+  (Section V-B).
+* :mod:`repro.core.pins` -- C/A pin budget, command issue latency, and the
+  channel-expansion analysis (Sections IV-D and IV-E).
+"""
+
+from repro.core.interface import RowRequest, RowRequestKind
+from repro.core.virtual_bank import (
+    BankMerge,
+    PseudoChannelMerge,
+    VirtualBankConfig,
+    VBA_DESIGN_SPACE,
+    paper_vba_config,
+)
+from repro.core.timing import ROME_TIMING, RoMeTimingParameters, derive_rome_timing
+from repro.core.command_generator import CommandGenerator, TimedCommand
+from repro.core.controller import RoMeControllerConfig, RoMeMemoryController
+from repro.core.refresh import RomeRefreshScheduler, refresh_stall_comparison
+from repro.core.pins import (
+    CommandEncoding,
+    PinBudget,
+    command_issue_latency_ns,
+    hbm4_pin_budget,
+    rome_pin_budget,
+)
+
+__all__ = [
+    "BankMerge",
+    "CommandEncoding",
+    "CommandGenerator",
+    "PinBudget",
+    "PseudoChannelMerge",
+    "ROME_TIMING",
+    "RoMeControllerConfig",
+    "RoMeMemoryController",
+    "RoMeTimingParameters",
+    "RomeRefreshScheduler",
+    "RowRequest",
+    "RowRequestKind",
+    "TimedCommand",
+    "VBA_DESIGN_SPACE",
+    "VirtualBankConfig",
+    "command_issue_latency_ns",
+    "derive_rome_timing",
+    "hbm4_pin_budget",
+    "paper_vba_config",
+    "refresh_stall_comparison",
+    "rome_pin_budget",
+]

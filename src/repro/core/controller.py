@@ -1,0 +1,354 @@
+"""The simplified RoMe memory controller (Section V-A).
+
+Compared with the conventional controller, the RoMe MC tracks only:
+
+* four bank states (Idle, Reading, Writing, Refreshing),
+* the ten timing parameters of Table III,
+* five bank finite-state machines (two for data access, three for refresh),
+* a request queue of just a few entries (two suffice to saturate bandwidth),
+* a scheduler that serves the oldest ready request while avoiding
+  back-to-back commands to the same VBA.
+
+The controller operates directly at row granularity; the conventional command
+sequencing lives in the logic-die command generator
+(:mod:`repro.core.command_generator`), whose per-expansion command counts are
+accumulated here for energy accounting.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.core.command_generator import CommandGenerator
+from repro.core.interface import RowRequest, RowRequestKind
+from repro.core.refresh import RomeRefreshScheduler
+from repro.core.timing import ROME_TIMING, RoMeTimingParameters
+from repro.core.virtual_bank import VirtualBankConfig, paper_vba_config
+from repro.dram.energy import EnergyCounters
+from repro.dram.timing import TimingParameters
+
+
+class VbaState(enum.Enum):
+    """The four RoMe bank states (Figure 11a)."""
+
+    IDLE = "idle"
+    READING = "reading"
+    WRITING = "writing"
+    REFRESHING = "refreshing"
+
+
+@dataclass(frozen=True)
+class RoMeControllerConfig:
+    """Static configuration of the RoMe memory controller."""
+
+    timing: RoMeTimingParameters = field(default_factory=lambda: ROME_TIMING)
+    conventional_timing: TimingParameters = field(default_factory=TimingParameters)
+    vba: VirtualBankConfig = field(default_factory=paper_vba_config)
+    request_queue_depth: int = 4
+    num_stack_ids: int = 1
+    enable_refresh: bool = True
+    max_data_fsms: int = 2
+    max_refresh_fsms: int = 3
+
+    @property
+    def vbas_per_stack(self) -> int:
+        return self.vba.vbas_per_channel_per_sid
+
+    @property
+    def num_bank_fsms(self) -> int:
+        """Bank FSM instances the controller provisions (5 in the paper)."""
+        return self.max_data_fsms + self.max_refresh_fsms
+
+
+@dataclass
+class RoMeControllerStats:
+    """Aggregate statistics of one RoMe controller run."""
+
+    served_reads: int = 0
+    served_writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    overfetch_bytes: int = 0
+    read_latencies: List[int] = field(default_factory=list)
+    refreshes_issued: int = 0
+    peak_active_fsms: int = 0
+    data_bus_busy_ns: int = 0
+
+    @property
+    def average_read_latency(self) -> float:
+        if not self.read_latencies:
+            return 0.0
+        return sum(self.read_latencies) / len(self.read_latencies)
+
+
+@dataclass
+class _VbaTracker:
+    """Dynamic state of one virtual bank."""
+
+    state: VbaState = VbaState.IDLE
+    busy_until: int = 0
+
+    def is_free(self, now: int) -> bool:
+        return now >= self.busy_until
+
+
+class RoMeMemoryController:
+    """Row-granularity memory controller for one RoMe channel."""
+
+    def __init__(self, config: Optional[RoMeControllerConfig] = None,
+                 channel_id: int = 0) -> None:
+        self.config = config or RoMeControllerConfig()
+        self.channel_id = channel_id
+        self.timing = self.config.timing
+        self.command_generator = CommandGenerator(
+            timing=self.config.conventional_timing, vba=self.config.vba
+        )
+        self.queue: Deque[RowRequest] = deque()
+        self._backlog: Deque[RowRequest] = deque()
+        self._vbas: Dict[Tuple[int, int], _VbaTracker] = {
+            (sid, vba): _VbaTracker()
+            for sid in range(self.config.num_stack_ids)
+            for vba in range(self.config.vbas_per_stack)
+        }
+        self.refresh = (
+            RomeRefreshScheduler(
+                timing=self.config.conventional_timing,
+                num_vbas=self.config.vbas_per_stack,
+                num_stack_ids=self.config.num_stack_ids,
+                banks_per_vba=self.config.vba.banks_per_vba,
+            )
+            if self.config.enable_refresh
+            else None
+        )
+        self.stats = RoMeControllerStats()
+        # Channel-level data-bus bookkeeping: time the bus frees and the
+        # direction/stack of the previous row command (for Table III gaps).
+        self._bus_free_at = 0
+        self._last_was_read: Optional[bool] = None
+        self._last_stack: Optional[int] = None
+        self._last_issue_ns: Optional[int] = None
+        # Expanded-command counters fed to the energy model.
+        self._expanded_activates = 0
+        self._expanded_cas = 0
+        self._expanded_precharges = 0
+        self.now = 0
+
+    # -------------------------------------------------------------- enqueue
+
+    def enqueue(self, request: RowRequest) -> None:
+        """Accept one row-granularity request."""
+        if request.vba >= self.config.vbas_per_stack:
+            raise ValueError(
+                f"vba {request.vba} out of range "
+                f"(channel has {self.config.vbas_per_stack} VBAs per stack)"
+            )
+        if request.stack_id >= self.config.num_stack_ids:
+            raise ValueError("stack_id out of range for this controller")
+        self._backlog.append(request)
+
+    def _fill_queue(self) -> None:
+        while self._backlog and len(self.queue) < self.config.request_queue_depth:
+            self.queue.append(self._backlog.popleft())
+
+    # -------------------------------------------------------------- FSM use
+
+    def _active_fsms(self, now: int) -> Tuple[int, int]:
+        """(data FSMs, refresh FSMs) currently occupied."""
+        data = sum(
+            1 for tracker in self._vbas.values()
+            if tracker.state in (VbaState.READING, VbaState.WRITING)
+            and not tracker.is_free(now)
+        )
+        refreshing = sum(
+            1 for tracker in self._vbas.values()
+            if tracker.state is VbaState.REFRESHING and not tracker.is_free(now)
+        )
+        return data, refreshing
+
+    def _release_finished(self, now: int) -> None:
+        for tracker in self._vbas.values():
+            if tracker.state is not VbaState.IDLE and tracker.is_free(now):
+                tracker.state = VbaState.IDLE
+
+    # --------------------------------------------------------------- issue
+
+    def _command_gap(self, request: RowRequest, now: int) -> int:
+        """Earliest time ``request`` may start on the shared data bus."""
+        if self._last_issue_ns is None or self._last_was_read is None:
+            return now
+        same_stack = self._last_stack == request.stack_id
+        gap = self.timing.gap(
+            previous_is_read=self._last_was_read,
+            next_is_read=request.is_read,
+            same_stack=same_stack,
+        )
+        return max(now, self._last_issue_ns + gap)
+
+    def _try_issue_refresh(self, now: int) -> bool:
+        if self.refresh is None:
+            return False
+        key = self.refresh.most_urgent(now)
+        if key is None:
+            return False
+        critical = self.refresh.is_critical(key, now)
+        # Opportunistic refresh only when the target VBA is idle; critical
+        # refresh waits for the VBA to drain but blocks new data commands to
+        # it (handled implicitly because the VBA will be marked busy).
+        stack_id, vba_index = key
+        tracker = self._vbas[(stack_id, vba_index)]
+        if not tracker.is_free(now):
+            return False
+        data_fsms, refresh_fsms = self._active_fsms(now)
+        if refresh_fsms >= self.config.max_refresh_fsms and not critical:
+            return False
+        tracker.state = VbaState.REFRESHING
+        tracker.busy_until = now + self.refresh.stall_ns()
+        self.refresh.note_issued(key, now)
+        self.stats.refreshes_issued += 1
+        expansion = self.command_generator.expand_refresh(
+            self.channel_id, stack_id, vba_index
+        )
+        self.stats.peak_active_fsms = max(
+            self.stats.peak_active_fsms, data_fsms + refresh_fsms + 1
+        )
+        return True
+
+    def _try_issue_data(self, now: int) -> bool:
+        data_fsms, refresh_fsms = self._active_fsms(now)
+        if data_fsms >= self.config.max_data_fsms:
+            return False
+        for request in list(self.queue):
+            if request.issue_ns is not None:
+                continue  # already in flight; the entry frees on completion
+            tracker = self._vbas[(request.stack_id, request.vba)]
+            if not tracker.is_free(now):
+                continue
+            start = self._command_gap(request, now)
+            if start > now or self._bus_free_at > now:
+                continue
+            self._issue(request, tracker, now)
+            return True
+        return False
+
+    def _issue(self, request: RowRequest, tracker: _VbaTracker, now: int) -> None:
+        timing = self.timing
+        duration = timing.duration(request.is_read)
+        occupancy = timing.gap(
+            previous_is_read=request.is_read,
+            next_is_read=request.is_read,
+            same_stack=True,
+        )
+        tracker.state = VbaState.READING if request.is_read else VbaState.WRITING
+        tracker.busy_until = now + duration
+        self._bus_free_at = now + occupancy
+        self._last_was_read = request.is_read
+        self._last_stack = request.stack_id
+        self._last_issue_ns = now
+        request.issue_ns = now
+        request.completion_ns = now + duration
+
+        expansion = self.command_generator.expand(request)
+        self._expanded_activates += expansion.activates
+        self._expanded_cas += expansion.column_commands
+        self._expanded_precharges += expansion.precharges
+        self.stats.data_bus_busy_ns += expansion.data_bus_ns
+
+        row_bytes = self.config.vba.effective_row_bytes
+        if request.is_read:
+            self.stats.served_reads += 1
+            self.stats.bytes_read += row_bytes
+            self.stats.read_latencies.append(request.completion_ns - request.arrival_ns)
+        else:
+            self.stats.served_writes += 1
+            self.stats.bytes_written += row_bytes
+        self.stats.overfetch_bytes += request.overfetch_bytes(row_bytes)
+
+        data_fsms, refresh_fsms = self._active_fsms(now)
+        self.stats.peak_active_fsms = max(
+            self.stats.peak_active_fsms, data_fsms + refresh_fsms
+        )
+
+    # ------------------------------------------------------------------ tick
+
+    def _retire_completed(self, now: int) -> None:
+        """Free queue entries whose in-flight request has completed.
+
+        The request queue models a CAM whose entries track in-flight
+        requests until their data transfer finishes; this is what makes a
+        two-entry queue the minimum for full bandwidth (Section V-A).
+        """
+        for request in list(self.queue):
+            if request.completion_ns is not None and now >= request.completion_ns:
+                self.queue.remove(request)
+
+    def tick(self) -> None:
+        """Advance the controller by one nanosecond."""
+        now = self.now
+        self._release_finished(now)
+        self._retire_completed(now)
+        self._fill_queue()
+        if not self._try_issue_refresh(now):
+            self._try_issue_data(now)
+        self.now = now + 1
+
+    def run_until_idle(self, max_ns: int = 50_000_000) -> int:
+        while self._backlog or self.queue:
+            if self.now >= max_ns:
+                raise RuntimeError("RoMe controller did not drain in time")
+            self.tick()
+        # Let the final in-flight command complete.
+        self.now = max(
+            self.now, max(tracker.busy_until for tracker in self._vbas.values())
+        )
+        return self.now
+
+    def run_for(self, duration_ns: int) -> None:
+        end = self.now + duration_ns
+        while self.now < end:
+            self.tick()
+
+    # ----------------------------------------------------------------- stats
+
+    @property
+    def queue_occupancy(self) -> int:
+        return len(self.queue)
+
+    @property
+    def outstanding_requests(self) -> int:
+        return len(self.queue) + len(self._backlog)
+
+    def bandwidth_utilization(self) -> float:
+        """Fraction of peak channel bandwidth delivered so far."""
+        if self.now == 0:
+            return 0.0
+        timing = self.config.conventional_timing
+        peak = (
+            self.config.vba.base_access_granularity_bytes
+            * self.config.vba.num_pseudo_channels
+            / timing.tCCDS
+        )
+        delivered = (self.stats.bytes_read + self.stats.bytes_written) / self.now
+        return delivered / peak
+
+    def energy_counters(self) -> EnergyCounters:
+        """Counters for the energy model, including command-generator work."""
+        interface_commands = (
+            self.stats.served_reads
+            + self.stats.served_writes
+            + self.stats.refreshes_issued
+        )
+        return EnergyCounters(
+            activates=self._expanded_activates,
+            precharges=self._expanded_precharges,
+            reads_bytes=self.stats.bytes_read,
+            writes_bytes=self.stats.bytes_written,
+            interface_commands=interface_commands,
+            refreshes=self.stats.refreshes_issued * self.config.vba.banks_per_vba,
+            row_command_expansions=self.command_generator.expansions,
+            elapsed_ns=float(self.now),
+            num_channels=1,
+            row_bytes=self.config.conventional_timing.row_size_bytes,
+        )

@@ -1,0 +1,118 @@
+"""ECC codeword analysis for row-granularity access (Section VII).
+
+HBM4 adds two ECC pins per 32 DQ pins on top of the on-die ECC available
+since HBM2E.  Because RoMe transfers whole 4 KB effective rows, it can use a
+much larger ECC codeword than the 32 B baseline; larger codewords need fewer
+parity bits per data bit for the same Hamming-distance guarantee, freeing
+capacity or enabling stronger codes.  This module quantifies that trade-off
+with standard single-error-correct / double-error-detect (SEC-DED) and
+Reed-Solomon-style symbol-based codes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class EccScheme:
+    """A (data bits, parity bits) code protecting one codeword."""
+
+    name: str
+    data_bits: int
+    parity_bits: int
+
+    @property
+    def codeword_bits(self) -> int:
+        return self.data_bits + self.parity_bits
+
+    @property
+    def overhead(self) -> float:
+        """Parity bits per data bit."""
+        return self.parity_bits / self.data_bits
+
+    @property
+    def storage_efficiency(self) -> float:
+        return self.data_bits / self.codeword_bits
+
+
+def secded_parity_bits(data_bits: int) -> int:
+    """Parity bits of a SEC-DED (extended Hamming) code over ``data_bits``.
+
+    The classic requirement is ``2**r >= data_bits + r + 1`` plus one extra
+    bit for double-error detection.
+    """
+    if data_bits <= 0:
+        raise ValueError("data_bits must be positive")
+    r = 1
+    while (1 << r) < data_bits + r + 1:
+        r += 1
+    return r + 1
+
+
+def secded_scheme(data_bytes: int) -> EccScheme:
+    """SEC-DED protecting a codeword of ``data_bytes`` of data."""
+    data_bits = data_bytes * 8
+    return EccScheme(
+        name=f"SEC-DED/{data_bytes}B",
+        data_bits=data_bits,
+        parity_bits=secded_parity_bits(data_bits),
+    )
+
+
+def symbol_code_scheme(data_bytes: int, symbol_bits: int = 8,
+                       correctable_symbols: int = 2) -> EccScheme:
+    """A Reed-Solomon-style symbol code (e.g. chipkill-class protection).
+
+    Correcting ``t`` symbols requires ``2 t`` parity symbols.
+    """
+    if data_bytes <= 0 or symbol_bits <= 0 or correctable_symbols <= 0:
+        raise ValueError("all parameters must be positive")
+    data_bits = data_bytes * 8
+    parity_bits = 2 * correctable_symbols * symbol_bits
+    return EccScheme(
+        name=f"RS-{correctable_symbols}sym/{data_bytes}B",
+        data_bits=data_bits,
+        parity_bits=parity_bits,
+    )
+
+
+def codeword_comparison(codeword_bytes: List[int] | None = None) -> List[Dict[str, float]]:
+    """Compare ECC overhead across codeword sizes (32 B baseline vs RoMe).
+
+    The paper's observation: with a 4 KB access granularity the design space
+    opens up -- the same SEC-DED guarantee costs an order of magnitude less
+    parity per data bit, or the saved bits can fund stronger codes.
+    """
+    codeword_bytes = codeword_bytes or [32, 64, 128, 256, 1024, 4096]
+    rows = []
+    for size in codeword_bytes:
+        secded = secded_scheme(size)
+        symbol = symbol_code_scheme(size)
+        rows.append(
+            {
+                "codeword_bytes": size,
+                "secded_parity_bits": secded.parity_bits,
+                "secded_overhead": secded.overhead,
+                "symbol_parity_bits": symbol.parity_bits,
+                "symbol_overhead": symbol.overhead,
+            }
+        )
+    return rows
+
+
+def parity_savings_vs_baseline(baseline_bytes: int = 32,
+                               rome_bytes: int = 4096) -> float:
+    """Fractional reduction in SEC-DED parity overhead moving 32 B -> 4 KB.
+
+    The baseline must protect each 32 B access independently, so its overhead
+    is ``parity(32 B) / 32 B`` replicated across the row; RoMe can protect the
+    whole effective row with one codeword.
+    """
+    baseline = secded_scheme(baseline_bytes)
+    codewords_per_row = rome_bytes // baseline_bytes
+    baseline_parity = baseline.parity_bits * codewords_per_row
+    rome_parity = secded_scheme(rome_bytes).parity_bits
+    return 1.0 - rome_parity / baseline_parity

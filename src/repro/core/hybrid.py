@@ -1,0 +1,132 @@
+"""Hybrid coarse/fine-grained memory system (Section VII discussion).
+
+RoMe is optimized for the coarse, sequential accesses of dense LLM inference.
+Workloads with frequent fine-grained accesses -- e.g. DeepSeek Sparse
+Attention selecting the top-2048 tokens from a long history -- overfetch badly
+at 4 KB granularity.  The paper discusses a heterogeneous system that pairs
+RoMe channels with conventional HBM4 channels and steers fine-grained requests
+to the latter.  This module provides a first-order model of that design point:
+given a workload's mix of coarse and fine accesses it computes the effective
+bandwidth of a pure-RoMe, pure-HBM4, and hybrid system, including the
+utilization loss when one side of the hybrid sits idle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class AccessMix:
+    """A workload's split between coarse streaming and fine random bytes."""
+
+    coarse_bytes: float
+    fine_bytes: float
+    #: Average useful bytes per fine-grained access (e.g. 64 B for DSA's
+    #: per-token KV fetches).
+    fine_access_bytes: float = 64.0
+
+    @property
+    def total_bytes(self) -> float:
+        return self.coarse_bytes + self.fine_bytes
+
+    @property
+    def fine_fraction(self) -> float:
+        if self.total_bytes == 0:
+            return 0.0
+        return self.fine_bytes / self.total_bytes
+
+
+@dataclass(frozen=True)
+class HybridConfig:
+    """A memory system splitting channels between RoMe and HBM4."""
+
+    total_channels: int = 36
+    rome_channels: int = 28
+    rome_row_bytes: int = 4096
+    channel_bandwidth_gbps: float = 64.0
+
+    @property
+    def hbm4_channels(self) -> int:
+        return self.total_channels - self.rome_channels
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.rome_channels <= self.total_channels:
+            raise ValueError("rome_channels must be within total_channels")
+
+
+def effective_time_ns(mix: AccessMix, config: HybridConfig) -> Dict[str, float]:
+    """Transfer time of the mix on pure and hybrid systems.
+
+    Fine accesses served by a RoMe channel transfer a whole effective row per
+    access (overfetch); served by an HBM4 channel they transfer only what is
+    needed.  The hybrid routes each class to its preferred side; the returned
+    ``hybrid_balanced`` entry additionally allows the coarse stream to spill
+    onto idle HBM4 channels (perfect work stealing), which bounds the benefit.
+    """
+    bw = config.channel_bandwidth_gbps  # bytes per ns per channel
+    total = config.total_channels * bw
+
+    fine_accesses = (
+        mix.fine_bytes / mix.fine_access_bytes if mix.fine_access_bytes else 0.0
+    )
+    fine_bytes_on_rome = fine_accesses * config.rome_row_bytes
+
+    # Pure systems use all channels for everything.
+    pure_rome = (mix.coarse_bytes + fine_bytes_on_rome) / total
+    pure_hbm4 = mix.total_bytes / total
+
+    # Hybrid: coarse on the RoMe partition, fine on the HBM4 partition.
+    rome_bw = config.rome_channels * bw
+    hbm4_bw = config.hbm4_channels * bw
+    coarse_time = mix.coarse_bytes / rome_bw if rome_bw else float("inf")
+    fine_time = mix.fine_bytes / hbm4_bw if hbm4_bw else float("inf")
+    hybrid_static = max(coarse_time, fine_time)
+
+    # Work-stealing bound: all bytes at their native granularity, full fabric.
+    hybrid_balanced = mix.total_bytes / total
+
+    return {
+        "pure_rome_ns": pure_rome,
+        "pure_hbm4_ns": pure_hbm4,
+        "hybrid_static_ns": hybrid_static,
+        "hybrid_balanced_ns": hybrid_balanced,
+    }
+
+
+def best_system(mix: AccessMix, config: HybridConfig | None = None) -> str:
+    """Which system finishes the mix first (ties go to the simpler system)."""
+    config = config or HybridConfig()
+    times = effective_time_ns(mix, config)
+    candidates = {
+        "rome": times["pure_rome_ns"],
+        "hbm4": times["pure_hbm4_ns"],
+        "hybrid": times["hybrid_static_ns"],
+    }
+    return min(candidates, key=candidates.get)
+
+
+def crossover_fine_fraction(config: HybridConfig | None = None,
+                            fine_access_bytes: float = 64.0,
+                            total_bytes: float = 1e9) -> float:
+    """Fine-traffic fraction at which pure RoMe stops being the best choice.
+
+    Below the returned fraction the overfetch of serving fine accesses at row
+    granularity is cheaper than giving up channels to an HBM4 partition;
+    above it the hybrid (or pure HBM4) wins.
+    """
+    config = config or HybridConfig()
+    low, high = 0.0, 1.0
+    for _ in range(64):
+        mid = (low + high) / 2
+        mix = AccessMix(
+            coarse_bytes=total_bytes * (1 - mid),
+            fine_bytes=total_bytes * mid,
+            fine_access_bytes=fine_access_bytes,
+        )
+        if best_system(mix, config) == "rome":
+            low = mid
+        else:
+            high = mid
+    return (low + high) / 2

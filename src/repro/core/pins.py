@@ -1,0 +1,201 @@
+"""C/A pin analysis and channel expansion (Sections IV-D and IV-E).
+
+Row-granularity access removes the column command pins entirely and shrinks
+the row command pins: the minimum command-issue interval grows from ``tCCDS``
+to ``2 x tRRDS`` (the tightest case is a REF immediately following a
+``RD_row``/``WR_row``), so commands can be serialized over far fewer pins.
+RoMe reduces the per-channel C/A pins from 18 to 5, saving 13 pins per
+channel; across a 32-channel cube those 416 pins (plus 12 extra) fund four
+additional channels, a 12.5 % bandwidth increase.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dram.timing import TimingParameters
+
+
+@dataclass(frozen=True)
+class CommandEncoding:
+    """Bit-level encoding of the RoMe command set.
+
+    RoMe keeps the eight conventional row commands, adds MRS, ``RD_row`` and
+    ``WR_row`` (eleven total), keeps the four opcode pins of the HBM4 row bus,
+    and carries the (stack ID, virtual bank, row) address.
+    """
+
+    num_commands: int = 11
+    opcode_bits: int = 4
+    stack_id_bits: int = 2
+    vba_bits: int = 3
+    row_bits: int = 14
+    #: C/A pins toggle at double data rate relative to a 1 GHz command clock.
+    transfers_per_ns: int = 2
+
+    @property
+    def address_bits(self) -> int:
+        return self.stack_id_bits + self.vba_bits + self.row_bits
+
+    @property
+    def data_command_bits(self) -> int:
+        """Bits of a RD_row / WR_row command packet."""
+        return self.opcode_bits + self.address_bits
+
+    @property
+    def refresh_command_bits(self) -> int:
+        """Bits of a REF command packet (no row address)."""
+        return self.opcode_bits + self.stack_id_bits + self.vba_bits
+
+    def minimum_opcode_bits(self) -> int:
+        return max(1, math.ceil(math.log2(self.num_commands)))
+
+
+def command_issue_latency_ns(
+    command_bits: int,
+    num_pins: int,
+    transfers_per_ns: int = 2,
+) -> float:
+    """Time to serialize a ``command_bits``-wide packet over ``num_pins``."""
+    if num_pins <= 0:
+        raise ValueError("num_pins must be positive")
+    transfers = math.ceil(command_bits / num_pins)
+    return transfers / transfers_per_ns
+
+
+def ca_pin_sweep(
+    pin_counts: Optional[List[int]] = None,
+    encoding: Optional[CommandEncoding] = None,
+    timing: Optional[TimingParameters] = None,
+    data_transfer_ns: int = 64,
+) -> List[Dict[str, float]]:
+    """Reproduce Figure 10: issue latencies versus the number of C/A pins.
+
+    For every candidate pin count this reports the effective
+    ``RD_row``-to-``RD_row`` interval (bounded below by the data transfer
+    time) and the access-to-REF latency, together with the ``2 x tRRDS``
+    budget that the latter must respect.
+    """
+    encoding = encoding or CommandEncoding()
+    timing = timing or TimingParameters()
+    pin_counts = pin_counts or [10, 9, 8, 7, 6, 5]
+    budget = 2 * timing.tRRDS
+    rows = []
+    for pins in pin_counts:
+        data_latency = command_issue_latency_ns(
+            encoding.data_command_bits, pins, encoding.transfers_per_ns
+        )
+        refresh_latency = command_issue_latency_ns(
+            encoding.refresh_command_bits, pins, encoding.transfers_per_ns
+        )
+        rows.append(
+            {
+                "pins": pins,
+                "rd_row_to_rd_row_ns": max(float(data_transfer_ns), data_latency),
+                "access_to_ref_ns": data_latency + refresh_latency,
+                "budget_ns": float(budget),
+                "meets_budget": data_latency + refresh_latency <= budget,
+            }
+        )
+    return rows
+
+
+def minimum_ca_pins(
+    encoding: Optional[CommandEncoding] = None,
+    timing: Optional[TimingParameters] = None,
+) -> int:
+    """Smallest pin count whose access-to-REF latency fits within 2 x tRRDS."""
+    encoding = encoding or CommandEncoding()
+    timing = timing or TimingParameters()
+    for pins in range(1, 19):
+        rows = ca_pin_sweep([pins], encoding, timing)
+        if rows[0]["meets_budget"]:
+            return pins
+    return 18
+
+
+@dataclass(frozen=True)
+class PinBudget:
+    """Per-cube pin budget used for the channel-expansion analysis."""
+
+    dq_pins_per_channel: int = 64
+    row_ca_pins_per_channel: int = 10
+    col_ca_pins_per_channel: int = 8
+    misc_pins_per_channel: int = 38
+    num_channels: int = 32
+
+    @property
+    def ca_pins_per_channel(self) -> int:
+        return self.row_ca_pins_per_channel + self.col_ca_pins_per_channel
+
+    @property
+    def pins_per_channel(self) -> int:
+        return (
+            self.dq_pins_per_channel
+            + self.ca_pins_per_channel
+            + self.misc_pins_per_channel
+        )
+
+    @property
+    def total_pins(self) -> int:
+        return self.pins_per_channel * self.num_channels
+
+
+def hbm4_pin_budget() -> PinBudget:
+    """The HBM4 baseline: 120 pins per channel, 32 channels."""
+    return PinBudget()
+
+
+def rome_pin_budget(ca_pins: int = 5) -> PinBudget:
+    """RoMe: the same channel with only ``ca_pins`` C/A pins (default 5)."""
+    return PinBudget(
+        row_ca_pins_per_channel=ca_pins,
+        col_ca_pins_per_channel=0,
+    )
+
+
+@dataclass(frozen=True)
+class ChannelExpansion:
+    """Result of reinvesting saved C/A pins into extra channels."""
+
+    baseline: PinBudget
+    rome: PinBudget
+    added_channels: int
+    extra_pins: int
+    bandwidth_gain: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.baseline.num_channels} -> "
+            f"{self.baseline.num_channels + self.added_channels} channels, "
+            f"+{self.extra_pins} pins, +{self.bandwidth_gain:.1%} bandwidth"
+        )
+
+
+def channel_expansion(
+    baseline: Optional[PinBudget] = None,
+    rome: Optional[PinBudget] = None,
+    added_channels: int = 4,
+) -> ChannelExpansion:
+    """Compute the Section IV-E channel expansion.
+
+    The saved C/A pins across the baseline channel count are compared against
+    the cost of ``added_channels`` extra RoMe channels; the remainder is the
+    (small) number of extra pins the processor interface must grow by.
+    """
+    baseline = baseline or hbm4_pin_budget()
+    rome = rome or rome_pin_budget()
+    saved_per_channel = baseline.pins_per_channel - rome.pins_per_channel
+    saved_total = saved_per_channel * baseline.num_channels
+    cost = added_channels * rome.pins_per_channel
+    extra_pins = max(0, cost - saved_total)
+    bandwidth_gain = added_channels / baseline.num_channels
+    return ChannelExpansion(
+        baseline=baseline,
+        rome=rome,
+        added_channels=added_channels,
+        extra_pins=extra_pins,
+        bandwidth_gain=bandwidth_gain,
+    )

@@ -1,0 +1,154 @@
+"""RoMe timing parameters (Table III / Table V).
+
+The RoMe memory controller tracks only ten timing parameters: the
+read/write-to-read/write spacings between different VBAs (``S`` suffix) and
+different stack IDs (``R`` suffix), plus the same-VBA command durations
+``tRD_row`` and ``tWR_row``.  This module provides the paper's Table V values
+and a derivation of equivalent values from the conventional timing parameters
+and a virtual-bank configuration, which the tests cross-check against the
+command-generator expansion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from repro.core.virtual_bank import VirtualBankConfig, paper_vba_config
+from repro.dram.timing import HBM4_TIMING, TimingParameters
+
+
+@dataclass(frozen=True)
+class RoMeTimingParameters:
+    """The ten RoMe timing parameters plus derived channel geometry."""
+
+    tR2RS: int = 64    # RD_row to RD_row, different VBA
+    tR2RR: int = 68    # RD_row to RD_row, different stack ID
+    tR2WS: int = 69    # RD_row to WR_row, different VBA
+    tR2WR: int = 73    # RD_row to WR_row, different stack ID
+    tW2RS: int = 71    # WR_row to RD_row, different VBA
+    tW2RR: int = 75    # WR_row to RD_row, different stack ID
+    tW2WS: int = 64    # WR_row to WR_row, different VBA
+    tW2WR: int = 68    # WR_row to WR_row, different stack ID
+    tRD_row: int = 95  # RD_row duration on the same VBA
+    tWR_row: int = 115  # WR_row duration on the same VBA
+
+    # Refresh-related parameters inherited from the conventional device.
+    tREFIpb: int = 122
+    tRFCpb: int = 280
+    tRREFD: int = 8
+
+    # Geometry.
+    effective_row_bytes: int = 4096
+    access_granularity_bytes: int = 4096
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            name: getattr(self, name)
+            for name in self.__dataclass_fields__  # type: ignore[attr-defined]
+        }
+
+    @property
+    def num_scheduling_parameters(self) -> int:
+        """The count the paper compares against the conventional MC (10)."""
+        return 10
+
+    def gap(self, previous_is_read: bool, next_is_read: bool,
+            same_stack: bool = True) -> int:
+        """Minimum spacing between two row commands to *different* VBAs."""
+        if previous_is_read and next_is_read:
+            return self.tR2RS if same_stack else self.tR2RR
+        if previous_is_read and not next_is_read:
+            return self.tR2WS if same_stack else self.tR2WR
+        if not previous_is_read and next_is_read:
+            return self.tW2RS if same_stack else self.tW2RR
+        return self.tW2WS if same_stack else self.tW2WR
+
+    def duration(self, is_read: bool) -> int:
+        """Occupancy of the target VBA for one row command."""
+        return self.tRD_row if is_read else self.tWR_row
+
+    def with_overrides(self, **overrides: int) -> "RoMeTimingParameters":
+        return replace(self, **overrides)
+
+    def validate(self) -> None:
+        values = self.as_dict()
+        if min(values.values()) < 0:
+            raise ValueError("RoMe timing parameters must be non-negative")
+        if self.tR2RS > self.tRD_row:
+            raise ValueError("tR2RS cannot exceed tRD_row")
+        if self.tW2WS > self.tWR_row:
+            raise ValueError("tW2WS cannot exceed tWR_row")
+
+
+#: Table V values adopted by the paper.
+ROME_TIMING = RoMeTimingParameters()
+
+
+def derive_rome_timing(
+    conventional: TimingParameters | None = None,
+    vba: VirtualBankConfig | None = None,
+    stack_penalty_ns: int = 4,
+) -> RoMeTimingParameters:
+    """Derive RoMe timing from conventional timing and a VBA configuration.
+
+    The derivation follows Section V-A:
+
+    * ``tR2RS``/``tW2WS`` equal the data-transfer time of one effective row
+      (the bus is the only shared resource between different VBAs);
+    * read/write turnaround adds the conventional ``tRTW``/``tWTRS`` and the
+      CWL-CL offset;
+    * different-stack-ID commands pay an extra 1-2 nCK, modelled as
+      ``stack_penalty_ns``;
+    * ``tRD_row``/``tWR_row`` are the full same-VBA command durations
+      including activation, the column burst train, and precharge/recovery.
+    """
+    conventional = conventional or HBM4_TIMING
+    vba = vba or paper_vba_config()
+    data_ns = vba.data_transfer_ns(conventional)
+    stagger = conventional.tRRDS - conventional.tCCDS
+
+    t_r2rs = data_ns
+    t_w2ws = data_ns
+    t_r2ws = data_ns + conventional.tRTW
+    t_w2rs = data_ns + conventional.tWTRS + (conventional.tCL - conventional.tCWL) - 1
+
+    # Same-VBA durations.  The read path can overlap the first bank's
+    # precharge with the second bank's final bursts (one tCCDL of overlap);
+    # the write path must wait one tCCDL for the last data beat to land
+    # before write recovery starts.
+    t_rd_row = (
+        stagger
+        + conventional.tRCDRD
+        + data_ns
+        - conventional.tCCDL
+        + conventional.tRP
+    )
+    t_wr_row = (
+        stagger
+        + conventional.tRCDWR
+        + data_ns
+        + conventional.tCCDL
+        + conventional.tWR
+        + conventional.tRP
+    )
+
+    derived = RoMeTimingParameters(
+        tR2RS=t_r2rs,
+        tR2RR=t_r2rs + stack_penalty_ns,
+        tR2WS=t_r2ws,
+        tR2WR=t_r2ws + stack_penalty_ns,
+        tW2RS=t_w2rs,
+        tW2RR=t_w2rs + stack_penalty_ns,
+        tW2WS=t_w2ws,
+        tW2WR=t_w2ws + stack_penalty_ns,
+        tRD_row=t_rd_row,
+        tWR_row=t_wr_row,
+        tREFIpb=conventional.tREFIpb,
+        tRFCpb=conventional.tRFCpb,
+        tRREFD=conventional.tRREFD,
+        effective_row_bytes=vba.effective_row_bytes,
+        access_granularity_bytes=vba.effective_row_bytes,
+    )
+    derived.validate()
+    return derived

@@ -1,0 +1,231 @@
+"""Virtual bank (VBA) design space.
+
+RoMe removes bank groups and pseudo channels from the MC-DRAM interface and
+replaces them with the virtual bank, an organization in which a *single* VBA
+can deliver the full channel bandwidth (Section IV-B).  Two orthogonal choices
+define the design space:
+
+* how banks are merged into a VBA (Figure 7):
+  - ``WIDE_BANK`` (7b): one bank with a doubled internal datapath;
+  - ``TANDEM_SAME_BG`` (7c): two banks of the same bank group in tandem;
+  - ``INTERLEAVED_DIFF_BG`` (7d): two banks from different bank groups,
+    accessed time-multiplexed -- the paper's choice;
+* how the two pseudo channels are merged (Figure 8):
+  - ``WIDE_PC`` (8a): one PC fetches twice the data;
+  - ``LOCKSTEP_PC`` (8b): both PCs operate simultaneously (legacy-channel
+    style) -- the paper's choice.
+
+The six combinations all deliver full bandwidth (performance within 3.6 % of
+the baseline in the paper) but differ greatly in DRAM-die area overhead; the
+``area_overhead_fraction`` property captures that trade-off.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.dram.timing import TimingParameters
+
+
+class BankMerge(enum.Enum):
+    """Figure 7 options for building a VBA out of banks."""
+
+    WIDE_BANK = "wide_bank"                   # Fig. 7(b)
+    TANDEM_SAME_BG = "tandem_same_bg"         # Fig. 7(c)
+    INTERLEAVED_DIFF_BG = "interleaved_diff_bg"  # Fig. 7(d)
+
+
+class PseudoChannelMerge(enum.Enum):
+    """Figure 8 options for removing the pseudo channel from the interface."""
+
+    WIDE_PC = "wide_pc"          # Fig. 8(a)
+    LOCKSTEP_PC = "lockstep_pc"  # Fig. 8(b)
+
+
+#: Area overhead contributions (fractions of baseline DRAM-die datapath area)
+#: for each structural change, calibrated so the worst combination
+#: (WIDE_BANK + WIDE_PC) reaches the ~77 % overhead the paper quotes from the
+#: fine-grained DRAM literature and the adopted combination costs nothing.
+_AREA_COST = {
+    "bank_datapath_x2": 0.35,
+    "bk_bus_x2": 0.12,
+    "io_ctrl_buffer_x2": 0.10,
+    "bg_bus_x2": 0.13,
+    "gbus_muxes": 0.07,
+}
+
+
+@dataclass(frozen=True)
+class VirtualBankConfig:
+    """A point in the VBA design space plus the underlying channel geometry."""
+
+    bank_merge: BankMerge = BankMerge.INTERLEAVED_DIFF_BG
+    pc_merge: PseudoChannelMerge = PseudoChannelMerge.LOCKSTEP_PC
+    base_row_bytes: int = 1024
+    base_access_granularity_bytes: int = 32
+    num_bank_groups: int = 4
+    banks_per_group: int = 4
+    num_pseudo_channels: int = 2
+    num_stack_ids: int = 4
+
+    # ------------------------------------------------------------- geometry
+
+    @property
+    def banks_per_vba(self) -> int:
+        """Physical banks (per pseudo channel) combined into one VBA."""
+        return 1 if self.bank_merge is BankMerge.WIDE_BANK else 2
+
+    @property
+    def pcs_per_vba(self) -> int:
+        """Pseudo channels operating in lockstep for one VBA."""
+        return 2 if self.pc_merge is PseudoChannelMerge.LOCKSTEP_PC else 1
+
+    @property
+    def banks_per_pc_per_sid(self) -> int:
+        return self.num_bank_groups * self.banks_per_group
+
+    @property
+    def vbas_per_channel_per_sid(self) -> int:
+        """Independent VBAs visible to the controller in one channel & SID."""
+        per_pc = self.banks_per_pc_per_sid // self.banks_per_vba
+        if self.pc_merge is PseudoChannelMerge.LOCKSTEP_PC:
+            return per_pc
+        # WIDE_PC: the two PCs are controlled as one channel with twice the
+        # banks (Figure 8a).
+        return per_pc * self.num_pseudo_channels
+
+    @property
+    def vbas_per_channel(self) -> int:
+        return self.vbas_per_channel_per_sid * self.num_stack_ids
+
+    @property
+    def effective_row_bytes(self) -> int:
+        """Row size seen by the controller (``AG_MC`` under RoMe)."""
+        per_bank_row = self.base_row_bytes
+        if self.bank_merge is BankMerge.WIDE_BANK:
+            merged = per_bank_row  # same row, wider datapath
+        else:
+            merged = per_bank_row * 2
+        if self.pc_merge is PseudoChannelMerge.LOCKSTEP_PC:
+            merged *= 2
+        else:
+            merged *= 1
+        return merged
+
+    @property
+    def cas_spacing_ns_factor(self) -> str:
+        """Which CAS-to-CAS constraint paces the expanded column train.
+
+        ``WIDE_BANK`` and ``TANDEM_SAME_BG`` fetch double the data per column
+        command from one bank (group), so consecutive commands are paced by
+        ``tCCDL``; ``INTERLEAVED_DIFF_BG`` alternates bank groups and is paced
+        by ``tCCDS``.  Either way the channel sustains its full bandwidth.
+        """
+        if self.bank_merge is BankMerge.INTERLEAVED_DIFF_BG:
+            return "tCCDS"
+        return "tCCDL"
+
+    @property
+    def bytes_per_cas(self) -> int:
+        """Data moved by one expanded column command across the channel.
+
+        Every design point sustains the full channel bandwidth
+        (64 B per tCCDS for HBM4-class timing), so the per-command payload is
+        the channel rate times the command spacing: 64 B for the interleaved
+        design (paced by tCCDS) and 128 B for the wide-bank / tandem designs
+        (paced by tCCDL = 2 x tCCDS).
+        """
+        channel_bytes_per_tccds = (
+            self.base_access_granularity_bytes * self.num_pseudo_channels
+        )
+        if self.bank_merge is BankMerge.INTERLEAVED_DIFF_BG:
+            return channel_bytes_per_tccds
+        return channel_bytes_per_tccds * 2
+
+    # ----------------------------------------------------------------- area
+
+    @property
+    def area_costs(self) -> Dict[str, float]:
+        """Structural changes this configuration requires."""
+        costs: Dict[str, float] = {}
+        if self.bank_merge is BankMerge.WIDE_BANK:
+            costs["bank_datapath_x2"] = _AREA_COST["bank_datapath_x2"]
+            costs["bk_bus_x2"] = _AREA_COST["bk_bus_x2"]
+            costs["io_ctrl_buffer_x2"] = _AREA_COST["io_ctrl_buffer_x2"]
+        elif self.bank_merge is BankMerge.TANDEM_SAME_BG:
+            costs["io_ctrl_buffer_x2"] = _AREA_COST["io_ctrl_buffer_x2"]
+        if self.pc_merge is PseudoChannelMerge.WIDE_PC:
+            costs["bg_bus_x2"] = _AREA_COST["bg_bus_x2"]
+            costs["gbus_muxes"] = _AREA_COST["gbus_muxes"]
+        return costs
+
+    @property
+    def area_overhead_fraction(self) -> float:
+        """DRAM-die datapath area overhead relative to the baseline."""
+        return sum(self.area_costs.values())
+
+    @property
+    def requires_dram_core_modification(self) -> bool:
+        """True when the internal DRAM array/datapath must change."""
+        return bool(self.area_costs)
+
+    # --------------------------------------------------------------- timing
+
+    def data_transfer_ns(self, timing: TimingParameters) -> int:
+        """Bus time to stream one effective row at full channel bandwidth."""
+        channel_bytes_per_ns = (
+            self.base_access_granularity_bytes
+            * self.num_pseudo_channels
+            // timing.tCCDS
+        )
+        return self.effective_row_bytes // channel_bytes_per_ns
+
+    def cas_commands_per_row(self) -> int:
+        """Number of expanded column commands needed to stream one row."""
+        return self.effective_row_bytes // self.bytes_per_cas
+
+    def describe(self) -> str:
+        return (
+            f"{self.bank_merge.value}+{self.pc_merge.value}: "
+            f"row={self.effective_row_bytes} B, "
+            f"{self.vbas_per_channel_per_sid} VBAs/ch/SID, "
+            f"area +{self.area_overhead_fraction:.0%}"
+        )
+
+
+def paper_vba_config() -> VirtualBankConfig:
+    """The configuration RoMe adopts: Figure 7(d) + Figure 8(b)."""
+    return VirtualBankConfig(
+        bank_merge=BankMerge.INTERLEAVED_DIFF_BG,
+        pc_merge=PseudoChannelMerge.LOCKSTEP_PC,
+    )
+
+
+#: All six design-space points explored in Section IV-B.
+VBA_DESIGN_SPACE: Tuple[VirtualBankConfig, ...] = tuple(
+    VirtualBankConfig(bank_merge=bank_merge, pc_merge=pc_merge)
+    for bank_merge in BankMerge
+    for pc_merge in PseudoChannelMerge
+)
+
+
+def design_space_summary(timing: TimingParameters | None = None) -> List[Dict[str, object]]:
+    """Tabulate the design space (row size, VBAs, area, transfer time)."""
+    timing = timing or TimingParameters()
+    rows = []
+    for config in VBA_DESIGN_SPACE:
+        rows.append(
+            {
+                "bank_merge": config.bank_merge.value,
+                "pc_merge": config.pc_merge.value,
+                "effective_row_bytes": config.effective_row_bytes,
+                "vbas_per_channel_per_sid": config.vbas_per_channel_per_sid,
+                "area_overhead_fraction": config.area_overhead_fraction,
+                "requires_dram_core_modification":
+                    config.requires_dram_core_modification,
+                "data_transfer_ns": config.data_transfer_ns(timing),
+            }
+        )
+    return rows

@@ -1,0 +1,226 @@
+"""A single DRAM bank and its finite-state machine.
+
+The conventional memory controller must track seven bank states (Section II-D):
+Idle, Activating, Active, Precharging, Reading, Writing, and Refreshing.  The
+bank object below owns that state machine plus the per-bank timing windows
+(earliest time each command kind may next be issued to this bank).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.dram.commands import CommandKind
+from repro.dram.timing import TimingParameters
+
+
+class BankState(enum.Enum):
+    """The seven conventional bank states."""
+
+    IDLE = "idle"
+    ACTIVATING = "activating"
+    ACTIVE = "active"
+    READING = "reading"
+    WRITING = "writing"
+    PRECHARGING = "precharging"
+    REFRESHING = "refreshing"
+
+
+#: States in which the row buffer holds (or is in the process of opening) a
+#: row; FR-FCFS treats all of them as row hits, with the per-command timing
+#: windows still gating when a column command may actually issue.
+_OPEN_ROW_STATES = frozenset(
+    {BankState.ACTIVATING, BankState.ACTIVE, BankState.READING, BankState.WRITING}
+)
+
+
+@dataclass
+class BankCounters:
+    """Per-bank event counters used for statistics and energy accounting."""
+
+    activates: int = 0
+    precharges: int = 0
+    reads: int = 0
+    writes: int = 0
+    refreshes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "activates": self.activates,
+            "precharges": self.precharges,
+            "reads": self.reads,
+            "writes": self.writes,
+            "refreshes": self.refreshes,
+            "row_hits": self.row_hits,
+            "row_misses": self.row_misses,
+        }
+
+
+@dataclass
+class Bank:
+    """One DRAM bank with timing windows and the seven-state FSM."""
+
+    timing: TimingParameters
+    bank_group: int = 0
+    bank_id: int = 0
+    state: BankState = BankState.IDLE
+    open_row: Optional[int] = None
+    counters: BankCounters = field(default_factory=BankCounters)
+
+    # Earliest times at which each command class may be issued to this bank.
+    next_act: int = 0
+    next_read: int = 0
+    next_write: int = 0
+    next_pre: int = 0
+    next_refresh: int = 0
+
+    # Time at which the current transient state (activating / reading /
+    # writing / precharging / refreshing) resolves.
+    _state_until: int = 0
+    # Pending auto-precharge completion time (RDA/WRA), if any.
+    _auto_precharge_at: Optional[int] = None
+
+    # ------------------------------------------------------------------ state
+
+    def tick(self, now: int) -> None:
+        """Resolve transient states whose duration has elapsed at ``now``."""
+        if self._auto_precharge_at is not None and now >= self._auto_precharge_at:
+            # The in-flight auto-precharge has started; model it as an
+            # explicit precharge that began at its scheduled time.
+            start = self._auto_precharge_at
+            self._auto_precharge_at = None
+            self.open_row = None
+            self.state = BankState.PRECHARGING
+            self._state_until = start + self.timing.tRP
+            self.next_act = max(self.next_act, start + self.timing.tRP)
+        if now < self._state_until:
+            return
+        if self.state is BankState.ACTIVATING:
+            self.state = BankState.ACTIVE
+        elif self.state in (BankState.READING, BankState.WRITING):
+            self.state = BankState.ACTIVE
+        elif self.state is BankState.PRECHARGING:
+            self.state = BankState.IDLE
+        elif self.state is BankState.REFRESHING:
+            self.state = BankState.IDLE
+
+    @property
+    def has_open_row(self) -> bool:
+        return self.open_row is not None and self.state in _OPEN_ROW_STATES
+
+    def is_row_hit(self, row: int) -> bool:
+        """True when ``row`` is already open in the row buffer."""
+        return self.has_open_row and self.open_row == row
+
+    # -------------------------------------------------------------- can_issue
+
+    def can_issue(self, kind: CommandKind, now: int, row: Optional[int] = None) -> bool:
+        """Check per-bank state and timing for issuing ``kind`` at ``now``.
+
+        Cross-bank constraints (tRRD, tFAW, tCCD, bus turnaround) are checked
+        by the pseudo channel, not here.
+        """
+        self.tick(now)
+        if kind is CommandKind.ACT:
+            return self.state is BankState.IDLE and now >= self.next_act
+        if kind in (CommandKind.RD, CommandKind.RDA):
+            return (
+                self.has_open_row
+                and (row is None or self.open_row == row)
+                and now >= self.next_read
+            )
+        if kind in (CommandKind.WR, CommandKind.WRA):
+            return (
+                self.has_open_row
+                and (row is None or self.open_row == row)
+                and now >= self.next_write
+            )
+        if kind in (CommandKind.PRE, CommandKind.PREA):
+            if self.state is BankState.IDLE:
+                return now >= self.next_act  # precharging an idle bank is a no-op
+            return self.state in _OPEN_ROW_STATES and now >= self.next_pre
+        if kind is CommandKind.REFPB:
+            return self.state is BankState.IDLE and now >= max(
+                self.next_act, self.next_refresh
+            )
+        raise ValueError(f"Bank cannot accept command kind {kind}")
+
+    # ------------------------------------------------------------------ issue
+
+    def issue(self, kind: CommandKind, now: int, row: Optional[int] = None) -> None:
+        """Apply the state/timing effects of issuing ``kind`` at ``now``.
+
+        Callers are expected to have validated the command via
+        :meth:`can_issue`; a ``RuntimeError`` is raised otherwise so that
+        scheduler bugs surface immediately.
+        """
+        if not self.can_issue(kind, now, row):
+            raise RuntimeError(
+                f"illegal {kind.value} to bg{self.bank_group}.ba{self.bank_id} "
+                f"at t={now} (state={self.state.value})"
+            )
+        t = self.timing
+        if kind is CommandKind.ACT:
+            assert row is not None, "ACT requires a row"
+            self.open_row = row
+            self.state = BankState.ACTIVATING
+            self._state_until = now + t.tRCDRD
+            self.next_read = max(self.next_read, now + t.tRCDRD)
+            self.next_write = max(self.next_write, now + t.tRCDWR)
+            self.next_pre = max(self.next_pre, now + t.tRAS)
+            self.next_act = max(self.next_act, now + t.tRC)
+            self.counters.activates += 1
+        elif kind in (CommandKind.RD, CommandKind.RDA):
+            self.state = BankState.READING
+            self._state_until = now + t.tCL + t.burst_ns
+            self.next_pre = max(self.next_pre, now + t.tRTP)
+            self.counters.reads += 1
+            if kind is CommandKind.RDA:
+                self._auto_precharge_at = max(self.next_pre, now + t.tRTP)
+        elif kind in (CommandKind.WR, CommandKind.WRA):
+            self.state = BankState.WRITING
+            self._state_until = now + t.tCWL + t.burst_ns
+            self.next_pre = max(self.next_pre, now + t.tCWL + t.burst_ns + t.tWR)
+            self.counters.writes += 1
+            if kind is CommandKind.WRA:
+                self._auto_precharge_at = now + t.tCWL + t.burst_ns + t.tWR
+        elif kind in (CommandKind.PRE, CommandKind.PREA):
+            if self.state is BankState.IDLE:
+                return  # no-op precharge
+            self.open_row = None
+            self.state = BankState.PRECHARGING
+            self._state_until = now + t.tRP
+            self.next_act = max(self.next_act, now + t.tRP)
+            self.counters.precharges += 1
+        elif kind is CommandKind.REFPB:
+            self.state = BankState.REFRESHING
+            self._state_until = now + t.tRFCpb
+            self.next_act = max(self.next_act, now + t.tRFCpb)
+            self.next_refresh = max(self.next_refresh, now + t.tREFIpb)
+            self.counters.refreshes += 1
+        else:
+            raise ValueError(f"Bank cannot accept command kind {kind}")
+
+    def earliest_issue(self, kind: CommandKind) -> int:
+        """Lower bound on when ``kind`` could be issued (ignoring state)."""
+        if kind is CommandKind.ACT:
+            return self.next_act
+        if kind in (CommandKind.RD, CommandKind.RDA):
+            return self.next_read
+        if kind in (CommandKind.WR, CommandKind.WRA):
+            return self.next_write
+        if kind in (CommandKind.PRE, CommandKind.PREA):
+            return self.next_pre
+        if kind is CommandKind.REFPB:
+            return max(self.next_act, self.next_refresh)
+        raise ValueError(f"Bank cannot accept command kind {kind}")
+
+    def record_row_hit(self) -> None:
+        self.counters.row_hits += 1
+
+    def record_row_miss(self) -> None:
+        self.counters.row_misses += 1

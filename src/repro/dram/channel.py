@@ -1,0 +1,138 @@
+"""HBM channel: two pseudo channels sharing one set of C/A pins.
+
+The channel models the shared command/address bus: in a given nanosecond one
+row command and one column command can be delivered (HBM defines separate row
+and column C/A pins, Section II-B), and the two pseudo channels contend for
+those pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dram.commands import Command, CommandKind, command_bus
+from repro.dram.pseudochannel import PseudoChannel
+from repro.dram.timing import TimingParameters
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Static organization of a single HBM channel."""
+
+    timing: TimingParameters
+    num_pseudo_channels: int = 2
+    num_bank_groups: int = 4
+    banks_per_group: int = 4
+    num_stack_ids: int = 4
+    channel_width_bits: int = 64
+
+    @property
+    def banks_per_pseudo_channel(self) -> int:
+        return self.num_bank_groups * self.banks_per_group * self.num_stack_ids
+
+    @property
+    def banks_per_channel(self) -> int:
+        return self.banks_per_pseudo_channel * self.num_pseudo_channels
+
+    @property
+    def peak_bandwidth_bytes_per_ns(self) -> float:
+        """Peak data bandwidth of the whole channel in bytes per nanosecond."""
+        per_pc = self.timing.access_granularity_bytes / self.timing.tCCDS
+        return per_pc * self.num_pseudo_channels
+
+
+class Channel:
+    """A conventional HBM channel (two pseudo channels, shared C/A pins)."""
+
+    def __init__(self, config: ChannelConfig, channel_id: int = 0) -> None:
+        self.config = config
+        self.channel_id = channel_id
+        self.timing = config.timing
+        self.pseudo_channels: List[PseudoChannel] = [
+            PseudoChannel(
+                timing=config.timing,
+                pseudo_channel_id=pc,
+                num_bank_groups=config.num_bank_groups,
+                banks_per_group=config.banks_per_group,
+                num_stack_ids=config.num_stack_ids,
+            )
+            for pc in range(config.num_pseudo_channels)
+        ]
+        # C/A bus occupancy: the last ns in which a row / column command was
+        # sent to each pseudo channel.  The two PCs share the physical pins
+        # but the command rate is high enough to serve one row and one column
+        # command per PC per nanosecond, which is what this tracks.
+        self._last_row_ca_time: Dict[int, int] = {
+            pc: -1 for pc in range(config.num_pseudo_channels)
+        }
+        self._last_col_ca_time: Dict[int, int] = {
+            pc: -1 for pc in range(config.num_pseudo_channels)
+        }
+
+    # ------------------------------------------------------------- plumbing
+
+    def pseudo_channel(self, index: int) -> PseudoChannel:
+        return self.pseudo_channels[index]
+
+    def tick(self, now: int) -> None:
+        for pc in self.pseudo_channels:
+            pc.tick(now)
+
+    # ----------------------------------------------------------- C/A sharing
+
+    def _ca_bus_free(self, command: Command, now: int) -> bool:
+        bus = command_bus(command.kind)
+        pc = command.pseudo_channel
+        if bus == "column":
+            return now > self._last_col_ca_time[pc]
+        return now > self._last_row_ca_time[pc]
+
+    def _note_ca_use(self, command: Command, now: int) -> None:
+        bus = command_bus(command.kind)
+        pc = command.pseudo_channel
+        if bus == "column":
+            self._last_col_ca_time[pc] = now
+        else:
+            self._last_row_ca_time[pc] = now
+
+    # -------------------------------------------------------------- issuing
+
+    def can_issue(self, command: Command, now: int) -> bool:
+        """Check C/A availability plus all pseudo-channel constraints."""
+        if not self._ca_bus_free(command, now):
+            return False
+        pc = self.pseudo_channels[command.pseudo_channel]
+        return pc.can_issue(command, now)
+
+    def issue(self, command: Command, now: int) -> None:
+        if not self._ca_bus_free(command, now):
+            raise RuntimeError(f"C/A bus busy for {command} at t={now}")
+        pc = self.pseudo_channels[command.pseudo_channel]
+        pc.issue(command, now)
+        self._note_ca_use(command, now)
+
+    # ----------------------------------------------------------------- stats
+
+    def data_bus_utilization(self, elapsed_ns: int) -> float:
+        if not self.pseudo_channels:
+            return 0.0
+        return sum(
+            pc.data_bus_utilization(elapsed_ns) for pc in self.pseudo_channels
+        ) / len(self.pseudo_channels)
+
+    def command_counts(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for pc in self.pseudo_channels:
+            for name, count in pc.command_counts().items():
+                totals[name] = totals.get(name, 0) + count
+        return totals
+
+    def bytes_transferred(self) -> int:
+        return sum(
+            pc.counters.bytes_read + pc.counters.bytes_written
+            for pc in self.pseudo_channels
+        )
+
+    def total_activates(self) -> int:
+        return sum(pc.total_activates() for pc in self.pseudo_channels)

@@ -1,0 +1,245 @@
+"""Published HBM generation specifications.
+
+The RoMe paper motivates the row-granularity interface with two trends across
+HBM generations (Figure 2):
+
+* the external data rate keeps growing while the DRAM core frequency has
+  stayed nearly flat, which forced the introduction of bank groups and pseudo
+  channels; and
+* the command/address (C/A) pin overhead per data (DQ) pin keeps growing as
+  channels become narrower and more numerous.
+
+This module records the per-generation parameters needed to regenerate both
+trends.  The values follow the JEDEC specifications and the ISSCC device
+papers cited by RoMe; where a generation spans several speed grades we use the
+flagship configuration referenced in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class HBMGenerationSpec:
+    """Specification of one HBM generation.
+
+    Attributes
+    ----------
+    name:
+        Generation label (``"HBM1"`` ... ``"HBM4"``).
+    data_rate_gbps:
+        Per-pin data rate in Gbit/s.
+    core_frequency_mhz:
+        DRAM core (bank) frequency in MHz.  The core frequency is the rate at
+        which a single bank can produce ``access_granularity_bank`` bits.
+    channel_width_bits:
+        Width of one addressable channel as seen by the memory controller.
+    channels_per_cube:
+        Number of independent channels per HBM cube.
+    pseudo_channels_per_channel:
+        Pseudo channels sharing the channel's C/A pins.
+    row_ca_pins_per_channel:
+        Row command/address pins per channel.
+    col_ca_pins_per_channel:
+        Column command/address pins per channel (0 before the row/column C/A
+        split was introduced).
+    bank_groups_per_pseudo_channel:
+        Bank groups exposed to the controller (1 when bank groups do not
+        exist for the generation).
+    banks_per_bank_group:
+        Banks per bank group.
+    row_size_bytes:
+        Row (page) size per bank as seen from one pseudo channel.
+    access_granularity_bytes:
+        Minimum data transfer per column command (``AG_MC``).
+    """
+
+    name: str
+    data_rate_gbps: float
+    core_frequency_mhz: float
+    channel_width_bits: int
+    channels_per_cube: int
+    pseudo_channels_per_channel: int
+    row_ca_pins_per_channel: int
+    col_ca_pins_per_channel: int
+    bank_groups_per_pseudo_channel: int
+    banks_per_bank_group: int
+    row_size_bytes: int
+    access_granularity_bytes: int
+
+    @property
+    def dq_pins_per_cube(self) -> int:
+        """Total data pins exposed by one cube."""
+        return self.channel_width_bits * self.channels_per_cube
+
+    @property
+    def ca_pins_per_channel(self) -> int:
+        """Row plus column C/A pins of a single channel."""
+        return self.row_ca_pins_per_channel + self.col_ca_pins_per_channel
+
+    @property
+    def ca_pins_per_cube(self) -> int:
+        """Total C/A pins across the cube (all channels)."""
+        return self.ca_pins_per_channel * self.channels_per_cube
+
+    @property
+    def ca_per_dq_ratio(self) -> float:
+        """C/A-to-DQ pin ratio, the overhead metric plotted in Figure 2(b)."""
+        return self.ca_pins_per_cube / self.dq_pins_per_cube
+
+    @property
+    def bandwidth_gbps_per_cube(self) -> float:
+        """Aggregate cube bandwidth in GB/s."""
+        return self.data_rate_gbps * self.dq_pins_per_cube / 8.0
+
+    @property
+    def bandwidth_per_channel_gbps(self) -> float:
+        """Per-channel bandwidth in GB/s."""
+        return self.data_rate_gbps * self.channel_width_bits / 8.0
+
+    @property
+    def ca_bandwidth_gbps(self) -> float:
+        """Aggregate C/A command bandwidth in GB/s across the cube.
+
+        C/A pins toggle at the command clock which tracks half the data rate
+        in recent generations; the paper's Figure 2(b) uses this as a proxy
+        for the growing command-delivery cost.
+        """
+        command_rate_gbps = self.data_rate_gbps / 4.0
+        return command_rate_gbps * self.ca_pins_per_cube / 8.0
+
+    @property
+    def banks_per_pseudo_channel(self) -> int:
+        return self.bank_groups_per_pseudo_channel * self.banks_per_bank_group
+
+
+#: Flagship specification per generation, ordered oldest to newest.
+HBM_GENERATIONS: Dict[str, HBMGenerationSpec] = {
+    "HBM1": HBMGenerationSpec(
+        name="HBM1",
+        data_rate_gbps=1.0,
+        core_frequency_mhz=250.0,
+        channel_width_bits=128,
+        channels_per_cube=8,
+        pseudo_channels_per_channel=1,
+        row_ca_pins_per_channel=6,
+        col_ca_pins_per_channel=8,
+        bank_groups_per_pseudo_channel=1,
+        banks_per_bank_group=16,
+        row_size_bytes=2048,
+        access_granularity_bytes=32,
+    ),
+    "HBM2": HBMGenerationSpec(
+        name="HBM2",
+        data_rate_gbps=2.4,
+        core_frequency_mhz=300.0,
+        channel_width_bits=128,
+        channels_per_cube=8,
+        pseudo_channels_per_channel=2,
+        row_ca_pins_per_channel=6,
+        col_ca_pins_per_channel=8,
+        bank_groups_per_pseudo_channel=4,
+        banks_per_bank_group=4,
+        row_size_bytes=1024,
+        access_granularity_bytes=64,
+    ),
+    "HBM2E": HBMGenerationSpec(
+        name="HBM2E",
+        data_rate_gbps=3.6,
+        core_frequency_mhz=400.0,
+        channel_width_bits=128,
+        channels_per_cube=8,
+        pseudo_channels_per_channel=2,
+        row_ca_pins_per_channel=6,
+        col_ca_pins_per_channel=8,
+        bank_groups_per_pseudo_channel=4,
+        banks_per_bank_group=4,
+        row_size_bytes=1024,
+        access_granularity_bytes=64,
+    ),
+    "HBM3": HBMGenerationSpec(
+        name="HBM3",
+        data_rate_gbps=6.4,
+        core_frequency_mhz=450.0,
+        channel_width_bits=64,
+        channels_per_cube=16,
+        pseudo_channels_per_channel=2,
+        row_ca_pins_per_channel=10,
+        col_ca_pins_per_channel=8,
+        bank_groups_per_pseudo_channel=4,
+        banks_per_bank_group=4,
+        row_size_bytes=1024,
+        access_granularity_bytes=32,
+    ),
+    "HBM3E": HBMGenerationSpec(
+        name="HBM3E",
+        data_rate_gbps=9.6,
+        core_frequency_mhz=500.0,
+        channel_width_bits=64,
+        channels_per_cube=16,
+        pseudo_channels_per_channel=2,
+        row_ca_pins_per_channel=10,
+        col_ca_pins_per_channel=8,
+        bank_groups_per_pseudo_channel=4,
+        banks_per_bank_group=4,
+        row_size_bytes=1024,
+        access_granularity_bytes=32,
+    ),
+    "HBM4": HBMGenerationSpec(
+        name="HBM4",
+        data_rate_gbps=8.0,
+        core_frequency_mhz=500.0,
+        channel_width_bits=64,
+        channels_per_cube=32,
+        pseudo_channels_per_channel=2,
+        row_ca_pins_per_channel=10,
+        col_ca_pins_per_channel=8,
+        bank_groups_per_pseudo_channel=4,
+        banks_per_bank_group=4,
+        row_size_bytes=1024,
+        access_granularity_bytes=32,
+    ),
+}
+
+#: Generation names in chronological order, used by the Figure 2 benchmark.
+GENERATION_ORDER: Tuple[str, ...] = (
+    "HBM1",
+    "HBM2",
+    "HBM2E",
+    "HBM3",
+    "HBM3E",
+    "HBM4",
+)
+
+
+def generation(name: str) -> HBMGenerationSpec:
+    """Return the spec for ``name``, raising ``KeyError`` with guidance."""
+    try:
+        return HBM_GENERATIONS[name.upper()]
+    except KeyError as exc:
+        known = ", ".join(GENERATION_ORDER)
+        raise KeyError(f"Unknown HBM generation {name!r}; known: {known}") from exc
+
+
+def trend_table() -> Dict[str, Dict[str, float]]:
+    """Build the Figure 2 trend table.
+
+    Returns a mapping from generation name to the quantities plotted in
+    Figure 2: data rate, core frequency, channel width, C/A-per-DQ ratio, and
+    C/A bandwidth.
+    """
+    table: Dict[str, Dict[str, float]] = {}
+    for name in GENERATION_ORDER:
+        spec = HBM_GENERATIONS[name]
+        table[name] = {
+            "data_rate_gbps": spec.data_rate_gbps,
+            "core_frequency_mhz": spec.core_frequency_mhz,
+            "channel_width_bits": float(spec.channel_width_bits),
+            "channels_per_cube": float(spec.channels_per_cube),
+            "ca_per_dq_ratio": spec.ca_per_dq_ratio,
+            "ca_bandwidth_gbps": spec.ca_bandwidth_gbps,
+            "cube_bandwidth_gbps": spec.bandwidth_gbps_per_cube,
+        }
+    return table

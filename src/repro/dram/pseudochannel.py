@@ -1,0 +1,252 @@
+"""Pseudo channel: the unit that owns a data bus in HBM.
+
+Two pseudo channels (PCs) share one channel's C/A pins but split its data pins
+evenly (Section II-C).  The pseudo channel enforces every cross-bank timing
+constraint of the conventional interface: CAS-to-CAS spacing (tCCDS/tCCDL),
+ACT-to-ACT spacing (tRRDS/tRRDL, tFAW), write-to-read and read-to-write bus
+turnaround, and data-bus occupancy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.dram.bank import Bank
+from repro.dram.bankgroup import BankGroup
+from repro.dram.commands import Command, CommandKind
+from repro.dram.timing import TimingParameters
+
+_NEG_INF = -(10**9)
+
+
+@dataclass
+class PseudoChannelCounters:
+    """Aggregate per-PC statistics."""
+
+    commands: Dict[str, int] = field(default_factory=dict)
+    data_bus_busy_ns: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def note_command(self, kind: CommandKind) -> None:
+        self.commands[kind.value] = self.commands.get(kind.value, 0) + 1
+
+    def count(self, kind: CommandKind) -> int:
+        return self.commands.get(kind.value, 0)
+
+
+class PseudoChannel:
+    """One pseudo channel with its bank groups, banks, and data bus."""
+
+    def __init__(
+        self,
+        timing: TimingParameters,
+        pseudo_channel_id: int = 0,
+        num_bank_groups: int = 4,
+        banks_per_group: int = 4,
+        num_stack_ids: int = 1,
+    ) -> None:
+        self.timing = timing
+        self.pseudo_channel_id = pseudo_channel_id
+        self.num_bank_groups = num_bank_groups
+        self.banks_per_group = banks_per_group
+        self.num_stack_ids = num_stack_ids
+        # One independent set of bank groups per stack ID (rank).
+        self.stacks: List[List[BankGroup]] = [
+            [
+                BankGroup(timing=timing, bank_group_id=bg, num_banks=banks_per_group)
+                for bg in range(num_bank_groups)
+            ]
+            for _ in range(num_stack_ids)
+        ]
+        self.counters = PseudoChannelCounters()
+
+        # Cross-bank timing state.
+        self._last_act_time: int = _NEG_INF
+        self._last_act_bank_group: Optional[int] = None
+        self._act_window: Deque[int] = deque()  # for tFAW
+        self._last_cas_time: int = _NEG_INF
+        self._last_cas_bank_group: Optional[int] = None
+        self._last_cas_stack: Optional[int] = None
+        self._last_cas_was_read: Optional[bool] = None
+        self._last_read_data_end: int = _NEG_INF
+        self._last_write_data_end: int = _NEG_INF
+        self._data_bus_busy_until: int = 0
+
+    # ------------------------------------------------------------- structure
+
+    def bank_groups(self, stack_id: int = 0) -> List[BankGroup]:
+        return self.stacks[stack_id]
+
+    def bank(self, bank_group: int, bank: int, stack_id: int = 0) -> Bank:
+        return self.stacks[stack_id][bank_group].bank(bank)
+
+    def all_banks(self) -> List[Bank]:
+        return [
+            bank
+            for stack in self.stacks
+            for group in stack
+            for bank in group.banks
+        ]
+
+    @property
+    def num_banks(self) -> int:
+        return self.num_bank_groups * self.banks_per_group * self.num_stack_ids
+
+    # -------------------------------------------------------------- timing
+
+    def _cas_ready_time(self, bank_group: int, stack_id: int, is_read: bool) -> int:
+        """Earliest time the next CAS may issue given the previous CAS."""
+        t = self.timing
+        if self._last_cas_time == _NEG_INF:
+            return 0
+        if self._last_cas_stack is not None and stack_id != self._last_cas_stack:
+            gap = t.tCCDR
+        elif bank_group == self._last_cas_bank_group:
+            gap = t.tCCDL
+        else:
+            gap = t.tCCDS
+        ready = self._last_cas_time + gap
+        # Bus turnaround penalties.
+        if self._last_cas_was_read is True and not is_read:
+            ready = max(ready, self._last_cas_time + t.tRTW)
+        if self._last_cas_was_read is False and is_read:
+            wtr = t.tWTRL if bank_group == self._last_cas_bank_group else t.tWTRS
+            ready = max(ready, self._last_write_data_end + wtr)
+        return ready
+
+    def _act_ready_time(self, bank_group: int) -> int:
+        """Earliest time the next ACT may issue given ACT spacing rules."""
+        t = self.timing
+        ready = 0
+        if self._last_act_time != _NEG_INF:
+            gap = (
+                t.tRRDL
+                if bank_group == self._last_act_bank_group
+                else t.tRRDS
+            )
+            ready = self._last_act_time + gap
+        if len(self._act_window) >= 4:
+            ready = max(ready, self._act_window[0] + t.tFAW)
+        return ready
+
+    def command_ready_time(self, command: Command) -> int:
+        """Earliest time ``command`` satisfies the PC-level constraints."""
+        kind = command.kind
+        if kind is CommandKind.ACT:
+            return self._act_ready_time(command.bank_group)
+        if kind in (CommandKind.RD, CommandKind.RDA, CommandKind.WR, CommandKind.WRA):
+            return self._cas_ready_time(
+                command.bank_group, command.stack_id, command.is_read
+            )
+        return 0
+
+    # ------------------------------------------------------------ can_issue
+
+    def can_issue(self, command: Command, now: int) -> bool:
+        """Check all PC- and bank-level constraints for ``command`` at ``now``."""
+        if now < self.command_ready_time(command):
+            return False
+        bank = self.bank(command.bank_group, command.bank, command.stack_id)
+        if command.kind in (CommandKind.RD, CommandKind.RDA,
+                            CommandKind.WR, CommandKind.WRA):
+            group = self.stacks[command.stack_id][command.bank_group]
+            data_start = now + (
+                self.timing.tCL if command.is_read else self.timing.tCWL
+            )
+            if data_start < self._data_bus_busy_until:
+                return False
+            if not group.bus_free_at(now):
+                return False
+        if command.kind is CommandKind.REFAB:
+            return all(
+                b.can_issue(CommandKind.REFPB, now)
+                for b in self.all_banks()
+            )
+        if command.kind is CommandKind.PREA:
+            return True
+        return bank.can_issue(command.kind, now, command.row)
+
+    # ---------------------------------------------------------------- issue
+
+    def issue(self, command: Command, now: int) -> None:
+        """Issue ``command`` and update all timing state.
+
+        Raises ``RuntimeError`` when a constraint would be violated so that
+        scheduler bugs are surfaced instead of silently producing wrong
+        bandwidth numbers.
+        """
+        if not self.can_issue(command, now):
+            raise RuntimeError(f"cannot issue {command} at t={now}")
+        t = self.timing
+        kind = command.kind
+        self.counters.note_command(kind)
+        if kind is CommandKind.ACT:
+            bank = self.bank(command.bank_group, command.bank, command.stack_id)
+            bank.issue(kind, now, command.row)
+            self._last_act_time = now
+            self._last_act_bank_group = command.bank_group
+            self._act_window.append(now)
+            while len(self._act_window) > 4:
+                self._act_window.popleft()
+        elif kind in (CommandKind.RD, CommandKind.RDA, CommandKind.WR, CommandKind.WRA):
+            bank = self.bank(command.bank_group, command.bank, command.stack_id)
+            bank.issue(kind, now, command.row)
+            group = self.stacks[command.stack_id][command.bank_group]
+            group.note_cas(now)
+            self._last_cas_time = now
+            self._last_cas_bank_group = command.bank_group
+            self._last_cas_stack = command.stack_id
+            self._last_cas_was_read = command.is_read
+            data_start = now + (t.tCL if command.is_read else t.tCWL)
+            data_end = data_start + t.burst_ns
+            self._data_bus_busy_until = max(self._data_bus_busy_until, data_end)
+            self.counters.data_bus_busy_ns += t.burst_ns
+            if command.is_read:
+                self._last_read_data_end = data_end
+                self.counters.bytes_read += t.access_granularity_bytes
+            else:
+                self._last_write_data_end = data_end
+                self.counters.bytes_written += t.access_granularity_bytes
+        elif kind in (CommandKind.PRE,):
+            bank = self.bank(command.bank_group, command.bank, command.stack_id)
+            bank.issue(kind, now, command.row)
+        elif kind is CommandKind.PREA:
+            for bank in self.all_banks():
+                if bank.has_open_row and bank.can_issue(CommandKind.PRE, now):
+                    bank.issue(CommandKind.PRE, now)
+        elif kind is CommandKind.REFPB:
+            bank = self.bank(command.bank_group, command.bank, command.stack_id)
+            bank.issue(kind, now)
+        elif kind is CommandKind.REFAB:
+            for bank in self.all_banks():
+                bank.issue(CommandKind.REFPB, now)
+        elif kind is CommandKind.MRS:
+            pass  # mode register writes have no timing effect in this model
+        else:
+            raise ValueError(f"pseudo channel cannot issue {kind}")
+
+    # ----------------------------------------------------------------- stats
+
+    def tick(self, now: int) -> None:
+        """Advance transient bank states to ``now``."""
+        for bank in self.all_banks():
+            bank.tick(now)
+
+    def data_bus_utilization(self, elapsed_ns: int) -> float:
+        """Fraction of elapsed time the PC data bus transferred data."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return min(1.0, self.counters.data_bus_busy_ns / elapsed_ns)
+
+    def command_counts(self) -> Dict[str, int]:
+        return dict(self.counters.commands)
+
+    def total_activates(self) -> int:
+        return sum(
+            group.total_counter("activates")
+            for stack in self.stacks
+            for group in stack
+        )

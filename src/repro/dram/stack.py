@@ -1,0 +1,93 @@
+"""HBM cube (stack) organization.
+
+An HBM cube stacks DRAM dies on a logic die; each cube exposes many channels
+(32 in HBM4) and groups every four DRAM dies into a stack ID (SID).  The cube
+object is mostly an organizational container used for capacity accounting,
+pin-budget analysis, and for building multi-channel memory systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.dram.channel import Channel, ChannelConfig
+from repro.dram.timing import TimingParameters
+
+
+@dataclass(frozen=True)
+class StackConfig:
+    """Static organization of one HBM cube."""
+
+    channel: ChannelConfig
+    num_channels: int = 32
+    dies: int = 16                      # 16-Hi stack (paper's configuration)
+    capacity_gib: int = 32
+    data_rate_gbps: float = 8.0
+    dq_pins_per_channel: int = 64
+    row_ca_pins_per_channel: int = 10
+    col_ca_pins_per_channel: int = 8
+    misc_pins_per_channel: int = 38     # clocks, strobes, ECC, power mgmt, etc.
+
+    @property
+    def pins_per_channel(self) -> int:
+        """Total per-channel pin count (120 for HBM4 per the paper)."""
+        return (
+            self.dq_pins_per_channel
+            + self.row_ca_pins_per_channel
+            + self.col_ca_pins_per_channel
+            + self.misc_pins_per_channel
+        )
+
+    @property
+    def total_pins(self) -> int:
+        return self.pins_per_channel * self.num_channels
+
+    @property
+    def peak_bandwidth_gbps(self) -> float:
+        """Peak cube bandwidth in GB/s."""
+        return (
+            self.data_rate_gbps
+            * self.dq_pins_per_channel
+            * self.num_channels
+            / 8.0
+        )
+
+    @property
+    def channels_per_die(self) -> float:
+        return self.num_channels / max(1, self.dies // 2)
+
+
+def hbm4_stack_config(timing: TimingParameters | None = None) -> StackConfig:
+    """The paper's HBM4 cube: 32 channels, 8 Gbps, 32 GB, 16-Hi."""
+    channel = ChannelConfig(timing=timing or TimingParameters())
+    return StackConfig(channel=channel)
+
+
+class HBMStack:
+    """A full HBM cube instantiated with live channel simulators."""
+
+    def __init__(self, config: StackConfig, stack_index: int = 0,
+                 instantiate_channels: bool = True) -> None:
+        self.config = config
+        self.stack_index = stack_index
+        self.channels: List[Channel] = []
+        if instantiate_channels:
+            self.channels = [
+                Channel(config.channel, channel_id=i)
+                for i in range(config.num_channels)
+            ]
+
+    @property
+    def num_channels(self) -> int:
+        return self.config.num_channels
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.config.capacity_gib * (1 << 30)
+
+    def channel(self, index: int) -> Channel:
+        return self.channels[index]
+
+    def total_bytes_transferred(self) -> int:
+        return sum(channel.bytes_transferred() for channel in self.channels)

@@ -1,0 +1,113 @@
+"""DRAM timing parameter sets.
+
+All simulator time is expressed in integer nanoseconds, matching the
+resolution of the timing parameters the RoMe paper adopts for HBM4 (Table V).
+Because JEDEC has not finalized HBM4 timings, the paper (and therefore this
+reproduction) uses values from prior studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class TimingParameters:
+    """Conventional HBM timing parameters (Table II / Table V).
+
+    All values are in nanoseconds.  ``burst_ns`` is the time one column access
+    occupies the pseudo-channel data bus (32 B at 32 pins x 8 Gbps = 1 ns).
+    """
+
+    # Row commands
+    tRC: int = 45          # ACT to ACT in the same bank
+    tRP: int = 16          # PRE to ACT in the same bank
+    tRAS: int = 29         # ACT to PRE in the same bank
+    tRCDRD: int = 16       # ACT to RD in the same bank
+    tRCDWR: int = 16       # ACT to WR in the same bank
+    tRRDS: int = 2         # ACT to ACT, different bank group
+    tRRDL: int = 4         # ACT to ACT, same bank group
+    tFAW: int = 12         # rolling window for four ACTs
+
+    # Column commands
+    tCL: int = 16          # RD to first data
+    tCWL: int = 12         # WR to first data
+    tCCDS: int = 1         # CAS to CAS, different bank group
+    tCCDL: int = 2         # CAS to CAS, same bank group
+    tCCDR: int = 2         # CAS to CAS, different stack ID (rank)
+    tRTP: int = 6          # RD to PRE in the same bank
+    tWR: int = 16          # end of write data to PRE in the same bank
+    tRTW: int = 5          # RD to WR bus turnaround
+    tWTRS: int = 4         # WR to RD, different bank group
+    tWTRL: int = 8         # WR to RD, same bank group
+
+    # Refresh
+    tREFI: int = 3900      # average all-bank refresh interval
+    tRFCab: int = 350      # all-bank refresh cycle time
+    tREFIpb: int = 122     # per-bank refresh interval (tREFI / banks * stagger)
+    tRFCpb: int = 280      # per-bank refresh cycle time
+    tRREFD: int = 8        # REFpb to REFpb, different bank
+
+    # Data bus
+    burst_ns: int = 1      # bus occupancy of one 32 B column burst
+    access_granularity_bytes: int = 32
+    row_size_bytes: int = 1024
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return the timing parameters as a plain dictionary."""
+        return {
+            name: getattr(self, name)
+            for name in self.__dataclass_fields__  # type: ignore[attr-defined]
+        }
+
+    def scaled(self, factor: float) -> "TimingParameters":
+        """Return a copy with every latency scaled by ``factor``.
+
+        Bus/granularity fields are preserved.  Used for sensitivity studies.
+        """
+        scaled_fields = {}
+        for name, value in self.as_dict().items():
+            if name in ("burst_ns", "access_granularity_bytes", "row_size_bytes"):
+                scaled_fields[name] = value
+            else:
+                scaled_fields[name] = max(1, int(round(value * factor)))
+        return TimingParameters(**scaled_fields)
+
+    def with_overrides(self, **overrides: int) -> "TimingParameters":
+        """Return a copy with selected parameters replaced."""
+        return replace(self, **overrides)
+
+    @property
+    def columns_per_row(self) -> int:
+        """Number of column accesses needed to stream one full row."""
+        return self.row_size_bytes // self.access_granularity_bytes
+
+    @property
+    def row_stream_ns(self) -> int:
+        """Bus time to stream one full row from a single bank."""
+        return self.columns_per_row * self.tCCDL
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the parameter set is internally inconsistent."""
+        if self.tRAS + self.tRP > self.tRC:
+            raise ValueError(
+                f"tRAS ({self.tRAS}) + tRP ({self.tRP}) must not exceed tRC ({self.tRC})"
+            )
+        if self.tCCDS > self.tCCDL:
+            raise ValueError("tCCDS must be <= tCCDL")
+        if self.row_size_bytes % self.access_granularity_bytes:
+            raise ValueError("row size must be a multiple of the access granularity")
+        if min(self.as_dict().values()) < 0:
+            raise ValueError("timing parameters must be non-negative")
+
+
+#: HBM4 timing parameters adopted by the paper (Table V).
+HBM4_TIMING = TimingParameters()
+
+
+def derive_hbm4_timing(**overrides: int) -> TimingParameters:
+    """Return the paper's HBM4 timing with optional overrides applied."""
+    timing = HBM4_TIMING.with_overrides(**overrides) if overrides else HBM4_TIMING
+    timing.validate()
+    return timing

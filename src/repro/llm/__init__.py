@@ -1,0 +1,62 @@
+"""LLM workload substrate.
+
+Models the three LLMs the paper evaluates (DeepSeek-V3, Grok 1, and
+Llama 3-405B), their prefill/decode operator graphs, the parallelization
+strategies of Section VI-A, and the accelerator roofline used to estimate
+time-per-output-token (TPOT) on HBM4- and RoMe-based memory systems.
+"""
+
+from repro.llm.models import (
+    DEEPSEEK_V3,
+    GROK_1,
+    LLAMA_3_405B,
+    MODELS,
+    AttentionConfig,
+    AttentionKind,
+    FfnConfig,
+    FfnKind,
+    ModelConfig,
+)
+from repro.llm.parallelism import ParallelismConfig, default_decode_parallelism
+from repro.llm.layers import Operator, OperatorCategory, build_decode_operators, build_prefill_operators
+from repro.llm.accelerator import AcceleratorSpec, hbm4_accelerator, rome_accelerator
+from repro.llm.roofline import ExecutionReport, execute_operators
+from repro.llm.traffic import StageTraffic, stage_traffic
+from repro.llm.inference import (
+    TpotResult,
+    decode_tpot,
+    max_batch_size,
+    prefill_latency,
+)
+from repro.llm.batching import ContinuousBatch, decode_throughput
+
+__all__ = [
+    "AcceleratorSpec",
+    "AttentionConfig",
+    "AttentionKind",
+    "ContinuousBatch",
+    "DEEPSEEK_V3",
+    "ExecutionReport",
+    "FfnConfig",
+    "FfnKind",
+    "GROK_1",
+    "LLAMA_3_405B",
+    "MODELS",
+    "ModelConfig",
+    "Operator",
+    "OperatorCategory",
+    "ParallelismConfig",
+    "StageTraffic",
+    "TpotResult",
+    "build_decode_operators",
+    "build_prefill_operators",
+    "decode_throughput",
+    "decode_tpot",
+    "default_decode_parallelism",
+    "execute_operators",
+    "hbm4_accelerator",
+    "max_batch_size",
+    "prefill_latency",
+    "rome_accelerator",
+    "stage_traffic",
+]

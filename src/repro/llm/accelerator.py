@@ -1,0 +1,122 @@
+"""AI-accelerator and memory-system specifications (Section VI-A).
+
+The target accelerator sustains 280 Op/B for BF16 and attaches eight HBM4
+cubes: 256 GB of capacity and 16 TB/s of bandwidth, giving 4480 TFLOPS of
+BF16 throughput.  Eight such accelerators form the serving system.  The RoMe
+variant replaces each cube's 32 channels with 36 RoMe channels at the same
+data rate, raising per-cube bandwidth from 2 TB/s to 2.25 TB/s (12.5 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.core.pins import channel_expansion
+
+
+@dataclass(frozen=True)
+class AcceleratorSpec:
+    """One accelerator plus its attached HBM memory system."""
+
+    name: str
+    bf16_tflops: float = 4480.0
+    compute_efficiency: float = 0.85
+    hbm_cubes: int = 8
+    channels_per_cube: int = 32
+    channel_bandwidth_gbps: float = 64.0
+    capacity_gib_per_cube: int = 32
+    #: Fraction of peak channel bandwidth a streaming access achieves
+    #: (calibrated against the cycle-level simulators in repro.sim).
+    bandwidth_efficiency: float = 0.97
+    #: Interface access granularity seen by the memory controller.
+    access_granularity_bytes: int = 32
+    #: Per-operator launch/dispatch overhead in microseconds.
+    kernel_overhead_us: float = 2.0
+
+    @property
+    def num_channels(self) -> int:
+        return self.hbm_cubes * self.channels_per_cube
+
+    @property
+    def peak_bandwidth_gbps(self) -> float:
+        """Peak memory bandwidth of one accelerator in GB/s."""
+        return self.num_channels * self.channel_bandwidth_gbps
+
+    @property
+    def peak_bandwidth_tbps(self) -> float:
+        return self.peak_bandwidth_gbps / 1000.0
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.hbm_cubes * self.capacity_gib_per_cube * (1 << 30)
+
+    @property
+    def effective_tflops(self) -> float:
+        return self.bf16_tflops * self.compute_efficiency
+
+    @property
+    def effective_bandwidth_gbps(self) -> float:
+        return self.peak_bandwidth_gbps * self.bandwidth_efficiency
+
+    @property
+    def arithmetic_intensity_op_per_byte(self) -> float:
+        """Machine balance in Op/B (the paper targets 280)."""
+        return self.bf16_tflops * 1e12 / (self.peak_bandwidth_gbps * 1e9)
+
+    def with_bandwidth_efficiency(self, efficiency: float) -> "AcceleratorSpec":
+        return replace(self, bandwidth_efficiency=efficiency)
+
+
+def hbm4_accelerator(bandwidth_efficiency: float = 0.97) -> AcceleratorSpec:
+    """The baseline accelerator: 8 HBM4 cubes, 32 channels each, 2 TB/s/cube."""
+    return AcceleratorSpec(
+        name="hbm4",
+        channels_per_cube=32,
+        bandwidth_efficiency=bandwidth_efficiency,
+        access_granularity_bytes=32,
+    )
+
+
+def rome_accelerator(bandwidth_efficiency: float = 0.97) -> AcceleratorSpec:
+    """The RoMe accelerator: the same cubes with 36 channels (Section IV-E)."""
+    expansion = channel_expansion()
+    channels = expansion.baseline.num_channels + expansion.added_channels
+    return AcceleratorSpec(
+        name="rome",
+        channels_per_cube=channels,
+        bandwidth_efficiency=bandwidth_efficiency,
+        access_granularity_bytes=4096,
+    )
+
+
+@dataclass(frozen=True)
+class ServingSystem:
+    """A multi-accelerator serving deployment (8 accelerators in the paper)."""
+
+    accelerator: AcceleratorSpec
+    num_accelerators: int = 8
+
+    @property
+    def total_capacity_bytes(self) -> int:
+        return self.accelerator.capacity_bytes * self.num_accelerators
+
+    @property
+    def total_bandwidth_gbps(self) -> float:
+        return self.accelerator.peak_bandwidth_gbps * self.num_accelerators
+
+    @property
+    def total_tflops(self) -> float:
+        return self.accelerator.bf16_tflops * self.num_accelerators
+
+
+def default_serving_system(memory: str = "hbm4",
+                           num_accelerators: int = 8) -> ServingSystem:
+    """Build the paper's eight-accelerator serving system."""
+    if memory == "hbm4":
+        accelerator = hbm4_accelerator()
+    elif memory == "rome":
+        accelerator = rome_accelerator()
+    else:
+        raise ValueError("memory must be 'hbm4' or 'rome'")
+    return ServingSystem(accelerator=accelerator, num_accelerators=num_accelerators)

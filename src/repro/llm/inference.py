@@ -1,0 +1,175 @@
+"""End-to-end inference timing: TPOT (decode) and prefill latency.
+
+This is the trace-driven equivalent of the paper's LLMSimulator + Ramulator
+stack: operators are produced per decode step, timed with the accelerator
+roofline, and the memory time is modulated by the channel load-balance ratio
+that the 4 KB RoMe interleaving induces (Figures 12 and 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.lbr import ChannelLoadModel
+from repro.llm.accelerator import AcceleratorSpec, hbm4_accelerator, rome_accelerator
+from repro.llm.layers import OperatorCategory, build_decode_operators, build_prefill_operators
+from repro.llm.models import ModelConfig
+from repro.llm.parallelism import (
+    ParallelismConfig,
+    default_decode_parallelism,
+    default_prefill_parallelism,
+)
+from repro.llm.roofline import ExecutionReport, execute_operators
+
+
+@dataclass(frozen=True)
+class TpotResult:
+    """Decode-stage result for one (model, memory system, batch) point."""
+
+    model_name: str
+    memory_name: str
+    batch: int
+    sequence_length: int
+    tpot_ms: float
+    lbr_attention: float
+    lbr_ffn: float
+    memory_bound_fraction: float
+    bytes_per_step: float
+    time_by_category_ms: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def tokens_per_second(self) -> float:
+        """Aggregate decode throughput of the serving system."""
+        if self.tpot_ms <= 0:
+            return 0.0
+        return self.batch / (self.tpot_ms / 1e3)
+
+
+def _load_model_for(accelerator: AcceleratorSpec) -> ChannelLoadModel:
+    return ChannelLoadModel(
+        num_channels=accelerator.num_channels,
+        chunk_bytes=accelerator.access_granularity_bytes,
+    )
+
+
+def decode_tpot(
+    model: ModelConfig,
+    batch: int,
+    sequence_length: int,
+    accelerator: Optional[AcceleratorSpec] = None,
+    parallelism: Optional[ParallelismConfig] = None,
+) -> TpotResult:
+    """Time per output token for one decode step (Figure 12)."""
+    accelerator = accelerator or hbm4_accelerator()
+    parallelism = parallelism or default_decode_parallelism(model)
+    operators = build_decode_operators(model, batch, sequence_length, parallelism)
+    load_model = _load_model_for(accelerator)
+    report = execute_operators(
+        operators,
+        accelerator,
+        lbr_fn=load_model.operator_lbr,
+        interconnect_gbps=parallelism.interconnect_gbps,
+    )
+    return TpotResult(
+        model_name=model.name,
+        memory_name=accelerator.name,
+        batch=batch,
+        sequence_length=sequence_length,
+        tpot_ms=report.total_ms,
+        lbr_attention=report.weighted_lbr(OperatorCategory.ATTENTION),
+        lbr_ffn=report.weighted_lbr(OperatorCategory.FFN),
+        memory_bound_fraction=report.memory_bound_fraction(),
+        bytes_per_step=report.total_memory_bytes(),
+        time_by_category_ms={
+            key: value * 1e3 for key, value in report.time_by_category().items()
+        },
+    )
+
+
+def decode_comparison(
+    model: ModelConfig,
+    batch: int,
+    sequence_length: int = 8192,
+) -> Dict[str, TpotResult]:
+    """HBM4 versus RoMe TPOT for one batch point."""
+    return {
+        "hbm4": decode_tpot(model, batch, sequence_length, hbm4_accelerator()),
+        "rome": decode_tpot(model, batch, sequence_length, rome_accelerator()),
+    }
+
+
+def prefill_latency(
+    model: ModelConfig,
+    batch: int,
+    sequence_length: int,
+    accelerator: Optional[AcceleratorSpec] = None,
+    parallelism: Optional[ParallelismConfig] = None,
+) -> ExecutionReport:
+    """Prefill-stage execution report (compute bound; Section VI-B)."""
+    accelerator = accelerator or hbm4_accelerator()
+    parallelism = parallelism or default_prefill_parallelism(model)
+    operators = build_prefill_operators(model, batch, sequence_length, parallelism)
+    load_model = _load_model_for(accelerator)
+    return execute_operators(
+        operators,
+        accelerator,
+        lbr_fn=load_model.operator_lbr,
+        interconnect_gbps=parallelism.interconnect_gbps,
+    )
+
+
+def max_batch_size(
+    model: ModelConfig,
+    sequence_length: int = 8192,
+    accelerator: Optional[AcceleratorSpec] = None,
+    num_accelerators: int = 8,
+    activation_reserve_fraction: float = 0.05,
+    power_of_two: bool = True,
+) -> int:
+    """Largest batch whose weights + KV cache fit in the system memory.
+
+    The paper caps each model's batch sweep at the capacity limit
+    (1024 / 512 / 256 for DeepSeek-V3 / Grok 1 / Llama 3 at 8 K context).
+    """
+    accelerator = accelerator or hbm4_accelerator()
+    capacity = accelerator.capacity_bytes * num_accelerators
+    capacity = int(capacity * (1.0 - activation_reserve_fraction))
+    weights = model.total_weight_bytes()
+    kv_per_sequence = model.kv_bytes_per_sequence(sequence_length)
+    if weights >= capacity or kv_per_sequence <= 0:
+        return 0
+    raw = (capacity - weights) // kv_per_sequence
+    if raw < 1:
+        return 0
+    if not power_of_two:
+        return int(raw)
+    batch = 1
+    while batch * 2 <= raw:
+        batch *= 2
+    return batch
+
+
+def batch_sweep(
+    model: ModelConfig,
+    batches: List[int],
+    sequence_length: int = 8192,
+) -> List[Dict[str, float]]:
+    """The Figure 12 sweep: TPOT for HBM4 and RoMe across batch sizes."""
+    rows: List[Dict[str, float]] = []
+    for batch in batches:
+        comparison = decode_comparison(model, batch, sequence_length)
+        hbm4 = comparison["hbm4"]
+        rome = comparison["rome"]
+        rows.append(
+            {
+                "model": model.name,
+                "batch": batch,
+                "hbm4_tpot_ms": hbm4.tpot_ms,
+                "rome_tpot_ms": rome.tpot_ms,
+                "tpot_reduction": 1.0 - rome.tpot_ms / hbm4.tpot_ms,
+                "rome_lbr_attention": rome.lbr_attention,
+                "rome_lbr_ffn": rome.lbr_ffn,
+            }
+        )
+    return rows

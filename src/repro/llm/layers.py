@@ -1,0 +1,340 @@
+"""Operator-level decomposition of prefill and decode steps.
+
+Each decoder layer is decomposed into the operators that dominate data
+movement (Figure 5): the attention projections, the score/context attention
+computation over the KV-cache, and the FFN (dense or MoE).  Every operator
+records its per-device FLOPs, the bytes it streams from each data class
+(weights, activations, KV-cache), and the sizes of the individually
+contiguous tensors it touches -- the latter drive the channel load-balance
+analysis of Figure 13.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.llm.models import AttentionKind, FfnKind, ModelConfig
+from repro.llm.parallelism import ParallelismConfig
+
+
+class OperatorCategory(enum.Enum):
+    ATTENTION = "attention"
+    FFN = "ffn"
+    HEAD = "head"
+    COMMUNICATION = "communication"
+    ELEMENTWISE = "elementwise"
+
+
+@dataclass(frozen=True)
+class Operator:
+    """One per-device operator of a prefill or decode step."""
+
+    name: str
+    category: OperatorCategory
+    flops: float = 0.0
+    weight_bytes: float = 0.0
+    activation_bytes: float = 0.0
+    kv_read_bytes: float = 0.0
+    kv_write_bytes: float = 0.0
+    communication_bytes: float = 0.0
+    #: Sizes of the individually contiguous tensors streamed from memory
+    #: (used by the channel load-balance model).
+    tensor_bytes: Tuple[float, ...] = ()
+
+    @property
+    def memory_bytes(self) -> float:
+        """All bytes moved through the memory system by this operator."""
+        return (
+            self.weight_bytes
+            + self.activation_bytes
+            + self.kv_read_bytes
+            + self.kv_write_bytes
+        )
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        if self.memory_bytes == 0:
+            return float("inf")
+        return self.flops / self.memory_bytes
+
+
+def _attention_decode_operators(
+    model: ModelConfig,
+    batch: int,
+    sequence_length: int,
+    parallelism: ParallelismConfig,
+    layer_index: int,
+) -> List[Operator]:
+    """Attention operators for one decode step of one layer (per device)."""
+    attn = model.attention
+    dtype = model.dtype_bytes
+    hidden = model.hidden_size
+    tp = parallelism.attention_tp
+    seqs = batch / parallelism.attention_dp
+
+    weight_tensors = [
+        size / tp for _, size in attn.weight_matrices(hidden, dtype)
+    ]
+    weight_bytes = sum(weight_tensors)
+    weight_params = weight_bytes / dtype
+    projection_flops = 2.0 * weight_params * seqs
+    projection_activation = seqs * hidden * dtype * 4.0
+
+    kv_per_token = attn.kv_bytes_per_token_per_layer(dtype)
+    if attn.kind is AttentionKind.MLA:
+        kv_shard = 1.0  # the compressed latent cache is not TP-sharded
+        heads_per_device = attn.num_heads
+        score_dim = attn.qk_nope_head_dim + attn.qk_rope_head_dim
+        context_dim = attn.v_head_dim
+    else:
+        kv_shard = 1.0 / tp
+        heads_per_device = attn.num_heads / tp
+        score_dim = attn.head_dim
+        context_dim = attn.head_dim
+    kv_read = seqs * sequence_length * kv_per_token * kv_shard
+    kv_write = seqs * kv_per_token * kv_shard
+    attention_flops = (
+        2.0 * seqs * sequence_length * heads_per_device * (score_dim + context_dim)
+    )
+    # The KV cache is allocated from a contiguous paged pool, so the whole
+    # per-layer read behaves as one striped stream for load-balance purposes
+    # (a single sequence still exposes the per-sequence remainder).
+    kv_tensors = [max(kv_read, sequence_length * kv_per_token * kv_shard)]
+
+    operators = [
+        Operator(
+            name=f"layer{layer_index}.attn.projections",
+            category=OperatorCategory.ATTENTION,
+            flops=projection_flops,
+            weight_bytes=weight_bytes,
+            activation_bytes=projection_activation,
+            tensor_bytes=tuple(weight_tensors),
+        ),
+        Operator(
+            name=f"layer{layer_index}.attn.score_context",
+            category=OperatorCategory.ATTENTION,
+            flops=attention_flops,
+            kv_read_bytes=kv_read,
+            kv_write_bytes=kv_write,
+            activation_bytes=seqs * hidden * dtype * 2.0,
+            tensor_bytes=tuple(kv_tensors),
+        ),
+    ]
+    if tp > 1:
+        operators.append(
+            Operator(
+                name=f"layer{layer_index}.attn.allreduce",
+                category=OperatorCategory.COMMUNICATION,
+                communication_bytes=2.0 * seqs * hidden * dtype * (tp - 1) / tp,
+            )
+        )
+    return operators
+
+
+def _ffn_decode_operators(
+    model: ModelConfig,
+    batch: int,
+    parallelism: ParallelismConfig,
+    layer_index: int,
+) -> List[Operator]:
+    """FFN operators for one decode step of one layer (per device)."""
+    ffn = model.ffn
+    dtype = model.dtype_bytes
+    hidden = model.hidden_size
+    operators: List[Operator] = []
+
+    if ffn.is_moe_layer(layer_index):
+        num_devices = parallelism.num_devices
+        experts_per_device = ffn.num_experts / num_devices
+        active_global = model.expected_active_experts(batch)
+        active_per_device = min(experts_per_device, active_global / num_devices)
+        expert_bytes = ffn.expert_weight_bytes(hidden, dtype)
+        tokens_routed = batch * ffn.top_k / num_devices
+        matrix_bytes = expert_bytes / 3.0
+        tensors = [matrix_bytes] * max(1, int(round(active_per_device * 3)))
+        weight_bytes = active_per_device * expert_bytes
+        operators.append(
+            Operator(
+                name=f"layer{layer_index}.moe.experts",
+                category=OperatorCategory.FFN,
+                flops=2.0 * (expert_bytes / dtype) * tokens_routed,
+                weight_bytes=weight_bytes,
+                activation_bytes=tokens_routed * hidden * dtype * 3.0,
+                tensor_bytes=tuple(tensors),
+            )
+        )
+        shared_bytes = ffn.shared_expert_weight_bytes(hidden, dtype) / num_devices
+        if shared_bytes:
+            operators.append(
+                Operator(
+                    name=f"layer{layer_index}.moe.shared_expert",
+                    category=OperatorCategory.FFN,
+                    flops=2.0 * (shared_bytes / dtype) * batch,
+                    weight_bytes=shared_bytes,
+                    activation_bytes=batch * hidden * dtype * 2.0 / num_devices,
+                    tensor_bytes=(shared_bytes / 3.0,) * 3,
+                )
+            )
+        router_bytes = ffn.router_weight_bytes(hidden, dtype)
+        operators.append(
+            Operator(
+                name=f"layer{layer_index}.moe.router",
+                category=OperatorCategory.FFN,
+                flops=2.0 * (router_bytes / dtype) * batch / num_devices,
+                weight_bytes=router_bytes,
+                activation_bytes=batch * ffn.num_experts * dtype / num_devices,
+                tensor_bytes=(router_bytes,),
+            )
+        )
+        # Expert-parallel all-to-all: tokens travel to the expert's device and
+        # their outputs travel back.
+        operators.append(
+            Operator(
+                name=f"layer{layer_index}.moe.all_to_all",
+                category=OperatorCategory.COMMUNICATION,
+                communication_bytes=2.0 * tokens_routed * hidden * dtype,
+            )
+        )
+    else:
+        tp = parallelism.ffn_tp
+        dense_bytes = ffn.dense_weight_bytes(hidden, dtype) / tp
+        matrix_bytes = dense_bytes / 3.0
+        operators.append(
+            Operator(
+                name=f"layer{layer_index}.ffn.dense",
+                category=OperatorCategory.FFN,
+                flops=2.0 * (dense_bytes / dtype) * batch,
+                weight_bytes=dense_bytes,
+                activation_bytes=batch * hidden * dtype * 3.0,
+                tensor_bytes=(matrix_bytes,) * 3,
+            )
+        )
+        if tp > 1:
+            operators.append(
+                Operator(
+                    name=f"layer{layer_index}.ffn.allreduce",
+                    category=OperatorCategory.COMMUNICATION,
+                    communication_bytes=2.0 * batch * hidden * dtype * (tp - 1) / tp,
+                )
+            )
+    return operators
+
+
+def _head_decode_operators(model: ModelConfig, batch: int,
+                           parallelism: ParallelismConfig) -> List[Operator]:
+    """Final norm + LM head for one decode step (per device)."""
+    dtype = model.dtype_bytes
+    tp = parallelism.num_devices
+    head_bytes = model.lm_head_weight_bytes() / tp
+    return [
+        Operator(
+            name="lm_head",
+            category=OperatorCategory.HEAD,
+            flops=2.0 * (head_bytes / dtype) * batch,
+            weight_bytes=head_bytes,
+            activation_bytes=batch * model.vocab_size * dtype / tp,
+            tensor_bytes=(head_bytes,),
+        )
+    ]
+
+
+def build_decode_operators(
+    model: ModelConfig,
+    batch: int,
+    sequence_length: int,
+    parallelism: ParallelismConfig,
+) -> List[Operator]:
+    """Per-device operators of one decode step (one output token per sequence)."""
+    if batch <= 0:
+        raise ValueError("batch must be positive")
+    if sequence_length <= 0:
+        raise ValueError("sequence_length must be positive")
+    operators: List[Operator] = []
+    for layer in range(model.num_layers):
+        operators.extend(
+            _attention_decode_operators(model, batch, sequence_length, parallelism, layer)
+        )
+        operators.extend(_ffn_decode_operators(model, batch, parallelism, layer))
+    operators.extend(_head_decode_operators(model, batch, parallelism))
+    return operators
+
+
+def build_prefill_operators(
+    model: ModelConfig,
+    batch: int,
+    sequence_length: int,
+    parallelism: ParallelismConfig,
+) -> List[Operator]:
+    """Per-device operators of one prefill step over the whole input.
+
+    Prefill processes ``batch * sequence_length`` tokens at once; it is
+    dominated by GEMMs and therefore compute-bound (Section VI-B).
+    """
+    tokens = batch * sequence_length
+    dtype = model.dtype_bytes
+    hidden = model.hidden_size
+    attn = model.attention
+    operators: List[Operator] = []
+    tp = parallelism.attention_tp
+    for layer in range(model.num_layers):
+        weight_tensors = [s / tp for _, s in attn.weight_matrices(hidden, dtype)]
+        weight_bytes = sum(weight_tensors)
+        operators.append(
+            Operator(
+                name=f"layer{layer}.attn.projections",
+                category=OperatorCategory.ATTENTION,
+                flops=2.0 * (weight_bytes / dtype) * tokens,
+                weight_bytes=weight_bytes,
+                activation_bytes=tokens * hidden * dtype * 4.0 / tp,
+                kv_write_bytes=tokens
+                * attn.kv_bytes_per_token_per_layer(dtype)
+                / (tp if attn.kind is not AttentionKind.MLA else 1),
+                tensor_bytes=tuple(weight_tensors),
+            )
+        )
+        if attn.kind is AttentionKind.MLA:
+            heads = attn.num_heads
+            dim = attn.qk_nope_head_dim + attn.qk_rope_head_dim + attn.v_head_dim
+        else:
+            heads = attn.num_heads / tp
+            dim = 2 * attn.head_dim
+        operators.append(
+            Operator(
+                name=f"layer{layer}.attn.score_context",
+                category=OperatorCategory.ATTENTION,
+                flops=batch * heads * dim * sequence_length * sequence_length,
+                activation_bytes=tokens * hidden * dtype * 2.0 / tp,
+                tensor_bytes=(),
+            )
+        )
+        ffn = model.ffn
+        if ffn.is_moe_layer(layer):
+            expert_bytes = ffn.expert_weight_bytes(hidden, dtype)
+            owned = ffn.num_experts / parallelism.num_devices
+            tokens_routed = tokens * ffn.top_k / parallelism.num_devices
+            operators.append(
+                Operator(
+                    name=f"layer{layer}.moe.experts",
+                    category=OperatorCategory.FFN,
+                    flops=2.0 * (expert_bytes / dtype) * tokens_routed,
+                    weight_bytes=owned * expert_bytes,
+                    activation_bytes=tokens_routed * hidden * dtype * 3.0,
+                    tensor_bytes=(expert_bytes / 3.0,) * int(3 * owned),
+                )
+            )
+        else:
+            dense_bytes = ffn.dense_weight_bytes(hidden, dtype) / parallelism.ffn_tp
+            operators.append(
+                Operator(
+                    name=f"layer{layer}.ffn.dense",
+                    category=OperatorCategory.FFN,
+                    flops=2.0 * (dense_bytes / dtype) * tokens,
+                    weight_bytes=dense_bytes,
+                    activation_bytes=tokens * hidden * dtype * 3.0 / parallelism.ffn_tp,
+                    tensor_bytes=(dense_bytes / 3.0,) * 3,
+                )
+            )
+    operators.extend(_head_decode_operators(model, batch, parallelism))
+    return operators

@@ -1,0 +1,87 @@
+"""Parallelization strategies across the eight-accelerator system.
+
+Section VI-A: during prefill, tensor parallelism (TP) of degree 8 is applied
+everywhere.  During decode the attention layers use TP 1 / data parallelism
+for DeepSeek-V3 (the compressed MLA KV-cache favours DP) and TP 8 for Grok 1
+and Llama 3; MoE layers use expert parallelism (each accelerator owns a
+distinct subset of experts), and Llama 3's dense FFN uses TP 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.llm.models import FfnKind, ModelConfig
+
+
+@dataclass(frozen=True)
+class ParallelismConfig:
+    """How one decode (or prefill) step is split across accelerators."""
+
+    num_devices: int = 8
+    attention_tp: int = 8
+    attention_dp: int = 1
+    ffn_tp: int = 8
+    expert_parallel: bool = False
+    #: Interconnect bandwidth per device for TP collectives (GB/s).
+    interconnect_gbps: float = 900.0
+
+    def __post_init__(self) -> None:
+        if self.attention_tp * self.attention_dp != self.num_devices:
+            raise ValueError(
+                "attention_tp * attention_dp must equal num_devices "
+                f"({self.attention_tp} * {self.attention_dp} != {self.num_devices})"
+            )
+        if not self.expert_parallel and self.ffn_tp > self.num_devices:
+            raise ValueError("ffn_tp cannot exceed num_devices")
+
+    @property
+    def sequences_per_device_factor(self) -> float:
+        """Fraction of the global batch whose attention runs on one device."""
+        return 1.0 / self.attention_dp
+
+    @property
+    def attention_weight_shard(self) -> float:
+        """Fraction of the attention weights stored/read per device."""
+        return 1.0 / self.attention_tp
+
+    @property
+    def ffn_weight_shard(self) -> float:
+        """Fraction of a dense FFN layer's weights read per device."""
+        return 1.0 / self.ffn_tp
+
+    @property
+    def experts_shard(self) -> float:
+        """Fraction of the expert pool owned by one device under EP."""
+        return 1.0 / self.num_devices if self.expert_parallel else 1.0
+
+
+def default_decode_parallelism(model: ModelConfig,
+                               num_devices: int = 8) -> ParallelismConfig:
+    """The decode-stage parallelization the paper uses for each model."""
+    is_mla = model.attention.kind.value == "mla"
+    is_moe = model.ffn.kind is FfnKind.MOE
+    if is_mla:
+        attention_tp, attention_dp = 1, num_devices
+    else:
+        attention_tp, attention_dp = num_devices, 1
+    return ParallelismConfig(
+        num_devices=num_devices,
+        attention_tp=attention_tp,
+        attention_dp=attention_dp,
+        ffn_tp=num_devices,
+        expert_parallel=is_moe,
+    )
+
+
+def default_prefill_parallelism(model: ModelConfig,
+                                num_devices: int = 8) -> ParallelismConfig:
+    """Prefill uses TP across all eight accelerators for every model."""
+    is_moe = model.ffn.kind is FfnKind.MOE
+    return ParallelismConfig(
+        num_devices=num_devices,
+        attention_tp=num_devices,
+        attention_dp=1,
+        ffn_tp=num_devices,
+        expert_parallel=is_moe,
+    )

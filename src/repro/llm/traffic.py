@@ -1,0 +1,163 @@
+"""Per-stage memory-footprint analysis (Figure 1).
+
+Figure 1 shows the distribution of weight, activation, and KV-cache tensor
+sizes for DeepSeek-V3, Grok 1, and Llama 3 in the prefill and decode stages:
+most weight and KV-cache accesses exceed several hundred kilobytes, far above
+the 32 B access granularity of conventional HBM.  This module enumerates the
+individual tensors each stage touches and summarizes their size distribution.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.llm.models import AttentionKind, FfnKind, ModelConfig
+
+
+class Stage(enum.Enum):
+    PREFILL = "prefill"
+    DECODE = "decode"
+
+
+@dataclass
+class StageTraffic:
+    """Tensor-size populations for one (model, stage) pair."""
+
+    model_name: str
+    stage: Stage
+    batch: int
+    sequence_length: int
+    weight_tensor_bytes: List[int] = field(default_factory=list)
+    activation_tensor_bytes: List[int] = field(default_factory=list)
+    kv_tensor_bytes: List[int] = field(default_factory=list)
+
+    def _summary(self, values: List[int]) -> Dict[str, float]:
+        if not values:
+            return {"count": 0, "min": 0.0, "median": 0.0, "max": 0.0, "total": 0.0}
+        ordered = sorted(values)
+        return {
+            "count": len(ordered),
+            "min": float(ordered[0]),
+            "median": float(ordered[len(ordered) // 2]),
+            "max": float(ordered[-1]),
+            "total": float(sum(ordered)),
+        }
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        return {
+            "weight": self._summary(self.weight_tensor_bytes),
+            "activation": self._summary(self.activation_tensor_bytes),
+            "kv_cache": self._summary(self.kv_tensor_bytes),
+        }
+
+    def fraction_above(self, threshold_bytes: int) -> Dict[str, float]:
+        """Fraction of each population at or above ``threshold_bytes``."""
+        result = {}
+        for name, values in (
+            ("weight", self.weight_tensor_bytes),
+            ("activation", self.activation_tensor_bytes),
+            ("kv_cache", self.kv_tensor_bytes),
+        ):
+            if not values:
+                result[name] = 0.0
+                continue
+            result[name] = sum(1 for v in values if v >= threshold_bytes) / len(values)
+        return result
+
+
+def _weight_tensors(model: ModelConfig) -> List[int]:
+    """Every weight matrix of the model, one entry per tensor (one layer each
+    distinct shape; identical layers are represented once per layer)."""
+    tensors: List[int] = []
+    dtype = model.dtype_bytes
+    hidden = model.hidden_size
+    tensors.append(model.embedding_weight_bytes())
+    tensors.append(model.lm_head_weight_bytes())
+    for layer in range(model.num_layers):
+        tensors.extend(
+            size for _, size in model.attention.weight_matrices(hidden, dtype)
+        )
+        ffn = model.ffn
+        if ffn.is_moe_layer(layer):
+            expert = ffn.expert_weight_bytes(hidden, dtype)
+            # Three projection matrices per expert.
+            tensors.extend([expert // 3] * 3 * ffn.num_experts)
+            if ffn.num_shared_experts:
+                tensors.extend([expert // 3] * 3 * ffn.num_shared_experts)
+            router = ffn.router_weight_bytes(hidden, dtype)
+            if router:
+                tensors.append(router)
+        else:
+            dense = ffn.dense_weight_bytes(hidden, dtype)
+            tensors.extend([dense // 3] * 3)
+    return tensors
+
+
+def stage_traffic(
+    model: ModelConfig,
+    stage: Stage,
+    batch: int,
+    sequence_length: int = 8192,
+) -> StageTraffic:
+    """Enumerate tensor sizes touched by one step of ``stage``."""
+    dtype = model.dtype_bytes
+    hidden = model.hidden_size
+    traffic = StageTraffic(
+        model_name=model.name,
+        stage=stage,
+        batch=batch,
+        sequence_length=sequence_length,
+    )
+    traffic.weight_tensor_bytes = _weight_tensors(model)
+
+    tokens = batch * sequence_length if stage is Stage.PREFILL else batch
+    # Activations: the hidden-state tensor entering each layer plus the FFN
+    # intermediate tensor (per layer).
+    for layer in range(model.num_layers):
+        traffic.activation_tensor_bytes.append(tokens * hidden * dtype)
+        if model.ffn.is_moe_layer(layer):
+            inter = model.ffn.moe_intermediate_size
+            active_tokens = tokens * model.ffn.top_k
+        else:
+            inter = model.ffn.intermediate_size
+            active_tokens = tokens
+        traffic.activation_tensor_bytes.append(active_tokens * inter * dtype)
+
+    # KV cache: one tensor per layer per sequence.  In decode the cache holds
+    # both the prompt and the generated tokens, so it is read in full; in
+    # prefill it is written for the prompt tokens only.
+    kv_per_token_layer = model.attention.kv_bytes_per_token_per_layer(dtype)
+    kv_tokens = sequence_length
+    for _layer in range(model.num_layers):
+        for _seq in range(min(batch, 64)):  # cap the population size
+            traffic.kv_tensor_bytes.append(kv_tokens * kv_per_token_layer)
+    return traffic
+
+
+def figure1_table(
+    models: List[ModelConfig],
+    batch: int = 64,
+    sequence_length: int = 8192,
+) -> List[Dict[str, object]]:
+    """Summary rows matching the structure of Figure 1."""
+    rows: List[Dict[str, object]] = []
+    for model in models:
+        for stage in (Stage.PREFILL, Stage.DECODE):
+            traffic = stage_traffic(model, stage, batch, sequence_length)
+            summary = traffic.summary()
+            rows.append(
+                {
+                    "model": model.name,
+                    "stage": stage.value,
+                    "weight_median_bytes": summary["weight"]["median"],
+                    "weight_max_bytes": summary["weight"]["max"],
+                    "activation_median_bytes": summary["activation"]["median"],
+                    "kv_median_bytes": summary["kv_cache"]["median"],
+                    "fraction_weights_over_100KB": traffic.fraction_above(100 * 1024)[
+                        "weight"
+                    ],
+                }
+            )
+    return rows

@@ -1,0 +1,39 @@
+"""Simulation engine, workload traces, and multi-channel memory systems."""
+
+from repro.sim.stats import BandwidthResult, LatencyResult, SimulationResult
+from repro.sim.traces import (
+    TracePattern,
+    mixed_trace,
+    random_trace,
+    streaming_trace,
+    strided_trace,
+)
+from repro.sim.memory_system import (
+    ConventionalMemorySystem,
+    RoMeMemorySystem,
+    MemorySystemConfig,
+)
+from repro.sim.engine import Simulation
+from repro.sim.runner import (
+    measure_conventional_streaming,
+    measure_rome_streaming,
+    queue_depth_sweep,
+)
+
+__all__ = [
+    "BandwidthResult",
+    "ConventionalMemorySystem",
+    "LatencyResult",
+    "MemorySystemConfig",
+    "RoMeMemorySystem",
+    "Simulation",
+    "SimulationResult",
+    "TracePattern",
+    "measure_conventional_streaming",
+    "measure_rome_streaming",
+    "mixed_trace",
+    "queue_depth_sweep",
+    "random_trace",
+    "streaming_trace",
+    "strided_trace",
+]

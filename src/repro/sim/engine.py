@@ -1,0 +1,54 @@
+"""A small lockstep simulation engine.
+
+The per-channel controllers are independent cycle-level simulators; the
+engine advances a set of them in lockstep and supports early termination on a
+predicate.  It exists mostly for multi-controller experiments where channels
+receive requests over time (e.g. continuous batching studies) rather than the
+load-then-drain pattern the memory-system wrappers use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Protocol, Sequence
+
+
+class Tickable(Protocol):
+    """Anything that advances one nanosecond at a time."""
+
+    now: int
+
+    def tick(self) -> None:  # pragma: no cover - protocol definition
+        ...
+
+
+@dataclass
+class Simulation:
+    """Advance a set of tickable controllers in lockstep."""
+
+    controllers: Sequence[Tickable]
+    #: Called once per nanosecond before the controllers tick; useful for
+    #: injecting requests over time.
+    on_cycle: Optional[Callable[[int], None]] = None
+    now: int = 0
+
+    def step(self) -> None:
+        if self.on_cycle is not None:
+            self.on_cycle(self.now)
+        for controller in self.controllers:
+            controller.tick()
+        self.now += 1
+
+    def run_for(self, duration_ns: int) -> int:
+        end = self.now + duration_ns
+        while self.now < end:
+            self.step()
+        return self.now
+
+    def run_until(self, predicate: Callable[[], bool], max_ns: int = 10_000_000) -> int:
+        """Step until ``predicate()`` is true; raises if ``max_ns`` elapses."""
+        while not predicate():
+            if self.now >= max_ns:
+                raise RuntimeError(f"simulation did not converge within {max_ns} ns")
+            self.step()
+        return self.now

@@ -1,0 +1,118 @@
+"""High-level measurement helpers used by tests, examples, and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.controller.mc import ControllerConfig
+from repro.controller.request import RequestKind
+from repro.core.controller import RoMeControllerConfig, RoMeMemoryController
+from repro.core.interface import RowRequestKind, requests_for_transfer
+from repro.core.timing import ROME_TIMING
+from repro.core.virtual_bank import VirtualBankConfig, paper_vba_config
+from repro.dram.timing import TimingParameters
+from repro.sim.memory_system import (
+    ConventionalMemorySystem,
+    MemorySystemConfig,
+    RoMeMemorySystem,
+)
+from repro.sim.stats import SimulationResult
+from repro.sim.traces import streaming_trace
+
+
+def measure_conventional_streaming(
+    total_bytes: int = 512 * 1024,
+    num_channels: int = 1,
+    read_queue_depth: int = 64,
+    page_policy: str = "open",
+    request_bytes: int = 4096,
+    enable_refresh: bool = False,
+    timing: Optional[TimingParameters] = None,
+) -> SimulationResult:
+    """Stream ``total_bytes`` of reads through the conventional system."""
+    config = MemorySystemConfig(
+        num_channels=num_channels,
+        controller=ControllerConfig(
+            timing=timing or TimingParameters(),
+            read_queue_depth=read_queue_depth,
+            write_queue_depth=read_queue_depth,
+            page_policy=page_policy,
+            enable_refresh=enable_refresh,
+        ),
+    )
+    system = ConventionalMemorySystem(config)
+    system.enqueue_many(
+        streaming_trace(total_bytes, request_bytes=request_bytes,
+                        kind=RequestKind.READ)
+    )
+    system.run_until_idle()
+    return system.result(name=f"hbm4-q{read_queue_depth}")
+
+
+def measure_rome_streaming(
+    total_bytes: int = 512 * 1024,
+    num_channels: int = 1,
+    request_queue_depth: int = 4,
+    vba: Optional[VirtualBankConfig] = None,
+    enable_refresh: bool = False,
+    write_fraction: float = 0.0,
+) -> SimulationResult:
+    """Stream ``total_bytes`` through the RoMe system as row requests."""
+    vba = vba or paper_vba_config()
+    config = MemorySystemConfig(
+        num_channels=num_channels,
+        rome_controller=RoMeControllerConfig(
+            timing=ROME_TIMING,
+            vba=vba,
+            request_queue_depth=request_queue_depth,
+            enable_refresh=enable_refresh,
+        ),
+    )
+    system = RoMeMemorySystem(config)
+    row_bytes = vba.effective_row_bytes
+    read_bytes = int(total_bytes * (1.0 - write_fraction))
+    write_bytes = total_bytes - read_bytes
+    requests = requests_for_transfer(
+        read_bytes,
+        kind=RowRequestKind.RD_ROW,
+        effective_row_bytes=row_bytes,
+        num_channels=num_channels,
+        vbas_per_channel=vba.vbas_per_channel_per_sid,
+    )
+    if write_bytes:
+        requests += requests_for_transfer(
+            write_bytes,
+            kind=RowRequestKind.WR_ROW,
+            effective_row_bytes=row_bytes,
+            num_channels=num_channels,
+            vbas_per_channel=vba.vbas_per_channel_per_sid,
+            start_row=1 << 10,
+        )
+    system.enqueue_many(requests)
+    system.run_until_idle()
+    return system.result(name=f"rome-q{request_queue_depth}")
+
+
+def queue_depth_sweep(
+    depths: List[int],
+    system: str = "rome",
+    total_bytes: int = 256 * 1024,
+) -> Dict[int, float]:
+    """Bandwidth utilization versus request-queue depth (Section V-A).
+
+    ``system`` is ``"rome"`` or ``"hbm4"``.  Returns ``{depth: utilization}``.
+    """
+    results: Dict[int, float] = {}
+    for depth in depths:
+        if system == "rome":
+            result = measure_rome_streaming(
+                total_bytes=total_bytes, request_queue_depth=depth
+            )
+        elif system == "hbm4":
+            result = measure_conventional_streaming(
+                total_bytes=total_bytes, read_queue_depth=depth
+            )
+        else:
+            raise ValueError("system must be 'rome' or 'hbm4'")
+        results[depth] = result.utilization
+    return results

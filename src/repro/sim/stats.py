@@ -1,0 +1,90 @@
+"""Common result containers for simulations and analytic models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class BandwidthResult:
+    """Bandwidth delivered by a simulation run."""
+
+    bytes_transferred: int
+    elapsed_ns: float
+    peak_bytes_per_ns: float
+
+    @property
+    def achieved_bytes_per_ns(self) -> float:
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.bytes_transferred / self.elapsed_ns
+
+    @property
+    def achieved_gbps(self) -> float:
+        """Delivered bandwidth in GB/s (1 byte/ns == 1 GB/s)."""
+        return self.achieved_bytes_per_ns
+
+    @property
+    def utilization(self) -> float:
+        if self.peak_bytes_per_ns <= 0:
+            return 0.0
+        return min(1.0, self.achieved_bytes_per_ns / self.peak_bytes_per_ns)
+
+
+@dataclass(frozen=True)
+class LatencyResult:
+    """Latency statistics of served read requests (nanoseconds)."""
+
+    samples: tuple
+
+    @classmethod
+    def from_samples(cls, samples: List[int]) -> "LatencyResult":
+        return cls(samples=tuple(samples))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def average(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def percentile(self, pct: float) -> float:
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, int(round((pct / 100.0) * (len(ordered) - 1))))
+        return float(ordered[index])
+
+
+@dataclass
+class SimulationResult:
+    """Full result bundle returned by the runner helpers."""
+
+    name: str
+    bandwidth: BandwidthResult
+    latency: LatencyResult
+    command_counts: Dict[str, int] = field(default_factory=dict)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def utilization(self) -> float:
+        return self.bandwidth.utilization
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: {self.bandwidth.achieved_gbps:.1f} GB/s "
+            f"({self.utilization:.1%} of peak), "
+            f"avg read latency {self.latency.average:.1f} ns"
+        )

@@ -1,0 +1,48 @@
+"""Tests for the area models (Section VI-C)."""
+
+import pytest
+
+from repro.analysis.area import (
+    channel_expansion_area,
+    command_generator_area,
+    conventional_scheduling_logic,
+    mc_area_comparison,
+    rome_scheduling_logic,
+)
+
+
+def test_rome_scheduling_logic_is_about_nine_percent_of_conventional():
+    comparison = mc_area_comparison()
+    assert comparison.ratio == pytest.approx(0.091, abs=0.03)
+
+
+def test_breakdown_components_sum_to_total():
+    for model in (conventional_scheduling_logic(), rome_scheduling_logic()):
+        breakdown = model.breakdown()
+        parts = sum(v for k, v in breakdown.items() if k != "total_um2")
+        assert parts == pytest.approx(breakdown["total_um2"])
+
+
+def test_conventional_queue_and_fsms_dominate_its_area():
+    breakdown = conventional_scheduling_logic().breakdown()
+    assert breakdown["bank_fsms_um2"] > breakdown["scheduler_um2"]
+    assert breakdown["request_queue_um2"] > breakdown["scheduler_um2"]
+
+
+def test_area_scales_with_queue_depth_and_banks():
+    small = conventional_scheduling_logic(queue_entries=32, banks_per_pseudo_channel=32)
+    large = conventional_scheduling_logic(queue_entries=64, banks_per_pseudo_channel=64)
+    assert large.total_area_um2() > small.total_area_um2()
+
+
+def test_command_generator_area_is_negligible():
+    report = command_generator_area()
+    assert report["total_um2"] == pytest.approx(4268.8, rel=0.01)
+    assert report["logic_die_fraction"] < 1e-4
+
+
+def test_channel_expansion_area_costs():
+    report = channel_expansion_area()
+    assert report["die_growth_fraction"] == pytest.approx(0.125)
+    assert report["ubump_area_fraction"] < 0.005
+    assert report["ubump_area_mm2"] == pytest.approx(0.023, abs=0.01)

@@ -1,0 +1,62 @@
+"""Tests for the channel load-balance model."""
+
+import pytest
+
+from repro.analysis.lbr import ChannelLoadModel, tensor_set_lbr
+from repro.llm.layers import Operator, OperatorCategory
+
+
+def test_perfectly_divisible_tensor_has_lbr_one():
+    # 288 channels x 4 KB: a tensor of exactly 288 chunks balances perfectly.
+    assert tensor_set_lbr([288 * 4096], 288, 4096) == pytest.approx(1.0)
+
+
+def test_single_remainder_chunk_lowers_lbr():
+    lbr = tensor_set_lbr([(288 + 1) * 4096], 288, 4096)
+    assert lbr == pytest.approx(289 / (288 * 2))
+
+
+def test_small_tensor_uses_few_channels():
+    lbr = tensor_set_lbr([10 * 4096], 288, 4096)
+    assert lbr == pytest.approx(10 / 288)
+
+
+def test_fine_granularity_baseline_is_essentially_balanced():
+    weights = [75_497_472, 12_582_912, 12_582_912, 75_497_472]  # Grok attention
+    assert tensor_set_lbr(weights, 256, 32) > 0.999
+
+
+def test_worst_alignment_never_exceeds_best_alignment():
+    sizes = [1_000_000, 2_500_000, 40_000_000, 12_345]
+    worst = tensor_set_lbr(sizes, 288, 4096, alignment="worst")
+    best = tensor_set_lbr(sizes, 288, 4096, alignment="best")
+    assert worst <= best <= 1.0
+
+
+def test_empty_or_zero_sizes_are_balanced():
+    assert tensor_set_lbr([], 288, 4096) == 1.0
+    assert tensor_set_lbr([0, 0], 288, 4096) == 1.0
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ValueError):
+        tensor_set_lbr([4096], 0, 4096)
+    with pytest.raises(ValueError):
+        tensor_set_lbr([4096], 288, 4096, alignment="typical")
+
+
+def test_channel_load_model_uses_operator_tensor_list():
+    model = ChannelLoadModel(num_channels=288, chunk_bytes=4096)
+    op = Operator(name="w", category=OperatorCategory.ATTENTION,
+                  weight_bytes=3 * 288 * 4096,
+                  tensor_bytes=(288 * 4096,) * 3)
+    assert model.operator_lbr(op) == pytest.approx(1.0)
+    bare = Operator(name="b", category=OperatorCategory.ATTENTION,
+                    weight_bytes=10 * 4096)
+    assert model.operator_lbr(bare) == pytest.approx(10 / 288)
+
+
+def test_describe_mentions_channels_and_chunks():
+    model = ChannelLoadModel(num_channels=288, chunk_bytes=4096)
+    assert "288" in model.describe()
+    assert "4096" in model.describe()

@@ -1,0 +1,33 @@
+"""Tests for the Figure 2 trend analysis."""
+
+import pytest
+
+from repro.analysis.trends import (
+    ca_overhead_growth,
+    core_frequency_growth,
+    data_rate_growth,
+    hbm_generation_trends,
+)
+
+
+def test_trend_rows_are_ordered_and_complete():
+    rows = hbm_generation_trends()
+    assert [row["generation"] for row in rows] == [
+        "HBM1", "HBM2", "HBM2E", "HBM3", "HBM3E", "HBM4"
+    ]
+    for row in rows:
+        assert row["cube_bandwidth_gbps"] > 0
+
+
+def test_ca_overhead_nearly_doubles():
+    assert 1.5 <= ca_overhead_growth() <= 3.0
+
+
+def test_data_rate_grows_much_faster_than_core_frequency():
+    assert data_rate_growth() >= 3 * core_frequency_growth()
+
+
+def test_cube_bandwidth_grows_monotonically():
+    rows = hbm_generation_trends()
+    bandwidths = [row["cube_bandwidth_gbps"] for row in rows]
+    assert bandwidths == sorted(bandwidths)

@@ -1,0 +1,39 @@
+"""Shared fixtures for the RoMe reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.controller.mc import ControllerConfig
+from repro.core.controller import RoMeControllerConfig
+from repro.core.virtual_bank import paper_vba_config
+from repro.dram.timing import TimingParameters
+
+
+@pytest.fixture
+def timing() -> TimingParameters:
+    """The paper's HBM4 timing parameters."""
+    return TimingParameters()
+
+
+@pytest.fixture
+def small_controller_config(timing: TimingParameters) -> ControllerConfig:
+    """A single-SID conventional controller (small, fast to simulate)."""
+    return ControllerConfig(
+        timing=timing,
+        read_queue_depth=64,
+        write_queue_depth=64,
+        num_stack_ids=1,
+        enable_refresh=False,
+    )
+
+
+@pytest.fixture
+def rome_controller_config() -> RoMeControllerConfig:
+    """A single-SID RoMe controller without refresh (fast to simulate)."""
+    return RoMeControllerConfig(
+        vba=paper_vba_config(),
+        request_queue_depth=4,
+        num_stack_ids=1,
+        enable_refresh=False,
+    )

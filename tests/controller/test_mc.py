@@ -1,0 +1,135 @@
+"""Tests for the conventional FR-FCFS memory controller."""
+
+import pytest
+
+from repro.controller.mc import ControllerConfig, ConventionalMemoryController
+from repro.controller.request import MemoryRequest, RequestKind
+from repro.dram.refresh import RefreshMode
+from repro.sim.traces import streaming_trace
+
+
+def _controller(**overrides) -> ConventionalMemoryController:
+    defaults = dict(read_queue_depth=64, write_queue_depth=64,
+                    num_stack_ids=1, enable_refresh=False)
+    defaults.update(overrides)
+    return ConventionalMemoryController(config=ControllerConfig(**defaults))
+
+
+def test_single_read_completes_with_reasonable_latency():
+    mc = _controller()
+    request = MemoryRequest(kind=RequestKind.READ, address=0, size_bytes=32)
+    mc.enqueue(request)
+    mc.run_until_idle()
+    timing = mc.config.timing
+    assert request.completion_ns is not None
+    minimum = timing.tRCDRD + timing.tCL + timing.burst_ns
+    assert minimum <= request.completion_ns <= minimum + 10
+
+
+def test_row_hits_avoid_extra_activates():
+    mc = _controller()
+    # 8 sequential 32 B reads interleave over bank groups / PCs: 8 blocks span
+    # 8 distinct banks in the default mapping, so at most 8 ACTs are needed,
+    # and a second pass over the same addresses must not re-activate.
+    for address in range(0, 256, 32):
+        mc.enqueue(MemoryRequest(kind=RequestKind.READ, address=address, size_bytes=32))
+    mc.run_until_idle()
+    first_acts = mc.channel.command_counts().get("ACT", 0)
+    for address in range(0, 256, 32):
+        mc.enqueue(MemoryRequest(kind=RequestKind.READ, address=address, size_bytes=32))
+    mc.run_until_idle()
+    second_acts = mc.channel.command_counts().get("ACT", 0)
+    assert first_acts <= 8
+    assert second_acts == first_acts  # open-page policy kept the rows open
+
+
+def test_streaming_reads_reach_high_bandwidth_utilization():
+    mc = _controller()
+    for request in streaming_trace(64 * 1024, request_bytes=4096):
+        mc.enqueue(request)
+    mc.run_until_idle()
+    assert mc.bandwidth_utilization() > 0.9
+
+
+def test_small_queue_limits_bandwidth():
+    deep = _controller(read_queue_depth=64)
+    shallow = _controller(read_queue_depth=4)
+    for controller in (deep, shallow):
+        for request in streaming_trace(32 * 1024, request_bytes=4096):
+            controller.enqueue(request)
+        controller.run_until_idle()
+    assert shallow.bandwidth_utilization() < deep.bandwidth_utilization()
+
+
+def test_writes_are_served_and_counted():
+    mc = _controller()
+    for request in streaming_trace(8 * 1024, request_bytes=1024,
+                                   kind=RequestKind.WRITE):
+        mc.enqueue(request)
+    mc.run_until_idle()
+    assert mc.stats.bytes_written == 8 * 1024
+    assert mc.stats.bytes_read == 0
+    assert mc.channel.command_counts().get("WR", 0) == 256
+
+
+def test_mixed_reads_and_writes_complete():
+    mc = _controller()
+    mc.enqueue(MemoryRequest(kind=RequestKind.READ, address=0, size_bytes=2048))
+    mc.enqueue(MemoryRequest(kind=RequestKind.WRITE, address=8192, size_bytes=2048))
+    mc.enqueue(MemoryRequest(kind=RequestKind.READ, address=16384, size_bytes=2048))
+    end = mc.run_until_idle()
+    assert mc.outstanding_requests == 0
+    assert mc.stats.bytes_read == 4096
+    assert mc.stats.bytes_written == 2048
+    assert end > 0
+
+
+def test_refresh_commands_issued_when_enabled():
+    mc = ConventionalMemoryController(
+        config=ControllerConfig(num_stack_ids=1, enable_refresh=True,
+                                refresh_mode=RefreshMode.PER_BANK)
+    )
+    # Run long enough to cover several per-bank refresh intervals.
+    mc.run_for(4 * mc.config.timing.tREFIpb)
+    assert mc.stats.refreshes_issued > 0
+
+
+def test_refresh_does_not_lose_requests():
+    mc = ConventionalMemoryController(
+        config=ControllerConfig(num_stack_ids=1, enable_refresh=True)
+    )
+    for request in streaming_trace(16 * 1024, request_bytes=4096):
+        mc.enqueue(request)
+    mc.run_until_idle()
+    assert mc.stats.bytes_read == 16 * 1024
+
+
+def test_energy_counters_match_command_counts():
+    mc = _controller()
+    for request in streaming_trace(16 * 1024, request_bytes=4096):
+        mc.enqueue(request)
+    mc.run_until_idle()
+    counters = mc.energy_counters()
+    commands = mc.channel.command_counts()
+    assert counters.activates == commands.get("ACT", 0)
+    assert counters.reads_bytes == 16 * 1024
+    assert counters.interface_commands == sum(commands.values())
+
+
+def test_run_until_idle_raises_when_budget_exhausted():
+    mc = _controller()
+    mc.enqueue(MemoryRequest(kind=RequestKind.READ, address=0, size_bytes=4096))
+    with pytest.raises(RuntimeError, match="did not drain"):
+        mc.run_until_idle(max_ns=5)
+
+
+def test_close_page_policy_produces_more_activates_than_open_page():
+    open_mc = _controller(page_policy="open")
+    close_mc = _controller(page_policy="close")
+    for controller in (open_mc, close_mc):
+        for request in streaming_trace(16 * 1024, request_bytes=4096):
+            controller.enqueue(request)
+        controller.run_until_idle()
+    open_acts = open_mc.channel.command_counts().get("ACT", 0)
+    close_acts = close_mc.channel.command_counts().get("ACT", 0)
+    assert close_acts >= open_acts

@@ -1,0 +1,91 @@
+"""Tests for the page policies."""
+
+import pytest
+
+from repro.controller.page_policy import (
+    AdaptivePagePolicy,
+    ClosePagePolicy,
+    OpenPagePolicy,
+    make_page_policy,
+)
+from repro.controller.queues import RequestQueue, bank_key
+from repro.controller.request import MemoryRequest, RequestKind, decompose
+from repro.dram.address import baseline_hbm4_mapping
+
+
+def _queue_with(address: int, size: int = 32, mapping=None) -> RequestQueue:
+    mapping = mapping or baseline_hbm4_mapping(num_channels=1)
+    queue = RequestQueue(capacity=64)
+    request = MemoryRequest(kind=RequestKind.READ, address=address, size_bytes=size)
+    for t in decompose(request, mapping):
+        queue.push(t)
+    return queue
+
+
+def test_factory_builds_each_policy():
+    assert isinstance(make_page_policy("open"), OpenPagePolicy)
+    assert isinstance(make_page_policy("close"), ClosePagePolicy)
+    assert isinstance(make_page_policy("adaptive"), AdaptivePagePolicy)
+    with pytest.raises(ValueError):
+        make_page_policy("bogus")
+
+
+def test_open_page_keeps_row_open_without_conflict():
+    mapping = baseline_hbm4_mapping(num_channels=1)
+    queue = _queue_with(0, 32, mapping)
+    policy = OpenPagePolicy()
+    transaction = queue.oldest()
+    key = bank_key(transaction)
+    # The only pending request hits the open row -> no precharge.
+    assert not policy.should_precharge(key, transaction.coordinate.row, queue, now=0)
+    # No pending requests at all -> keep it open speculatively.
+    empty = RequestQueue(capacity=4)
+    assert not policy.should_precharge(key, transaction.coordinate.row, empty, now=0)
+
+
+def test_open_page_precharges_on_conflict():
+    mapping = baseline_hbm4_mapping(num_channels=1)
+    queue = _queue_with(0, 32, mapping)
+    policy = OpenPagePolicy()
+    transaction = queue.oldest()
+    key = bank_key(transaction)
+    other_row = transaction.coordinate.row + 1
+    assert policy.should_precharge(key, other_row, queue, now=0)
+
+
+def test_close_page_precharges_when_no_hits_remain():
+    mapping = baseline_hbm4_mapping(num_channels=1)
+    queue = _queue_with(0, 32, mapping)
+    policy = ClosePagePolicy()
+    transaction = queue.oldest()
+    key = bank_key(transaction)
+    assert not policy.should_precharge(key, transaction.coordinate.row, queue, now=0)
+    queue.remove(transaction)
+    assert policy.should_precharge(key, transaction.coordinate.row, queue, now=0)
+
+
+def test_adaptive_policy_tracks_hit_rate():
+    policy = AdaptivePagePolicy(window=8, threshold=0.5)
+    key = (0, 0, 0, 0)
+    for _ in range(6):
+        policy.note_access(key, row=1, was_hit=True)
+    assert policy.hit_rate(key) > 0.5
+    for _ in range(20):
+        policy.note_access(key, row=1, was_hit=False)
+    assert policy.hit_rate(key) < 0.5
+
+
+def test_adaptive_behaves_close_page_for_low_hit_rate():
+    mapping = baseline_hbm4_mapping(num_channels=1)
+    queue = RequestQueue(capacity=4)
+    policy = AdaptivePagePolicy(window=4, threshold=0.9)
+    key = (0, 0, 0, 0)
+    for _ in range(8):
+        policy.note_access(key, row=1, was_hit=False)
+    assert policy.should_precharge(key, open_row=1, queue=queue, now=0)
+
+
+def test_policies_ignore_banks_without_open_row():
+    queue = RequestQueue(capacity=4)
+    for policy in (OpenPagePolicy(), ClosePagePolicy(), AdaptivePagePolicy()):
+        assert not policy.should_precharge((0, 0, 0, 0), None, queue, now=0)

@@ -1,0 +1,81 @@
+"""Tests for the CAM-style request queue."""
+
+import pytest
+
+from repro.controller.queues import RequestQueue, bank_key
+from repro.controller.request import MemoryRequest, RequestKind, decompose
+from repro.dram.address import baseline_hbm4_mapping
+
+
+@pytest.fixture
+def transactions():
+    mapping = baseline_hbm4_mapping(num_channels=1)
+    request = MemoryRequest(kind=RequestKind.READ, address=0, size_bytes=1024)
+    return decompose(request, mapping)
+
+
+def test_push_respects_capacity(transactions):
+    queue = RequestQueue(capacity=4)
+    accepted = [queue.push(t) for t in transactions[:6]]
+    assert accepted == [True, True, True, True, False, False]
+    assert queue.occupancy == 4
+    assert queue.rejected == 2
+    assert queue.is_full
+
+
+def test_peak_occupancy_tracked(transactions):
+    queue = RequestQueue(capacity=8)
+    for t in transactions[:5]:
+        queue.push(t)
+    queue.remove(transactions[0])
+    assert queue.peak_occupancy == 5
+    assert queue.occupancy == 4
+
+
+def test_oldest_returns_first_pushed(transactions):
+    queue = RequestQueue(capacity=8)
+    for t in transactions[:3]:
+        queue.push(t)
+    assert queue.oldest() is transactions[0]
+
+
+def test_for_bank_and_row_hits(transactions):
+    queue = RequestQueue(capacity=64)
+    for t in transactions:
+        queue.push(t)
+    key = bank_key(transactions[0])
+    same_bank = queue.for_bank(key)
+    assert same_bank
+    assert all(bank_key(t) == key for t in same_bank)
+    row = transactions[0].coordinate.row
+    hits = queue.row_hits(key, row)
+    assert set(hits) <= set(same_bank)
+    assert queue.row_hits(key, row + 1) == []
+
+
+def test_oldest_per_bank_returns_one_entry_per_bank(transactions):
+    queue = RequestQueue(capacity=64)
+    for t in transactions:
+        queue.push(t)
+    per_bank = queue.oldest_per_bank()
+    keys = {bank_key(t) for t in transactions}
+    assert set(per_bank) == keys
+    for key, oldest in per_bank.items():
+        ages = [t.arrival_ns for t in queue.for_bank(key)]
+        assert oldest.arrival_ns == min(ages)
+
+
+def test_select_applies_predicate(transactions):
+    queue = RequestQueue(capacity=64)
+    for t in transactions:
+        queue.push(t)
+    selected = queue.select(lambda t: t.coordinate.bank_group == 0)
+    assert selected
+    assert all(t.coordinate.bank_group == 0 for t in selected)
+
+
+def test_empty_queue_helpers():
+    queue = RequestQueue(capacity=2)
+    assert queue.is_empty
+    assert queue.oldest() is None
+    assert list(queue.banks_with_pending()) == []

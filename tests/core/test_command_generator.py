@@ -1,0 +1,158 @@
+"""Tests for the logic-die command generator (Section IV-C, Figure 9)."""
+
+import pytest
+
+from repro.core.command_generator import CommandGenerator
+from repro.core.interface import RowRequest, RowRequestKind
+from repro.core.timing import ROME_TIMING
+from repro.core.virtual_bank import (
+    BankMerge,
+    PseudoChannelMerge,
+    VBA_DESIGN_SPACE,
+    VirtualBankConfig,
+    paper_vba_config,
+)
+from repro.dram.commands import CommandKind
+from repro.dram.timing import TimingParameters
+
+
+@pytest.fixture
+def generator(timing):
+    return CommandGenerator(timing=timing, vba=paper_vba_config())
+
+
+def _rd_request(vba=0, row=0):
+    return RowRequest(kind=RowRequestKind.RD_ROW, vba=vba, row=row)
+
+
+def _wr_request(vba=0, row=0):
+    return RowRequest(kind=RowRequestKind.WR_ROW, vba=vba, row=row)
+
+
+def test_read_expansion_command_counts(generator):
+    expansion = generator.expand(_rd_request())
+    # Two banks x two lockstep PCs.
+    assert expansion.activates == 4
+    assert expansion.precharges == 4
+    # 64 column commands broadcast to both PCs.
+    assert expansion.column_commands == 128
+    assert expansion.bytes_transferred == 4096
+
+
+def test_expansion_is_a_fixed_static_sequence(generator):
+    first = generator.expand(_rd_request(vba=0, row=1))
+    second = generator.expand(_rd_request(vba=0, row=1))
+    assert [(c.offset_ns, c.command.kind) for c in first.commands] == [
+        (c.offset_ns, c.command.kind) for c in second.commands
+    ]
+
+
+def test_column_train_interleaves_banks_at_tccds(generator, timing):
+    expansion = generator.expand(_rd_request())
+    reads = [c for c in expansion.commands
+             if c.command.kind is CommandKind.RD and c.command.pseudo_channel == 0]
+    offsets = [c.offset_ns for c in reads]
+    assert offsets == sorted(offsets)
+    gaps = [b - a for a, b in zip(offsets, offsets[1:])]
+    assert all(g == timing.tCCDS for g in gaps)
+    # Consecutive commands alternate bank groups (Figure 9).
+    groups = [c.command.bank_group for c in reads]
+    assert all(groups[i] != groups[i + 1] for i in range(len(groups) - 1))
+
+
+def test_acts_respect_trrds_and_stagger(generator, timing):
+    expansion = generator.expand(_rd_request())
+    acts = [c for c in expansion.commands
+            if c.command.kind is CommandKind.ACT and c.command.pseudo_channel == 0]
+    assert len(acts) == 2
+    assert acts[1].offset_ns - acts[0].offset_ns == timing.tRRDS
+    first_rd = min(
+        c.offset_ns for c in expansion.commands if c.command.kind is CommandKind.RD
+    )
+    stagger = timing.tRRDS - timing.tCCDS
+    assert first_rd == stagger + timing.tRCDRD
+
+
+def test_data_bus_time_matches_row_transfer(generator, timing):
+    expansion = generator.expand(_rd_request())
+    assert expansion.data_bus_ns == 64
+
+
+def test_duration_close_to_table5(generator):
+    read = generator.expand(_rd_request())
+    write = generator.expand(_wr_request())
+    assert read.duration_ns == pytest.approx(ROME_TIMING.tRD_row, rel=0.15)
+    assert write.duration_ns == pytest.approx(ROME_TIMING.tWR_row, rel=0.15)
+    assert write.duration_ns > read.duration_ns
+
+
+def test_expansion_is_legal_on_a_conventional_channel(timing):
+    for vba in VBA_DESIGN_SPACE:
+        generator = CommandGenerator(timing=timing, vba=vba)
+        request = RowRequest(kind=RowRequestKind.RD_ROW, vba=1, row=7)
+        assert generator.validate_against_channel(request), vba.describe()
+
+
+def test_write_expansion_is_legal_on_a_conventional_channel(timing):
+    generator = CommandGenerator(timing=timing, vba=paper_vba_config())
+    request = RowRequest(kind=RowRequestKind.WR_ROW, vba=2, row=3)
+    assert generator.validate_against_channel(request)
+
+
+def test_constituent_banks_are_distinct_per_vba(generator):
+    seen = set()
+    for vba_index in range(paper_vba_config().vbas_per_channel_per_sid):
+        banks = tuple(generator._constituent_banks(vba_index))
+        assert banks not in seen
+        seen.add(banks)
+        assert len(set(banks)) == len(banks)
+
+
+def test_interleaved_vba_uses_two_bank_groups(generator):
+    banks = generator._constituent_banks(0)
+    assert len(banks) == 2
+    assert banks[0][0] != banks[1][0]
+
+
+def test_tandem_vba_uses_one_bank_group(timing):
+    generator = CommandGenerator(
+        timing=timing,
+        vba=VirtualBankConfig(bank_merge=BankMerge.TANDEM_SAME_BG),
+    )
+    banks = generator._constituent_banks(0)
+    assert len(banks) == 2
+    assert banks[0][0] == banks[1][0]
+
+
+def test_wide_bank_vba_uses_single_bank(timing):
+    generator = CommandGenerator(
+        timing=timing,
+        vba=VirtualBankConfig(bank_merge=BankMerge.WIDE_BANK),
+    )
+    assert len(generator._constituent_banks(0)) == 1
+
+
+def test_refresh_expansion_pairs_refpb_with_trrefd(generator, timing):
+    expansion = generator.expand_refresh(0, 0, 0)
+    refs = [c for c in expansion.commands if c.command.kind is CommandKind.REFPB]
+    per_pc = [c for c in refs if c.command.pseudo_channel == 0]
+    assert len(per_pc) == 2
+    assert per_pc[1].offset_ns - per_pc[0].offset_ns == timing.tRREFD
+    assert expansion.duration_ns == timing.tRFCpb + timing.tRREFD
+
+
+def test_wide_pc_expansion_targets_single_pseudo_channel(timing):
+    generator = CommandGenerator(
+        timing=timing,
+        vba=VirtualBankConfig(pc_merge=PseudoChannelMerge.WIDE_PC),
+    )
+    expansion = generator.expand(_rd_request())
+    pcs = {c.command.pseudo_channel for c in expansion.commands}
+    assert pcs == {0}
+
+
+def test_expansion_counter_increments(generator):
+    before = generator.expansions
+    generator.expand(_rd_request())
+    generator.expand(_wr_request())
+    assert generator.expansions == before + 2

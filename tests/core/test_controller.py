@@ -1,0 +1,172 @@
+"""Tests for the simplified RoMe memory controller (Section V-A)."""
+
+import pytest
+
+from repro.core.controller import (
+    RoMeControllerConfig,
+    RoMeMemoryController,
+    VbaState,
+)
+from repro.core.interface import RowRequest, RowRequestKind, requests_for_transfer
+from repro.core.timing import ROME_TIMING
+from repro.core.virtual_bank import paper_vba_config
+
+
+def _controller(**overrides) -> RoMeMemoryController:
+    defaults = dict(request_queue_depth=4, num_stack_ids=1, enable_refresh=False)
+    defaults.update(overrides)
+    return RoMeMemoryController(config=RoMeControllerConfig(**defaults))
+
+
+def _streaming_requests(total_bytes: int, kind=RowRequestKind.RD_ROW):
+    vba = paper_vba_config()
+    return requests_for_transfer(
+        total_bytes,
+        kind=kind,
+        effective_row_bytes=vba.effective_row_bytes,
+        num_channels=1,
+        vbas_per_channel=vba.vbas_per_channel_per_sid,
+    )
+
+
+def test_single_read_takes_trd_row():
+    mc = _controller()
+    request = RowRequest(kind=RowRequestKind.RD_ROW, vba=0, row=0)
+    mc.enqueue(request)
+    mc.run_until_idle()
+    assert request.issue_ns == 0
+    assert request.completion_ns == ROME_TIMING.tRD_row
+
+
+def test_single_write_takes_twr_row():
+    mc = _controller()
+    request = RowRequest(kind=RowRequestKind.WR_ROW, vba=0, row=0)
+    mc.enqueue(request)
+    mc.run_until_idle()
+    assert request.completion_ns == ROME_TIMING.tWR_row
+
+
+def test_streaming_reads_saturate_bandwidth():
+    mc = _controller()
+    for request in _streaming_requests(64 * 4096):
+        mc.enqueue(request)
+    mc.run_until_idle()
+    assert mc.bandwidth_utilization() > 0.95
+
+
+def test_back_to_back_reads_to_different_vbas_spaced_by_tr2rs():
+    mc = _controller()
+    requests = [
+        RowRequest(kind=RowRequestKind.RD_ROW, vba=0, row=0),
+        RowRequest(kind=RowRequestKind.RD_ROW, vba=1, row=0),
+    ]
+    for request in requests:
+        mc.enqueue(request)
+    mc.run_until_idle()
+    assert requests[1].issue_ns - requests[0].issue_ns == ROME_TIMING.tR2RS
+
+
+def test_same_vba_requests_wait_for_trd_row():
+    mc = _controller()
+    requests = [
+        RowRequest(kind=RowRequestKind.RD_ROW, vba=0, row=0),
+        RowRequest(kind=RowRequestKind.RD_ROW, vba=0, row=1),
+    ]
+    for request in requests:
+        mc.enqueue(request)
+    mc.run_until_idle()
+    assert requests[1].issue_ns - requests[0].issue_ns >= ROME_TIMING.tRD_row
+
+
+def test_read_to_write_turnaround_gap():
+    mc = _controller()
+    read = RowRequest(kind=RowRequestKind.RD_ROW, vba=0, row=0)
+    write = RowRequest(kind=RowRequestKind.WR_ROW, vba=1, row=0)
+    mc.enqueue(read)
+    mc.enqueue(write)
+    mc.run_until_idle()
+    assert write.issue_ns - read.issue_ns >= ROME_TIMING.tR2WS
+
+
+def test_queue_depth_two_is_enough_for_full_bandwidth():
+    shallow = _controller(request_queue_depth=1)
+    paper_depth = _controller(request_queue_depth=2)
+    for controller in (shallow, paper_depth):
+        for request in _streaming_requests(32 * 4096):
+            controller.enqueue(request)
+        controller.run_until_idle()
+    assert paper_depth.bandwidth_utilization() > 0.95
+    assert shallow.bandwidth_utilization() < 0.8
+
+
+def test_at_most_two_data_fsms_and_five_total():
+    mc = RoMeMemoryController(
+        config=RoMeControllerConfig(num_stack_ids=1, enable_refresh=True,
+                                    request_queue_depth=4)
+    )
+    for request in _streaming_requests(128 * 4096):
+        mc.enqueue(request)
+    mc.run_until_idle()
+    assert mc.stats.peak_active_fsms <= mc.config.num_bank_fsms
+
+
+def test_overfetch_accounted_for_partial_rows():
+    mc = _controller()
+    request = RowRequest(kind=RowRequestKind.RD_ROW, vba=0, row=0, valid_bytes=1000)
+    mc.enqueue(request)
+    mc.run_until_idle()
+    assert mc.stats.overfetch_bytes == 4096 - 1000
+    assert mc.stats.bytes_read == 4096
+
+
+def test_refresh_issued_and_blocks_vba():
+    mc = RoMeMemoryController(
+        config=RoMeControllerConfig(num_stack_ids=1, enable_refresh=True)
+    )
+    mc.run_for(3 * mc.config.timing.tREFIpb)
+    assert mc.stats.refreshes_issued > 0
+
+
+def test_rejects_out_of_range_vba():
+    mc = _controller()
+    with pytest.raises(ValueError, match="vba"):
+        mc.enqueue(RowRequest(kind=RowRequestKind.RD_ROW, vba=99, row=0))
+
+
+def test_rejects_out_of_range_stack():
+    mc = _controller()
+    with pytest.raises(ValueError, match="stack"):
+        mc.enqueue(RowRequest(kind=RowRequestKind.RD_ROW, vba=0, stack_id=3))
+
+
+def test_energy_counters_reflect_expansion():
+    mc = _controller()
+    for request in _streaming_requests(8 * 4096):
+        mc.enqueue(request)
+    mc.run_until_idle()
+    counters = mc.energy_counters()
+    assert counters.activates == 8 * 4  # 2 banks x 2 PCs per row command
+    assert counters.reads_bytes == 8 * 4096
+    assert counters.interface_commands == 8
+    assert counters.row_command_expansions == 8
+
+
+def test_oldest_first_service_order():
+    mc = _controller(request_queue_depth=4)
+    requests = [
+        RowRequest(kind=RowRequestKind.RD_ROW, vba=i % 4, row=i, arrival_ns=0)
+        for i in range(8)
+    ]
+    for request in requests:
+        mc.enqueue(request)
+    mc.run_until_idle()
+    issue_order = sorted(range(len(requests)), key=lambda i: requests[i].issue_ns)
+    assert issue_order == list(range(len(requests)))
+
+
+def test_average_read_latency_reported():
+    mc = _controller()
+    for request in _streaming_requests(16 * 4096):
+        mc.enqueue(request)
+    mc.run_until_idle()
+    assert mc.stats.average_read_latency >= ROME_TIMING.tRD_row

@@ -1,0 +1,56 @@
+"""Tests for the ECC codeword analysis (Section VII)."""
+
+import pytest
+
+from repro.core.ecc import (
+    codeword_comparison,
+    parity_savings_vs_baseline,
+    secded_parity_bits,
+    secded_scheme,
+    symbol_code_scheme,
+)
+
+
+def test_secded_parity_bits_known_values():
+    # Classic (72, 64) SEC-DED code: 64 data bits need 8 parity bits.
+    assert secded_parity_bits(64) == 8
+    assert secded_parity_bits(256) == 10
+    assert secded_parity_bits(1) == 3
+
+
+def test_secded_parity_rejects_non_positive():
+    with pytest.raises(ValueError):
+        secded_parity_bits(0)
+
+
+def test_secded_overhead_shrinks_with_codeword_size():
+    small = secded_scheme(32)
+    large = secded_scheme(4096)
+    assert large.parity_bits > small.parity_bits          # absolute bits grow...
+    assert large.overhead < small.overhead / 4            # ...but overhead collapses
+    assert 0 < large.storage_efficiency <= 1
+
+
+def test_symbol_code_parity_independent_of_data_size():
+    small = symbol_code_scheme(32)
+    large = symbol_code_scheme(4096)
+    assert small.parity_bits == large.parity_bits == 32
+    assert large.overhead < small.overhead
+
+
+def test_symbol_code_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        symbol_code_scheme(0)
+    with pytest.raises(ValueError):
+        symbol_code_scheme(32, correctable_symbols=0)
+
+
+def test_codeword_comparison_rows_cover_requested_sizes():
+    rows = codeword_comparison([32, 4096])
+    assert [row["codeword_bytes"] for row in rows] == [32, 4096]
+    assert rows[0]["secded_overhead"] > rows[1]["secded_overhead"]
+
+
+def test_parity_savings_moving_to_row_granularity_is_large():
+    savings = parity_savings_vs_baseline()
+    assert 0.9 < savings < 1.0

@@ -1,0 +1,56 @@
+"""Tests for the hybrid coarse/fine memory-system model (Section VII)."""
+
+import pytest
+
+from repro.core.hybrid import (
+    AccessMix,
+    HybridConfig,
+    best_system,
+    crossover_fine_fraction,
+    effective_time_ns,
+)
+
+
+def test_access_mix_fraction():
+    mix = AccessMix(coarse_bytes=900, fine_bytes=100)
+    assert mix.total_bytes == 1000
+    assert mix.fine_fraction == pytest.approx(0.1)
+    assert AccessMix(coarse_bytes=0, fine_bytes=0).fine_fraction == 0.0
+
+
+def test_hybrid_config_validation():
+    with pytest.raises(ValueError):
+        HybridConfig(total_channels=36, rome_channels=40)
+
+
+def test_pure_rome_wins_for_purely_sequential_traffic():
+    mix = AccessMix(coarse_bytes=1e9, fine_bytes=0.0)
+    assert best_system(mix) == "rome"
+
+
+def test_fine_dominated_traffic_prefers_hbm4_or_hybrid():
+    mix = AccessMix(coarse_bytes=0.0, fine_bytes=1e9, fine_access_bytes=64)
+    assert best_system(mix) in {"hbm4", "hybrid"}
+
+
+def test_overfetch_inflates_pure_rome_time():
+    mix = AccessMix(coarse_bytes=0.0, fine_bytes=1e6, fine_access_bytes=64)
+    times = effective_time_ns(mix, HybridConfig())
+    assert times["pure_rome_ns"] > 10 * times["pure_hbm4_ns"]
+
+
+def test_hybrid_static_never_beats_the_balanced_bound():
+    mix = AccessMix(coarse_bytes=5e8, fine_bytes=5e8)
+    times = effective_time_ns(mix, HybridConfig())
+    assert times["hybrid_static_ns"] >= times["hybrid_balanced_ns"]
+
+
+def test_crossover_fraction_is_small_but_positive():
+    crossover = crossover_fine_fraction()
+    assert 0.0 < crossover < 0.2
+
+
+def test_crossover_moves_up_with_larger_fine_accesses():
+    small = crossover_fine_fraction(fine_access_bytes=64)
+    large = crossover_fine_fraction(fine_access_bytes=1024)
+    assert large >= small

@@ -1,0 +1,94 @@
+"""Tests for the row-granularity request interface."""
+
+import pytest
+
+from repro.core.interface import (
+    RowRequest,
+    RowRequestKind,
+    requests_for_transfer,
+    round_robin_by_channel,
+)
+
+
+def test_request_kind_predicates():
+    read = RowRequest(kind=RowRequestKind.RD_ROW)
+    write = RowRequest(kind=RowRequestKind.WR_ROW)
+    assert read.is_read and not read.is_write
+    assert write.is_write and not write.is_read
+
+
+def test_latency_and_overfetch():
+    request = RowRequest(kind=RowRequestKind.RD_ROW, valid_bytes=1024, arrival_ns=5)
+    assert request.latency() is None
+    request.completion_ns = 105
+    assert request.latency() == 100
+    assert request.overfetch_bytes(4096) == 3072
+    assert request.overfetch_bytes(1024) == 0
+
+
+def test_requests_for_transfer_covers_all_bytes():
+    requests = requests_for_transfer(
+        10 * 4096 + 100,
+        kind=RowRequestKind.RD_ROW,
+        effective_row_bytes=4096,
+        num_channels=4,
+        vbas_per_channel=8,
+    )
+    assert len(requests) == 11
+    assert sum(r.valid_bytes for r in requests) == 10 * 4096 + 100
+    assert requests[-1].valid_bytes == 100
+
+
+def test_requests_for_transfer_stripes_channels_first():
+    requests = requests_for_transfer(
+        8 * 4096,
+        kind=RowRequestKind.RD_ROW,
+        effective_row_bytes=4096,
+        num_channels=4,
+        vbas_per_channel=8,
+    )
+    assert [r.channel for r in requests[:4]] == [0, 1, 2, 3]
+    assert [r.vba for r in requests[:4]] == [0, 0, 0, 0]
+    assert [r.vba for r in requests[4:8]] == [1, 1, 1, 1]
+
+
+def test_requests_for_transfer_increments_rows_after_vbas():
+    requests = requests_for_transfer(
+        (2 * 8 + 1) * 4096,
+        kind=RowRequestKind.WR_ROW,
+        effective_row_bytes=4096,
+        num_channels=2,
+        vbas_per_channel=8,
+    )
+    assert requests[-1].row == 1
+
+
+def test_requests_for_transfer_rejects_capacity_overflow():
+    with pytest.raises(ValueError, match="capacity"):
+        requests_for_transfer(
+            8 * 4096,
+            kind=RowRequestKind.RD_ROW,
+            effective_row_bytes=4096,
+            num_channels=1,
+            vbas_per_channel=1,
+            rows_per_vba=2,
+        )
+
+
+def test_requests_for_transfer_empty_for_zero_bytes():
+    assert requests_for_transfer(
+        0, RowRequestKind.RD_ROW, 4096, num_channels=1, vbas_per_channel=1
+    ) == []
+
+
+def test_round_robin_by_channel_buckets_requests():
+    requests = requests_for_transfer(
+        6 * 4096,
+        kind=RowRequestKind.RD_ROW,
+        effective_row_bytes=4096,
+        num_channels=3,
+        vbas_per_channel=4,
+    )
+    buckets = list(round_robin_by_channel(requests, 3))
+    assert len(buckets) == 3
+    assert all(len(bucket) == 2 for bucket in buckets)

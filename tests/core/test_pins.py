@@ -1,0 +1,72 @@
+"""Tests for the C/A-pin analysis and channel expansion (Sections IV-D/E)."""
+
+import pytest
+
+from repro.core.pins import (
+    CommandEncoding,
+    ca_pin_sweep,
+    channel_expansion,
+    command_issue_latency_ns,
+    hbm4_pin_budget,
+    minimum_ca_pins,
+    rome_pin_budget,
+)
+
+
+def test_command_encoding_counts_eleven_commands():
+    encoding = CommandEncoding()
+    assert encoding.num_commands == 11
+    assert encoding.minimum_opcode_bits() == 4
+    assert encoding.opcode_bits >= encoding.minimum_opcode_bits()
+
+
+def test_issue_latency_decreases_with_more_pins():
+    bits = CommandEncoding().data_command_bits
+    latencies = [command_issue_latency_ns(bits, pins) for pins in range(3, 19)]
+    assert all(a >= b for a, b in zip(latencies, latencies[1:]))
+
+
+def test_issue_latency_rejects_zero_pins():
+    with pytest.raises(ValueError):
+        command_issue_latency_ns(24, 0)
+
+
+def test_five_pins_meet_the_2x_trrds_budget():
+    rows = ca_pin_sweep()
+    by_pins = {row["pins"]: row for row in rows}
+    assert by_pins[5]["meets_budget"]
+    assert by_pins[10]["meets_budget"]
+    assert minimum_ca_pins() == 5
+
+
+def test_four_pins_do_not_meet_the_budget():
+    rows = ca_pin_sweep(pin_counts=[4])
+    assert not rows[0]["meets_budget"]
+
+
+def test_rd_row_interval_is_bounded_by_data_transfer():
+    rows = ca_pin_sweep()
+    assert all(row["rd_row_to_rd_row_ns"] == 64.0 for row in rows)
+
+
+def test_pin_budgets_match_the_paper():
+    hbm4 = hbm4_pin_budget()
+    rome = rome_pin_budget()
+    assert hbm4.ca_pins_per_channel == 18
+    assert hbm4.pins_per_channel == 120
+    assert rome.ca_pins_per_channel == 5
+    assert rome.pins_per_channel == 107
+
+
+def test_channel_expansion_adds_four_channels_for_twelve_pins():
+    expansion = channel_expansion()
+    assert expansion.added_channels == 4
+    assert expansion.extra_pins == 12
+    assert expansion.bandwidth_gain == pytest.approx(0.125)
+    assert "36 channels" in expansion.describe()
+
+
+def test_channel_expansion_scales_with_requested_channels():
+    expansion = channel_expansion(added_channels=2)
+    assert expansion.extra_pins == 0  # fully funded by the saved C/A pins
+    assert expansion.bandwidth_gain == pytest.approx(0.0625)

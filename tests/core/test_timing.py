@@ -1,0 +1,83 @@
+"""Tests for RoMe's reduced timing-parameter set (Table III / Table V)."""
+
+import pytest
+
+from repro.core.timing import ROME_TIMING, RoMeTimingParameters, derive_rome_timing
+from repro.core.virtual_bank import paper_vba_config
+from repro.dram.timing import HBM4_TIMING
+
+
+def test_table5_rome_values():
+    t = ROME_TIMING
+    assert t.tR2RS == 64
+    assert t.tR2RR == 68
+    assert t.tR2WS == 69
+    assert t.tW2RS == 71
+    assert t.tW2WS == 64
+    assert t.tRD_row == 95
+    assert t.tWR_row == 115
+    assert t.effective_row_bytes == 4096
+
+
+def test_rome_tracks_exactly_ten_scheduling_parameters():
+    assert ROME_TIMING.num_scheduling_parameters == 10
+    # The conventional controller tracks 15 (Table IV).
+    conventional_params = 15
+    assert ROME_TIMING.num_scheduling_parameters < conventional_params
+
+
+def test_gap_selection_matrix():
+    t = ROME_TIMING
+    assert t.gap(True, True, same_stack=True) == t.tR2RS
+    assert t.gap(True, True, same_stack=False) == t.tR2RR
+    assert t.gap(True, False, same_stack=True) == t.tR2WS
+    assert t.gap(False, True, same_stack=True) == t.tW2RS
+    assert t.gap(False, False, same_stack=True) == t.tW2WS
+    assert t.gap(False, False, same_stack=False) == t.tW2WR
+
+
+def test_different_stack_gaps_are_longer():
+    t = ROME_TIMING
+    assert t.tR2RR > t.tR2RS
+    assert t.tW2WR > t.tW2WS
+
+
+def test_duration_selects_read_or_write():
+    assert ROME_TIMING.duration(True) == ROME_TIMING.tRD_row
+    assert ROME_TIMING.duration(False) == ROME_TIMING.tWR_row
+
+
+def test_validation_rejects_gap_exceeding_duration():
+    bad = RoMeTimingParameters(tR2RS=200)
+    with pytest.raises(ValueError):
+        bad.validate()
+
+
+def test_derived_timing_matches_table5_for_paper_config():
+    derived = derive_rome_timing(HBM4_TIMING, paper_vba_config())
+    assert derived.tR2RS == ROME_TIMING.tR2RS
+    assert derived.tR2WS == ROME_TIMING.tR2WS
+    assert derived.tW2RS == ROME_TIMING.tW2RS
+    assert derived.tW2WS == ROME_TIMING.tW2WS
+    assert derived.tRD_row == ROME_TIMING.tRD_row
+    assert derived.tWR_row == ROME_TIMING.tWR_row
+
+
+def test_derived_timing_scales_with_effective_row_size():
+    from repro.core.virtual_bank import BankMerge, PseudoChannelMerge, VirtualBankConfig
+
+    small_row = VirtualBankConfig(
+        bank_merge=BankMerge.WIDE_BANK, pc_merge=PseudoChannelMerge.LOCKSTEP_PC
+    )
+    derived = derive_rome_timing(HBM4_TIMING, small_row)
+    assert derived.effective_row_bytes == 2048
+    assert derived.tR2RS == 32  # half the data-transfer time of the 4 KB row
+
+
+def test_data_bus_gap_never_exceeds_command_duration():
+    for same_stack in (True, False):
+        for prev_read in (True, False):
+            for next_read in (True, False):
+                gap = ROME_TIMING.gap(prev_read, next_read, same_stack)
+                duration = ROME_TIMING.duration(prev_read)
+                assert gap <= duration + 10

@@ -1,0 +1,101 @@
+"""Tests for the virtual-bank design space (Section IV-B)."""
+
+import pytest
+
+from repro.core.virtual_bank import (
+    BankMerge,
+    PseudoChannelMerge,
+    VBA_DESIGN_SPACE,
+    VirtualBankConfig,
+    design_space_summary,
+    paper_vba_config,
+)
+from repro.dram.timing import TimingParameters
+
+
+def test_design_space_has_six_points():
+    assert len(VBA_DESIGN_SPACE) == 6
+    combos = {(c.bank_merge, c.pc_merge) for c in VBA_DESIGN_SPACE}
+    assert len(combos) == 6
+
+
+def test_paper_configuration_is_interleaved_plus_lockstep():
+    config = paper_vba_config()
+    assert config.bank_merge is BankMerge.INTERLEAVED_DIFF_BG
+    assert config.pc_merge is PseudoChannelMerge.LOCKSTEP_PC
+
+
+def test_paper_configuration_matches_table5():
+    config = paper_vba_config()
+    assert config.effective_row_bytes == 4096
+    # 32 banks/channel in Table V = 8 VBAs per SID x 4 SIDs.
+    assert config.vbas_per_channel_per_sid == 8
+    assert config.vbas_per_channel == 32
+    assert config.banks_per_vba == 2
+
+
+def test_paper_configuration_requires_no_dram_core_changes():
+    config = paper_vba_config()
+    assert not config.requires_dram_core_modification
+    assert config.area_overhead_fraction == 0.0
+
+
+def test_wide_bank_plus_wide_pc_is_the_most_expensive_point():
+    worst = VirtualBankConfig(
+        bank_merge=BankMerge.WIDE_BANK, pc_merge=PseudoChannelMerge.WIDE_PC
+    )
+    assert worst.area_overhead_fraction == pytest.approx(0.77, abs=0.01)
+    others = [
+        c.area_overhead_fraction for c in VBA_DESIGN_SPACE
+        if not (c.bank_merge is BankMerge.WIDE_BANK
+                and c.pc_merge is PseudoChannelMerge.WIDE_PC)
+    ]
+    assert all(worst.area_overhead_fraction >= x for x in others)
+
+
+def test_effective_row_sizes_across_design_space():
+    expected = {
+        (BankMerge.WIDE_BANK, PseudoChannelMerge.WIDE_PC): 1024,
+        (BankMerge.WIDE_BANK, PseudoChannelMerge.LOCKSTEP_PC): 2048,
+        (BankMerge.TANDEM_SAME_BG, PseudoChannelMerge.WIDE_PC): 2048,
+        (BankMerge.TANDEM_SAME_BG, PseudoChannelMerge.LOCKSTEP_PC): 4096,
+        (BankMerge.INTERLEAVED_DIFF_BG, PseudoChannelMerge.WIDE_PC): 2048,
+        (BankMerge.INTERLEAVED_DIFF_BG, PseudoChannelMerge.LOCKSTEP_PC): 4096,
+    }
+    for config in VBA_DESIGN_SPACE:
+        assert config.effective_row_bytes == expected[(config.bank_merge, config.pc_merge)]
+
+
+def test_every_design_point_sustains_full_channel_bandwidth():
+    timing = TimingParameters()
+    channel_bytes_per_ns = 64
+    for config in VBA_DESIGN_SPACE:
+        transfer = config.data_transfer_ns(timing)
+        assert transfer * channel_bytes_per_ns == config.effective_row_bytes
+
+
+def test_cas_commands_cover_the_effective_row():
+    for config in VBA_DESIGN_SPACE:
+        assert config.cas_commands_per_row() * config.bytes_per_cas == \
+            config.effective_row_bytes
+
+
+def test_wide_bank_keeps_bank_count_others_halve_it():
+    wide = VirtualBankConfig(bank_merge=BankMerge.WIDE_BANK)
+    merged = VirtualBankConfig(bank_merge=BankMerge.INTERLEAVED_DIFF_BG)
+    assert wide.vbas_per_channel_per_sid == 16
+    assert merged.vbas_per_channel_per_sid == 8
+
+
+def test_design_space_summary_rows():
+    rows = design_space_summary()
+    assert len(rows) == 6
+    for row in rows:
+        assert {"bank_merge", "pc_merge", "effective_row_bytes",
+                "area_overhead_fraction"} <= set(row)
+
+
+def test_describe_mentions_row_size_and_area():
+    text = paper_vba_config().describe()
+    assert "4096" in text
+    assert "+0%" in text

@@ -1,0 +1,82 @@
+"""Tests for the address-mapping unit."""
+
+import pytest
+
+from repro.dram.address import (
+    AddressMapping,
+    DramCoordinate,
+    baseline_hbm4_mapping,
+    rome_mapping,
+)
+
+
+def test_decode_encode_round_trip_small_addresses():
+    mapping = baseline_hbm4_mapping(num_channels=4)
+    for block in range(0, 4096, 7):
+        address = block * mapping.granularity_bytes
+        coord = mapping.decode(address)
+        assert mapping.encode(coord) == address
+
+
+def test_decode_rejects_negative_address():
+    mapping = baseline_hbm4_mapping()
+    with pytest.raises(ValueError):
+        mapping.decode(-32)
+
+
+def test_encode_rejects_out_of_range_fields():
+    mapping = baseline_hbm4_mapping(num_channels=2)
+    bad = DramCoordinate(channel=5, pseudo_channel=0, stack_id=0,
+                         bank_group=0, bank=0, row=0, column=0)
+    with pytest.raises(ValueError, match="channel"):
+        mapping.encode(bad)
+
+
+def test_field_order_must_be_permutation():
+    with pytest.raises(ValueError, match="permutation"):
+        AddressMapping(
+            granularity_bytes=32,
+            num_channels=2,
+            field_order=("column", "row", "bank", "bank", "bank_group",
+                         "stack_id", "pseudo_channel"),
+        )
+
+
+def test_sequential_blocks_interleave_bank_groups_first():
+    mapping = baseline_hbm4_mapping(num_channels=1)
+    coords = [mapping.decode(i * 32) for i in range(8)]
+    assert [c.bank_group for c in coords[:4]] == [0, 1, 2, 3]
+    assert coords[4].pseudo_channel == 1
+
+
+def test_decode_range_covers_every_block():
+    mapping = baseline_hbm4_mapping(num_channels=2)
+    coords = mapping.decode_range(address=100, size_bytes=200)
+    # 100..300 spans blocks starting at 96, 128, ..., 288 -> 7 blocks.
+    assert len(coords) == 7
+
+
+def test_decode_range_empty_for_non_positive_size():
+    mapping = baseline_hbm4_mapping()
+    assert mapping.decode_range(0, 0) == []
+
+
+def test_rome_mapping_uses_4kb_granularity_and_no_pc():
+    mapping = rome_mapping(num_channels=36)
+    assert mapping.granularity_bytes == 4096
+    coord = mapping.decode(4096 * 5)
+    assert coord.pseudo_channel == 0
+    assert coord.channel == 5
+
+
+def test_channel_of_matches_decode():
+    mapping = baseline_hbm4_mapping(num_channels=8)
+    for address in (0, 32, 64, 4096, 123456 * 32):
+        assert mapping.channel_of(address) == mapping.decode(address).channel
+
+
+def test_capacity_accounts_all_fields():
+    mapping = AddressMapping(granularity_bytes=32, num_channels=2,
+                             num_stack_ids=1, rows_per_bank=4)
+    expected = 32 * 32 * 2 * 2 * 4 * 4 * 1 * 4
+    assert mapping.capacity_bytes == expected

@@ -1,0 +1,76 @@
+"""Tests for the channel-level C/A sharing and aggregation."""
+
+import pytest
+
+from repro.dram.channel import Channel, ChannelConfig
+from repro.dram.commands import Command, CommandKind
+
+
+@pytest.fixture
+def channel(timing):
+    return Channel(ChannelConfig(timing=timing, num_stack_ids=1))
+
+
+def test_channel_structure(channel):
+    assert len(channel.pseudo_channels) == 2
+    assert channel.config.banks_per_channel == 32
+    assert channel.config.peak_bandwidth_bytes_per_ns == 64
+
+
+def test_ca_bus_allows_one_row_command_per_pc_per_ns(channel):
+    act0 = Command(kind=CommandKind.ACT, pseudo_channel=0, bank_group=0, row=0)
+    act1 = Command(kind=CommandKind.ACT, pseudo_channel=0, bank_group=1, row=0)
+    channel.issue(act0, now=0)
+    assert not channel.can_issue(act1, now=0)          # same PC, same ns
+    act_other_pc = Command(kind=CommandKind.ACT, pseudo_channel=1, bank_group=0, row=0)
+    assert channel.can_issue(act_other_pc, now=0)       # other PC is free
+
+
+def test_row_and_column_buses_are_independent(channel, timing):
+    act = Command(kind=CommandKind.ACT, pseudo_channel=0, bank_group=0, row=0)
+    channel.issue(act, now=0)
+    rd = Command(kind=CommandKind.RD, pseudo_channel=0, bank_group=0, row=0, column=0)
+    act2 = Command(kind=CommandKind.ACT, pseudo_channel=0, bank_group=1, row=0)
+    when = timing.tRCDRD
+    # Both a column command and a row command can go out in the same ns.
+    assert channel.can_issue(rd, now=when)
+    channel.issue(rd, now=when)
+    assert channel.can_issue(act2, now=when)
+    channel.issue(act2, now=when)
+
+
+def test_issue_on_busy_ca_raises(channel):
+    act0 = Command(kind=CommandKind.ACT, pseudo_channel=0, bank_group=0, row=0)
+    act1 = Command(kind=CommandKind.ACT, pseudo_channel=0, bank_group=1, row=0)
+    channel.issue(act0, now=0)
+    with pytest.raises(RuntimeError, match="C/A bus busy"):
+        channel.issue(act1, now=0)
+
+
+def test_command_counts_aggregate_across_pcs(channel, timing):
+    for pc in range(2):
+        channel.issue(
+            Command(kind=CommandKind.ACT, pseudo_channel=pc, bank_group=0, row=0),
+            now=0,
+        )
+        channel.issue(
+            Command(kind=CommandKind.RD, pseudo_channel=pc, bank_group=0, row=0, column=0),
+            now=timing.tRCDRD,
+        )
+    counts = channel.command_counts()
+    assert counts["ACT"] == 2
+    assert counts["RD"] == 2
+    assert channel.bytes_transferred() == 2 * timing.access_granularity_bytes
+    assert channel.total_activates() == 2
+
+
+def test_data_bus_utilization_averages_pcs(channel, timing):
+    channel.issue(
+        Command(kind=CommandKind.ACT, pseudo_channel=0, bank_group=0, row=0), now=0
+    )
+    channel.issue(
+        Command(kind=CommandKind.RD, pseudo_channel=0, bank_group=0, row=0, column=0),
+        now=timing.tRCDRD,
+    )
+    utilization = channel.data_bus_utilization(elapsed_ns=timing.tRCDRD + 2)
+    assert 0.0 < utilization < 1.0

@@ -1,0 +1,69 @@
+"""Tests for the DRAM command vocabulary."""
+
+from repro.dram.commands import (
+    COLUMN_COMMANDS,
+    Command,
+    CommandKind,
+    DATA_COMMANDS,
+    READ_COMMANDS,
+    ROME_COMMANDS,
+    ROW_COMMANDS,
+    WRITE_COMMANDS,
+    command_bus,
+)
+
+
+def test_column_and_row_commands_are_disjoint():
+    assert not (COLUMN_COMMANDS & ROW_COMMANDS)
+
+
+def test_rome_commands_not_in_conventional_sets():
+    assert not (ROME_COMMANDS & COLUMN_COMMANDS)
+    assert not (ROME_COMMANDS & ROW_COMMANDS)
+
+
+def test_data_commands_include_reads_and_writes():
+    assert CommandKind.RD in DATA_COMMANDS
+    assert CommandKind.WR in DATA_COMMANDS
+    assert CommandKind.RD_ROW in DATA_COMMANDS
+    assert CommandKind.ACT not in DATA_COMMANDS
+
+
+def test_read_write_classification():
+    assert CommandKind.RD in READ_COMMANDS
+    assert CommandKind.RD_ROW in READ_COMMANDS
+    assert CommandKind.WR in WRITE_COMMANDS
+    assert not (READ_COMMANDS & WRITE_COMMANDS)
+
+
+def test_command_bus_routing():
+    assert command_bus(CommandKind.RD) == "column"
+    assert command_bus(CommandKind.ACT) == "row"
+    assert command_bus(CommandKind.REFPB) == "row"
+    assert command_bus(CommandKind.RD_ROW) == "rome"
+
+
+def test_command_properties():
+    rd = Command(kind=CommandKind.RD, bank_group=1, bank=2, row=3, column=4)
+    assert rd.is_read and not rd.is_write
+    assert rd.transfers_data
+    assert rd.bus == "column"
+    act = Command(kind=CommandKind.ACT, row=7)
+    assert not act.transfers_data
+    assert act.bus == "row"
+
+
+def test_with_offset_bank_retargets_only_bank_fields():
+    rd = Command(kind=CommandKind.RD, bank_group=0, bank=0, row=9, column=5)
+    moved = rd.with_offset_bank(bank_group=1, bank=3)
+    assert moved.bank_group == 1
+    assert moved.bank == 3
+    assert moved.row == rd.row
+    assert moved.column == rd.column
+    assert moved.kind is rd.kind
+
+
+def test_command_equality_ignores_tag():
+    a = Command(kind=CommandKind.ACT, row=1, tag="x")
+    b = Command(kind=CommandKind.ACT, row=1, tag="y")
+    assert a == b

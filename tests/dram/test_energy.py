@@ -1,0 +1,54 @@
+"""Tests for the DRAM energy model."""
+
+import pytest
+
+from repro.dram.energy import EnergyCounters, EnergyModel, energy_breakdown
+
+
+def test_act_energy_scales_with_row_size():
+    model = EnergyModel()
+    assert model.act_energy(10, row_bytes=2048) == pytest.approx(
+        2 * model.act_energy(10, row_bytes=1024)
+    )
+
+
+def test_breakdown_contains_all_components():
+    counters = EnergyCounters(
+        activates=100,
+        reads_bytes=1 << 20,
+        writes_bytes=1 << 18,
+        interface_commands=5000,
+        refreshes=10,
+        row_command_expansions=200,
+        elapsed_ns=10_000.0,
+        num_channels=2,
+    )
+    breakdown = energy_breakdown(counters)
+    assert set(breakdown) == {"act", "cas", "refresh", "command_generator",
+                              "static", "total"}
+    assert breakdown["total"] == pytest.approx(
+        sum(v for k, v in breakdown.items() if k != "total")
+    )
+    assert all(v >= 0 for v in breakdown.values())
+
+
+def test_zero_counters_give_zero_dynamic_energy():
+    breakdown = energy_breakdown(EnergyCounters())
+    assert breakdown["act"] == 0
+    assert breakdown["cas"] == 0
+    assert breakdown["command_generator"] == 0
+
+
+def test_merge_adds_counts_and_keeps_elapsed_max():
+    a = EnergyCounters(activates=5, reads_bytes=100, elapsed_ns=50, num_channels=1)
+    b = EnergyCounters(activates=7, reads_bytes=300, elapsed_ns=80, num_channels=1)
+    merged = a.merge(b)
+    assert merged.activates == 12
+    assert merged.reads_bytes == 400
+    assert merged.elapsed_ns == 80
+    assert merged.num_channels == 2
+
+
+def test_reads_cost_less_than_writes_per_byte():
+    model = EnergyModel()
+    assert model.read_pj_per_byte < model.write_pj_per_byte

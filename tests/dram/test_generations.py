@@ -1,0 +1,75 @@
+"""Tests for the HBM generation specifications (Figure 2 inputs)."""
+
+import pytest
+
+from repro.dram.generations import (
+    GENERATION_ORDER,
+    HBM_GENERATIONS,
+    generation,
+    trend_table,
+)
+
+
+def test_all_generations_present_and_ordered():
+    assert list(GENERATION_ORDER) == ["HBM1", "HBM2", "HBM2E", "HBM3", "HBM3E", "HBM4"]
+    assert set(GENERATION_ORDER) == set(HBM_GENERATIONS)
+
+
+def test_lookup_is_case_insensitive():
+    assert generation("hbm4") is HBM_GENERATIONS["HBM4"]
+
+
+def test_unknown_generation_raises_with_guidance():
+    with pytest.raises(KeyError, match="HBM1"):
+        generation("HBM9")
+
+
+def test_data_rate_grows_monotonically_until_hbm3e():
+    rates = [HBM_GENERATIONS[name].data_rate_gbps for name in GENERATION_ORDER[:-1]]
+    assert rates == sorted(rates)
+
+
+def test_core_frequency_growth_is_modest_compared_to_data_rate():
+    first, last = HBM_GENERATIONS["HBM1"], HBM_GENERATIONS["HBM4"]
+    data_rate_growth = last.data_rate_gbps / first.data_rate_gbps
+    core_growth = last.core_frequency_mhz / first.core_frequency_mhz
+    assert data_rate_growth >= 2 * core_growth
+
+
+def test_channel_width_halves_while_channel_count_doubles():
+    hbm2e = HBM_GENERATIONS["HBM2E"]
+    hbm3 = HBM_GENERATIONS["HBM3"]
+    assert hbm3.channel_width_bits == hbm2e.channel_width_bits // 2
+    assert hbm3.channels_per_cube == hbm2e.channels_per_cube * 2
+
+
+def test_hbm4_doubles_channels_without_changing_width():
+    hbm3e = HBM_GENERATIONS["HBM3E"]
+    hbm4 = HBM_GENERATIONS["HBM4"]
+    assert hbm4.channel_width_bits == hbm3e.channel_width_bits
+    assert hbm4.channels_per_cube == 2 * hbm3e.channels_per_cube
+
+
+def test_ca_per_dq_ratio_grows_across_generations():
+    first = HBM_GENERATIONS["HBM1"].ca_per_dq_ratio
+    last = HBM_GENERATIONS["HBM4"].ca_per_dq_ratio
+    assert last > 1.5 * first
+
+
+def test_hbm4_cube_bandwidth_is_two_terabytes_per_second():
+    assert HBM_GENERATIONS["HBM4"].bandwidth_gbps_per_cube == pytest.approx(2048.0)
+
+
+def test_trend_table_has_all_generations_and_keys():
+    table = trend_table()
+    assert set(table) == set(GENERATION_ORDER)
+    for row in table.values():
+        assert {"data_rate_gbps", "core_frequency_mhz", "ca_per_dq_ratio"} <= set(row)
+
+
+def test_per_channel_bandwidth_constant_from_hbm3_to_hbm4():
+    hbm3 = HBM_GENERATIONS["HBM3"]
+    hbm4 = HBM_GENERATIONS["HBM4"]
+    assert hbm4.bandwidth_per_channel_gbps == pytest.approx(
+        hbm3.bandwidth_per_channel_gbps, rel=0.3
+    )

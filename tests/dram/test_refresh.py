@@ -1,0 +1,75 @@
+"""Tests for the refresh engine."""
+
+import pytest
+
+from repro.dram.refresh import RefreshEngine, RefreshMode
+from repro.dram.timing import TimingParameters
+
+
+@pytest.fixture
+def engine(timing):
+    return RefreshEngine(
+        timing=timing, num_stack_ids=1, num_bank_groups=2, banks_per_group=2
+    )
+
+
+def test_per_bank_interval_and_cycle_time(engine, timing):
+    # Commands rotate at tREFIpb; each of the 4 banks comes around every
+    # 4 x tREFIpb, which must comfortably exceed the refresh cycle time.
+    assert engine.command_interval() == timing.tREFIpb
+    assert engine.interval() == 4 * timing.tREFIpb
+    assert engine.interval() > timing.tRFCpb
+    assert engine.cycle_time() == timing.tRFCpb
+
+
+def test_all_bank_mode_uses_trefi(timing):
+    engine = RefreshEngine(timing=timing, mode=RefreshMode.ALL_BANK)
+    assert engine.interval() == timing.tREFI
+    assert engine.cycle_time() == timing.tRFCab
+
+
+def test_due_targets_appear_over_time(engine, timing):
+    early = engine.due_targets(0)
+    later = engine.due_targets(timing.tREFIpb)
+    assert len(later) >= len(early)
+    assert all(t.due_time <= timing.tREFIpb for t in later)
+
+
+def test_note_refresh_pushes_deadline_forward(engine, timing):
+    now = timing.tREFIpb - 1
+    target = engine.most_urgent(now)
+    assert target is not None
+    debt_before = engine.refresh_debt(now)
+    engine.note_refresh_issued(target, now)
+    assert engine.refresh_debt(now) == debt_before - 1
+    assert engine.issued == 1
+
+
+def test_is_critical_after_max_postponement(engine, timing):
+    target = engine.most_urgent(0)
+    assert target is not None
+    assert not engine.is_critical(target, now=target.due_time)
+    late = target.due_time + engine.max_postponed * engine.interval()
+    assert engine.is_critical(target, now=late)
+
+
+def test_interval_multiplier_doubles_period(timing):
+    engine = RefreshEngine(timing=timing, interval_multiplier=2,
+                           num_bank_groups=2, banks_per_group=2)
+    baseline = RefreshEngine(timing=timing, num_bank_groups=2, banks_per_group=2)
+    assert engine.command_interval() == 2 * baseline.command_interval()
+    assert engine.interval() == 2 * baseline.interval()
+
+
+def test_interval_multiplier_must_be_positive(timing):
+    with pytest.raises(ValueError):
+        RefreshEngine(timing=timing, interval_multiplier=0)
+
+
+def test_all_bank_due_and_issue(timing):
+    engine = RefreshEngine(timing=timing, mode=RefreshMode.ALL_BANK)
+    assert engine.due_targets(timing.tREFI - 1) == []
+    due = engine.due_targets(timing.tREFI)
+    assert len(due) == 1 and due[0].all_bank
+    engine.note_refresh_issued(due[0], timing.tREFI)
+    assert engine.due_targets(timing.tREFI) == []

@@ -1,0 +1,36 @@
+"""Tests for the HBM cube (stack) organization."""
+
+from repro.dram.stack import HBMStack, StackConfig, hbm4_stack_config
+
+
+def test_hbm4_stack_defaults_match_the_paper():
+    config = hbm4_stack_config()
+    assert config.num_channels == 32
+    assert config.capacity_gib == 32
+    assert config.pins_per_channel == 120
+    assert config.peak_bandwidth_gbps == 2048.0
+
+
+def test_total_pins_scale_with_channels():
+    config = hbm4_stack_config()
+    assert config.total_pins == 120 * 32
+
+
+def test_stack_capacity_and_channels():
+    stack = HBMStack(hbm4_stack_config(), instantiate_channels=False)
+    assert stack.num_channels == 32
+    assert stack.capacity_bytes == 32 * (1 << 30)
+
+
+def test_instantiated_channels_are_independent():
+    config = hbm4_stack_config()
+    small = StackConfig(channel=config.channel, num_channels=2)
+    stack = HBMStack(small)
+    assert len(stack.channels) == 2
+    assert stack.channel(0) is not stack.channel(1)
+    assert stack.total_bytes_transferred() == 0
+
+
+def test_channels_per_die_follows_generation_trend():
+    config = hbm4_stack_config()
+    assert config.channels_per_die == 4.0

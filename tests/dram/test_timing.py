@@ -1,0 +1,70 @@
+"""Tests for the conventional timing-parameter sets."""
+
+import pytest
+
+from repro.dram.timing import HBM4_TIMING, TimingParameters, derive_hbm4_timing
+
+
+def test_table5_values():
+    t = HBM4_TIMING
+    assert t.tRC == 45
+    assert t.tRP == 16
+    assert t.tRAS == 29
+    assert t.tRCDRD == 16
+    assert t.tCCDL == 2
+    assert t.tCCDS == 1
+    assert t.row_size_bytes == 1024
+    assert t.access_granularity_bytes == 32
+
+
+def test_validation_passes_for_defaults():
+    HBM4_TIMING.validate()
+
+
+def test_validation_rejects_inconsistent_ras_rp_rc():
+    bad = TimingParameters(tRAS=40, tRP=16, tRC=45)
+    with pytest.raises(ValueError, match="tRAS"):
+        bad.validate()
+
+
+def test_validation_rejects_ccds_greater_than_ccdl():
+    bad = TimingParameters(tCCDS=4, tCCDL=2)
+    with pytest.raises(ValueError, match="tCCDS"):
+        bad.validate()
+
+
+def test_columns_per_row_and_stream_time():
+    assert HBM4_TIMING.columns_per_row == 32
+    assert HBM4_TIMING.row_stream_ns == 64
+
+
+def test_scaled_preserves_structure_fields():
+    scaled = HBM4_TIMING.scaled(2.0)
+    assert scaled.tRC == 90
+    assert scaled.access_granularity_bytes == 32
+    assert scaled.row_size_bytes == 1024
+
+
+def test_scaled_never_produces_zero_latency():
+    scaled = HBM4_TIMING.scaled(0.01)
+    assert min(v for k, v in scaled.as_dict().items()
+               if k not in ("burst_ns", "access_granularity_bytes", "row_size_bytes")) >= 1
+
+
+def test_with_overrides_returns_new_object():
+    custom = HBM4_TIMING.with_overrides(tRC=50)
+    assert custom.tRC == 50
+    assert HBM4_TIMING.tRC == 45
+
+
+def test_derive_hbm4_timing_applies_overrides_and_validates():
+    timing = derive_hbm4_timing(tCL=18)
+    assert timing.tCL == 18
+    with pytest.raises(ValueError):
+        derive_hbm4_timing(tRAS=100)
+
+
+def test_as_dict_round_trip():
+    values = HBM4_TIMING.as_dict()
+    rebuilt = TimingParameters(**values)
+    assert rebuilt == HBM4_TIMING

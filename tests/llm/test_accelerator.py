@@ -1,0 +1,57 @@
+"""Tests for the accelerator / serving-system specifications."""
+
+import pytest
+
+from repro.llm.accelerator import (
+    AcceleratorSpec,
+    ServingSystem,
+    default_serving_system,
+    hbm4_accelerator,
+    rome_accelerator,
+)
+
+
+def test_hbm4_accelerator_matches_section_vi_a():
+    accel = hbm4_accelerator()
+    assert accel.hbm_cubes == 8
+    assert accel.channels_per_cube == 32
+    assert accel.peak_bandwidth_gbps == pytest.approx(16384.0)  # 16 TB/s
+    assert accel.capacity_bytes == 256 * (1 << 30)
+    assert accel.arithmetic_intensity_op_per_byte == pytest.approx(273, rel=0.05)
+
+
+def test_rome_accelerator_has_12_5_percent_more_bandwidth():
+    hbm4 = hbm4_accelerator()
+    rome = rome_accelerator()
+    assert rome.channels_per_cube == 36
+    gain = rome.peak_bandwidth_gbps / hbm4.peak_bandwidth_gbps - 1.0
+    assert gain == pytest.approx(0.125)
+    assert rome.access_granularity_bytes == 4096
+    assert hbm4.access_granularity_bytes == 32
+
+
+def test_effective_rates_apply_efficiency():
+    accel = hbm4_accelerator(bandwidth_efficiency=0.9)
+    assert accel.effective_bandwidth_gbps == pytest.approx(0.9 * accel.peak_bandwidth_gbps)
+    assert accel.effective_tflops == pytest.approx(
+        accel.bf16_tflops * accel.compute_efficiency
+    )
+
+
+def test_with_bandwidth_efficiency_returns_modified_copy():
+    base = hbm4_accelerator()
+    tuned = base.with_bandwidth_efficiency(0.5)
+    assert tuned.bandwidth_efficiency == 0.5
+    assert base.bandwidth_efficiency != 0.5
+
+
+def test_serving_system_aggregates_eight_accelerators():
+    system = default_serving_system("hbm4")
+    assert system.num_accelerators == 8
+    assert system.total_capacity_bytes == 8 * 256 * (1 << 30)
+    assert system.total_bandwidth_gbps == pytest.approx(8 * 16384.0)
+
+
+def test_default_serving_system_rejects_unknown_memory():
+    with pytest.raises(ValueError):
+        default_serving_system("ddr5")

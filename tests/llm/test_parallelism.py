@@ -1,0 +1,59 @@
+"""Tests for the parallelization strategies."""
+
+import pytest
+
+from repro.llm.models import DEEPSEEK_V3, GROK_1, LLAMA_3_405B
+from repro.llm.parallelism import (
+    ParallelismConfig,
+    default_decode_parallelism,
+    default_prefill_parallelism,
+)
+
+
+def test_deepseek_decode_uses_data_parallel_attention():
+    config = default_decode_parallelism(DEEPSEEK_V3)
+    assert config.attention_tp == 1
+    assert config.attention_dp == 8
+    assert config.expert_parallel
+
+
+def test_grok_and_llama_decode_use_tp8_attention():
+    for model in (GROK_1, LLAMA_3_405B):
+        config = default_decode_parallelism(model)
+        assert config.attention_tp == 8
+        assert config.attention_dp == 1
+    assert default_decode_parallelism(GROK_1).expert_parallel
+    assert not default_decode_parallelism(LLAMA_3_405B).expert_parallel
+
+
+def test_prefill_uses_tp8_for_all_models():
+    for model in (DEEPSEEK_V3, GROK_1, LLAMA_3_405B):
+        config = default_prefill_parallelism(model)
+        assert config.attention_tp == 8
+        assert config.ffn_tp == 8
+
+
+def test_invalid_tp_dp_product_rejected():
+    with pytest.raises(ValueError):
+        ParallelismConfig(num_devices=8, attention_tp=4, attention_dp=1)
+
+
+def test_shard_fractions():
+    config = ParallelismConfig(num_devices=8, attention_tp=8, attention_dp=1,
+                               ffn_tp=8, expert_parallel=True)
+    assert config.attention_weight_shard == pytest.approx(1 / 8)
+    assert config.ffn_weight_shard == pytest.approx(1 / 8)
+    assert config.experts_shard == pytest.approx(1 / 8)
+    assert config.sequences_per_device_factor == 1.0
+
+
+def test_no_expert_parallel_means_full_expert_pool():
+    config = ParallelismConfig(num_devices=8, attention_tp=8, attention_dp=1,
+                               expert_parallel=False)
+    assert config.experts_shard == 1.0
+
+
+def test_non_default_device_count():
+    config = default_decode_parallelism(DEEPSEEK_V3, num_devices=4)
+    assert config.num_devices == 4
+    assert config.attention_dp == 4

@@ -1,0 +1,87 @@
+"""Tests for the roofline execution-time model."""
+
+import pytest
+
+from repro.llm.accelerator import hbm4_accelerator
+from repro.llm.layers import Operator, OperatorCategory
+from repro.llm.roofline import execute_operators, perfect_lbr
+
+
+def _memory_op(bytes_: float) -> Operator:
+    return Operator(name="mem", category=OperatorCategory.ATTENTION,
+                    flops=1.0, weight_bytes=bytes_)
+
+
+def _compute_op(flops: float) -> Operator:
+    return Operator(name="cmp", category=OperatorCategory.FFN,
+                    flops=flops, weight_bytes=1.0)
+
+
+def test_memory_bound_operator_timed_by_bandwidth():
+    accel = hbm4_accelerator()
+    op = _memory_op(accel.effective_bandwidth_gbps * 1e9)  # one second of traffic
+    report = execute_operators([op], accel)
+    assert report.total_s == pytest.approx(1.0, rel=0.01)
+    assert report.timings[0].bound == "memory"
+    assert report.memory_bound_fraction() == pytest.approx(1.0)
+
+
+def test_compute_bound_operator_timed_by_flops():
+    accel = hbm4_accelerator()
+    op = _compute_op(accel.effective_tflops * 1e12)  # one second of compute
+    report = execute_operators([op], accel)
+    assert report.total_s == pytest.approx(1.0, rel=0.01)
+    assert report.timings[0].bound == "compute"
+
+
+def test_lbr_slows_memory_time_proportionally():
+    accel = hbm4_accelerator()
+    op = _memory_op(1e9)
+    fast = execute_operators([op], accel, lbr_fn=perfect_lbr)
+    slow = execute_operators([op], accel, lbr_fn=lambda _: 0.5)
+    assert slow.timings[0].memory_s == pytest.approx(2 * fast.timings[0].memory_s)
+
+
+def test_communication_operator_uses_interconnect():
+    accel = hbm4_accelerator()
+    op = Operator(name="allreduce", category=OperatorCategory.COMMUNICATION,
+                  communication_bytes=900e9)
+    report = execute_operators([op], accel, interconnect_gbps=900.0)
+    assert report.total_s == pytest.approx(1.0, rel=0.01)
+    assert report.timings[0].bound == "communication"
+
+
+def test_time_by_category_partitions_total():
+    accel = hbm4_accelerator()
+    ops = [_memory_op(1e9), _compute_op(1e12),
+           Operator(name="c", category=OperatorCategory.COMMUNICATION,
+                    communication_bytes=1e9)]
+    report = execute_operators(ops, accel)
+    by_category = report.time_by_category()
+    assert sum(by_category.values()) == pytest.approx(report.total_s)
+    assert set(by_category) == {"attention", "ffn", "communication"}
+
+
+def test_weighted_lbr_ignores_zero_byte_ops():
+    accel = hbm4_accelerator()
+    ops = [_memory_op(1e6),
+           Operator(name="c", category=OperatorCategory.COMMUNICATION,
+                    communication_bytes=1e9)]
+    report = execute_operators(ops, accel, lbr_fn=lambda _: 0.8)
+    assert report.weighted_lbr() == pytest.approx(0.8)
+
+
+def test_kernel_overhead_added_to_compute_time():
+    accel = hbm4_accelerator()
+    tiny = Operator(name="tiny", category=OperatorCategory.FFN, flops=1.0,
+                    weight_bytes=1.0)
+    report = execute_operators([tiny], accel)
+    assert report.total_s >= accel.kernel_overhead_us * 1e-6
+
+
+def test_empty_report_defaults():
+    accel = hbm4_accelerator()
+    report = execute_operators([], accel)
+    assert report.total_s == 0.0
+    assert report.memory_bound_fraction() == 0.0
+    assert report.weighted_lbr() == 1.0

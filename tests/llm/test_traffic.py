@@ -1,0 +1,57 @@
+"""Tests for the Figure 1 memory-footprint analysis."""
+
+import pytest
+
+from repro.llm.models import DEEPSEEK_V3, GROK_1, LLAMA_3_405B, MODELS
+from repro.llm.traffic import Stage, figure1_table, stage_traffic
+
+
+def test_weight_population_totals_model_size():
+    for model in MODELS.values():
+        traffic = stage_traffic(model, Stage.DECODE, batch=8)
+        assert sum(traffic.weight_tensor_bytes) == model.total_weight_bytes()
+
+
+def test_most_weight_tensors_exceed_hundreds_of_kilobytes():
+    """Section III: most weight and KV-cache accesses exceed several hundred KB."""
+    for model in MODELS.values():
+        traffic = stage_traffic(model, Stage.DECODE, batch=8)
+        fractions = traffic.fraction_above(100 * 1024)
+        assert fractions["weight"] > 0.95
+        assert fractions["kv_cache"] > 0.95
+
+
+def test_kv_tensors_reach_megabytes_in_decode():
+    traffic = stage_traffic(GROK_1, Stage.DECODE, batch=64, sequence_length=8192)
+    assert max(traffic.kv_tensor_bytes) >= 1 << 20
+
+
+def test_prefill_activations_much_larger_than_decode():
+    prefill = stage_traffic(LLAMA_3_405B, Stage.PREFILL, batch=4, sequence_length=8192)
+    decode = stage_traffic(LLAMA_3_405B, Stage.DECODE, batch=4, sequence_length=8192)
+    assert max(prefill.activation_tensor_bytes) > 100 * max(decode.activation_tensor_bytes)
+
+
+def test_summary_and_fraction_handle_empty_population():
+    traffic = stage_traffic(DEEPSEEK_V3, Stage.DECODE, batch=1)
+    traffic.activation_tensor_bytes = []
+    summary = traffic.summary()
+    assert summary["activation"]["count"] == 0
+    assert traffic.fraction_above(1)["activation"] == 0.0
+
+
+def test_figure1_table_has_six_rows():
+    rows = figure1_table(list(MODELS.values()))
+    assert len(rows) == 6
+    assert {row["stage"] for row in rows} == {"prefill", "decode"}
+    for row in rows:
+        assert row["fraction_weights_over_100KB"] > 0.9
+
+
+def test_deepseek_expert_matrices_are_the_smaller_weight_class():
+    traffic = stage_traffic(DEEPSEEK_V3, Stage.DECODE, batch=8)
+    summary = traffic.summary()
+    # DeepSeek's 2048-wide experts give it a smaller median weight tensor
+    # than Llama 3's dense 53248-wide FFN matrices.
+    llama = stage_traffic(LLAMA_3_405B, Stage.DECODE, batch=8).summary()
+    assert summary["weight"]["median"] < llama["weight"]["median"]

@@ -1,0 +1,53 @@
+"""Tests for the lockstep simulation engine."""
+
+import pytest
+
+from repro.core.controller import RoMeControllerConfig, RoMeMemoryController
+from repro.core.interface import RowRequest, RowRequestKind
+from repro.sim.engine import Simulation
+
+
+def _controller():
+    return RoMeMemoryController(
+        config=RoMeControllerConfig(num_stack_ids=1, enable_refresh=False)
+    )
+
+
+def test_run_for_advances_all_controllers():
+    controllers = [_controller(), _controller()]
+    sim = Simulation(controllers=controllers)
+    sim.run_for(50)
+    assert sim.now == 50
+    assert all(c.now == 50 for c in controllers)
+
+
+def test_on_cycle_hook_can_inject_requests():
+    controller = _controller()
+    injected = []
+
+    def inject(now: int) -> None:
+        if now == 10:
+            request = RowRequest(kind=RowRequestKind.RD_ROW, vba=0, row=0,
+                                 arrival_ns=now)
+            controller.enqueue(request)
+            injected.append(request)
+
+    sim = Simulation(controllers=[controller], on_cycle=inject)
+    sim.run_for(200)
+    assert injected and injected[0].completion_ns is not None
+    assert injected[0].issue_ns >= 10
+
+
+def test_run_until_predicate():
+    controller = _controller()
+    request = RowRequest(kind=RowRequestKind.RD_ROW, vba=0, row=0)
+    controller.enqueue(request)
+    sim = Simulation(controllers=[controller])
+    end = sim.run_until(lambda: request.completion_ns is not None)
+    assert end >= 1
+
+
+def test_run_until_raises_on_timeout():
+    sim = Simulation(controllers=[_controller()])
+    with pytest.raises(RuntimeError):
+        sim.run_until(lambda: False, max_ns=10)

@@ -1,0 +1,99 @@
+"""Tests for the multi-channel memory systems."""
+
+import pytest
+
+from repro.controller.mc import ControllerConfig
+from repro.controller.request import MemoryRequest, RequestKind
+from repro.core.controller import RoMeControllerConfig
+from repro.sim.memory_system import (
+    ConventionalMemorySystem,
+    MemorySystemConfig,
+    RoMeMemorySystem,
+)
+from repro.sim.traces import streaming_trace
+
+
+def _conventional(num_channels=2) -> ConventionalMemorySystem:
+    return ConventionalMemorySystem(
+        MemorySystemConfig(
+            num_channels=num_channels,
+            controller=ControllerConfig(num_stack_ids=1, enable_refresh=False),
+        )
+    )
+
+
+def _rome(num_channels=2) -> RoMeMemorySystem:
+    return RoMeMemorySystem(
+        MemorySystemConfig(
+            num_channels=num_channels,
+            rome_controller=RoMeControllerConfig(num_stack_ids=1,
+                                                 enable_refresh=False),
+        )
+    )
+
+
+def test_conventional_requests_spread_across_channels():
+    system = _conventional(num_channels=2)
+    system.enqueue(MemoryRequest(kind=RequestKind.READ, address=0, size_bytes=8192))
+    loads = [c.outstanding_requests for c in system.controllers]
+    assert all(load > 0 for load in loads)
+
+
+def test_conventional_system_serves_all_bytes():
+    system = _conventional(num_channels=2)
+    system.enqueue_many(streaming_trace(64 * 1024, request_bytes=4096))
+    system.run_until_idle()
+    result = system.result()
+    assert result.bandwidth.bytes_transferred == 64 * 1024
+    assert result.utilization > 0.8
+
+
+def test_rome_system_serves_all_bytes_with_high_utilization():
+    # streaming_trace produces byte-addressed host requests.
+    system = _rome(num_channels=2)
+    for request in streaming_trace(64 * 4096, request_bytes=4096):
+        system.enqueue_host_request(request)
+    system.run_until_idle()
+    result = system.result()
+    assert result.bandwidth.bytes_transferred == 64 * 4096
+    assert result.utilization > 0.9
+
+
+def test_rome_host_request_partial_row_counts_overfetch():
+    system = _rome(num_channels=1)
+    system.enqueue_host_request(
+        MemoryRequest(kind=RequestKind.READ, address=0, size_bytes=1000)
+    )
+    system.run_until_idle()
+    result = system.result()
+    assert result.extra["overfetch_bytes"] == 4096 - 1000
+    assert result.bandwidth.bytes_transferred == 4096
+
+
+def test_rome_write_requests_mapped_to_wr_row():
+    system = _rome(num_channels=1)
+    system.enqueue_host_request(
+        MemoryRequest(kind=RequestKind.WRITE, address=0, size_bytes=8192)
+    )
+    system.run_until_idle()
+    result = system.result()
+    assert result.command_counts["WR_row"] == 2
+    assert result.command_counts["RD_row"] == 0
+
+
+def test_energy_counters_aggregate_channels():
+    system = _rome(num_channels=2)
+    for request in streaming_trace(16 * 4096, request_bytes=4096):
+        system.enqueue_host_request(request)
+    system.run_until_idle()
+    counters = system.energy_counters()
+    assert counters.num_channels == 2
+    assert counters.reads_bytes == 16 * 4096
+
+
+def test_peak_bandwidth_scales_with_channel_count():
+    two = _rome(num_channels=2)
+    four = _rome(num_channels=4)
+    assert four.result().bandwidth.peak_bytes_per_ns == pytest.approx(
+        2 * two.result().bandwidth.peak_bytes_per_ns
+    )

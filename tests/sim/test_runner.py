@@ -1,0 +1,47 @@
+"""Tests for the high-level measurement helpers."""
+
+import pytest
+
+from repro.sim.runner import (
+    measure_conventional_streaming,
+    measure_rome_streaming,
+    queue_depth_sweep,
+)
+
+
+def test_conventional_streaming_measurement():
+    result = measure_conventional_streaming(total_bytes=32 * 1024)
+    assert result.bandwidth.bytes_transferred == 32 * 1024
+    assert 0.5 < result.utilization <= 1.0
+    assert result.command_counts.get("RD", 0) == 1024
+
+
+def test_rome_streaming_measurement():
+    result = measure_rome_streaming(total_bytes=32 * 4096)
+    assert result.bandwidth.bytes_transferred == 32 * 4096
+    assert result.utilization > 0.9
+    assert result.command_counts["RD_row"] == 32
+
+
+def test_rome_streaming_with_writes():
+    result = measure_rome_streaming(total_bytes=32 * 4096, write_fraction=0.25)
+    assert result.command_counts["WR_row"] == 8
+    assert result.command_counts["RD_row"] == 24
+
+
+def test_queue_depth_sweep_rome_saturates_by_two():
+    sweep = queue_depth_sweep([1, 2, 4], system="rome", total_bytes=32 * 4096)
+    assert sweep[1] < 0.8
+    assert sweep[2] > 0.95
+    assert sweep[4] >= sweep[2] - 0.01
+
+
+def test_queue_depth_sweep_hbm4_needs_tens_of_entries():
+    sweep = queue_depth_sweep([4, 64], system="hbm4", total_bytes=32 * 1024)
+    assert sweep[4] < sweep[64]
+    assert sweep[64] > 0.9
+
+
+def test_queue_depth_sweep_rejects_unknown_system():
+    with pytest.raises(ValueError):
+        queue_depth_sweep([2], system="ddr5")

@@ -1,0 +1,54 @@
+"""Tests for the result containers."""
+
+import pytest
+
+from repro.sim.stats import BandwidthResult, LatencyResult, SimulationResult
+
+
+def test_bandwidth_result_utilization():
+    result = BandwidthResult(bytes_transferred=6400, elapsed_ns=100,
+                             peak_bytes_per_ns=64)
+    assert result.achieved_bytes_per_ns == 64
+    assert result.achieved_gbps == 64
+    assert result.utilization == 1.0
+
+
+def test_bandwidth_result_handles_zero_elapsed():
+    result = BandwidthResult(bytes_transferred=0, elapsed_ns=0, peak_bytes_per_ns=64)
+    assert result.achieved_bytes_per_ns == 0.0
+    assert result.utilization == 0.0
+
+
+def test_utilization_is_clamped_to_one():
+    result = BandwidthResult(bytes_transferred=10_000, elapsed_ns=10,
+                             peak_bytes_per_ns=64)
+    assert result.utilization == 1.0
+
+
+def test_latency_result_statistics():
+    latency = LatencyResult.from_samples([10, 20, 30, 40, 100])
+    assert latency.count == 5
+    assert latency.average == 40
+    assert latency.p50 == 30
+    assert latency.p99 == 100
+    assert latency.percentile(0) == 10
+
+
+def test_latency_result_empty():
+    latency = LatencyResult.from_samples([])
+    assert latency.count == 0
+    assert latency.average == 0.0
+    assert latency.p99 == 0.0
+
+
+def test_simulation_result_summary_mentions_name_and_bandwidth():
+    result = SimulationResult(
+        name="demo",
+        bandwidth=BandwidthResult(bytes_transferred=640, elapsed_ns=10,
+                                  peak_bytes_per_ns=64),
+        latency=LatencyResult.from_samples([5]),
+    )
+    text = result.summary()
+    assert "demo" in text
+    assert "GB/s" in text
+    assert result.utilization == pytest.approx(1.0)

@@ -1,0 +1,63 @@
+"""Tests for the workload trace generators."""
+
+import pytest
+
+from repro.controller.request import RequestKind
+from repro.sim.traces import (
+    TracePattern,
+    make_trace,
+    mixed_trace,
+    random_trace,
+    streaming_trace,
+    strided_trace,
+)
+
+
+def test_streaming_trace_covers_exact_bytes():
+    trace = streaming_trace(10_000, request_bytes=4096)
+    assert len(trace) == 3
+    assert sum(r.size_bytes for r in trace) == 10_000
+    addresses = [r.address for r in trace]
+    assert addresses == sorted(addresses)
+
+
+def test_streaming_trace_rejects_bad_request_size():
+    with pytest.raises(ValueError):
+        streaming_trace(1000, request_bytes=0)
+
+
+def test_strided_trace_spacing():
+    trace = strided_trace(5, stride_bytes=256, request_bytes=32)
+    assert [r.address for r in trace] == [0, 256, 512, 768, 1024]
+    assert all(r.size_bytes == 32 for r in trace)
+
+
+def test_random_trace_is_deterministic_per_seed():
+    a = random_trace(50, address_space_bytes=1 << 20, seed=7)
+    b = random_trace(50, address_space_bytes=1 << 20, seed=7)
+    c = random_trace(50, address_space_bytes=1 << 20, seed=8)
+    assert [r.address for r in a] == [r.address for r in b]
+    assert [r.address for r in a] != [r.address for r in c]
+
+
+def test_random_trace_addresses_within_space():
+    space = 1 << 16
+    trace = random_trace(100, address_space_bytes=space, request_bytes=32)
+    assert all(0 <= r.address < space for r in trace)
+
+
+def test_mixed_trace_write_fraction_roughly_respected():
+    trace = mixed_trace(400 * 4096, write_fraction=0.25, seed=3)
+    writes = sum(1 for r in trace if r.kind is RequestKind.WRITE)
+    assert 0.15 < writes / len(trace) < 0.35
+
+
+def test_mixed_trace_rejects_bad_fraction():
+    with pytest.raises(ValueError):
+        mixed_trace(4096, write_fraction=1.5)
+
+
+def test_make_trace_dispatches_all_patterns():
+    for pattern in TracePattern:
+        trace = make_trace(pattern, total_bytes=16 * 4096)
+        assert trace

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_a_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_trends_command_prints_generations(capsys):
+    assert main(["trends"]) == 0
+    out = capsys.readouterr().out
+    assert "HBM1" in out and "HBM4" in out
+
+
+def test_design_space_command_lists_six_points(capsys):
+    assert main(["--json", "design-space"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert len(rows) == 6
+
+
+def test_pins_command_reports_expansion(capsys):
+    assert main(["pins"]) == 0
+    out = capsys.readouterr().out
+    assert "minimum C/A pins: 5" in out
+    assert "+12.5% bandwidth" in out
+
+
+def test_tpot_command_json_rows(capsys):
+    assert main(["--json", "tpot", "--model", "grok-1", "--batches", "8", "16"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert len(rows) == 2
+    assert all(row["hbm4_tpot_ms"] > row["rome_tpot_ms"] for row in rows)
+
+
+def test_lbr_command_json_rows(capsys):
+    assert main(["--json", "lbr", "--model", "llama-3-405b", "--batches", "8"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert len(rows) == 1
+    assert 0.8 <= rows[0]["lbr_attention"] <= 1.0
+
+
+def test_energy_command_json_rows(capsys):
+    assert main(["--json", "energy", "--model", "deepseek-v3", "--batch", "64"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert rows[0]["energy_reduction"] > 0
+
+
+def test_queue_depth_command_runs(capsys):
+    assert main(["--json", "queue-depth", "--bytes", "65536",
+                 "--rome-depths", "1", "2", "--hbm4-depths", "8"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert {row["system"] for row in rows} == {"rome", "hbm4"}
+
+
+def test_bandwidth_command_runs(capsys):
+    assert main(["--json", "bandwidth", "--bytes", "65536"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert len(rows) == 2

@@ -1,0 +1,57 @@
+"""Smoke tests keeping the example scripts runnable.
+
+The quickstart is executed end-to-end; the heavier examples are imported and
+compiled so that API drift in the library breaks the build immediately.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(name.replace(".py", ""), path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_has_at_least_three_scripts():
+    scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+    assert len(scripts) >= 3
+    assert "quickstart.py" in scripts
+
+
+def test_quickstart_runs_end_to_end(capsys):
+    module = _load("quickstart.py")
+    module.main()
+    out = capsys.readouterr().out
+    assert "RoMe TPOT" in out
+    assert "+12.5% bandwidth" in out
+
+
+def test_dram_microbenchmark_sections_run(capsys):
+    module = _load("dram_microbenchmark.py")
+    module.refresh_study()
+    module.overfetch_study()
+    out = capsys.readouterr().out
+    assert "288 ns" in out
+    assert "overfetch" in out
+
+
+def test_vba_design_space_measure_helper():
+    module = _load("vba_design_space.py")
+    from repro.core.virtual_bank import paper_vba_config
+
+    utilization = module.measure(paper_vba_config())
+    assert utilization > 0.9
+
+
+def test_llm_serving_example_importable():
+    module = _load("llm_serving_tpot.py")
+    assert callable(module.main)

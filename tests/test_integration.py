@@ -1,0 +1,101 @@
+"""Cross-module integration tests: the headline claims of the paper.
+
+These tests exercise the full stack (DRAM substrate -> controllers -> memory
+systems -> LLM workload model) and check the *shape* of the paper's results:
+who wins, by roughly how much, and where the simplifications pay off.
+"""
+
+import pytest
+
+from repro.analysis.area import mc_area_comparison
+from repro.analysis.energy_report import energy_comparison
+from repro.core.pins import channel_expansion
+from repro.core.refresh import refresh_stall_comparison
+from repro.core.timing import ROME_TIMING
+from repro.llm.inference import decode_comparison, max_batch_size
+from repro.llm.models import DEEPSEEK_V3, GROK_1, LLAMA_3_405B
+from repro.sim.runner import (
+    measure_conventional_streaming,
+    measure_rome_streaming,
+    queue_depth_sweep,
+)
+
+
+def test_streaming_bandwidth_parity_between_hbm4_and_rome_channels():
+    """Section IV-B: row-granularity access does not hurt streaming bandwidth.
+
+    A single RoMe channel and a single HBM4 channel both come within a few
+    percent of their peak bandwidth on a pure streaming-read workload.
+    """
+    hbm4 = measure_conventional_streaming(total_bytes=64 * 1024)
+    rome = measure_rome_streaming(total_bytes=64 * 4096)
+    assert hbm4.utilization > 0.9
+    assert rome.utilization > 0.9
+    assert abs(hbm4.utilization - rome.utilization) < 0.1
+
+
+def test_rome_issues_two_orders_of_magnitude_fewer_interface_commands():
+    hbm4 = measure_conventional_streaming(total_bytes=64 * 1024)
+    rome = measure_rome_streaming(total_bytes=64 * 1024)
+    hbm4_commands = hbm4.command_counts.get("RD", 0)
+    rome_commands = rome.command_counts.get("RD_row", 0)
+    assert hbm4_commands >= 100 * rome_commands
+
+
+def test_queue_depth_requirements_differ_by_an_order_of_magnitude():
+    """Section V-A: RoMe saturates with 2 queue entries, HBM4 needs tens."""
+    rome = queue_depth_sweep([2], system="rome", total_bytes=32 * 4096)
+    hbm4_small = queue_depth_sweep([2], system="hbm4", total_bytes=32 * 1024)
+    hbm4_large = queue_depth_sweep([64], system="hbm4", total_bytes=32 * 1024)
+    assert rome[2] > 0.95
+    assert hbm4_small[2] < 0.6
+    assert hbm4_large[64] > 0.9
+
+
+def test_end_to_end_tpot_reduction_close_to_paper():
+    """Figure 12: TPOT drops by ~10.4 %, ~10.2 %, ~9.0 %."""
+    expectations = {
+        DEEPSEEK_V3: 0.104,
+        GROK_1: 0.102,
+        LLAMA_3_405B: 0.090,
+    }
+    for model, expected in expectations.items():
+        batch = min(64, max_batch_size(model))
+        comparison = decode_comparison(model, batch)
+        reduction = 1.0 - comparison["rome"].tpot_ms / comparison["hbm4"].tpot_ms
+        assert reduction == pytest.approx(expected, abs=0.04), model.name
+
+
+def test_tpot_improvement_never_exceeds_bandwidth_gain():
+    """The 12.5 % channel expansion is an upper bound on the improvement."""
+    for model in (DEEPSEEK_V3, GROK_1, LLAMA_3_405B):
+        comparison = decode_comparison(model, batch=32)
+        reduction = 1.0 - comparison["rome"].tpot_ms / comparison["hbm4"].tpot_ms
+        assert reduction <= 0.125 + 1e-6
+
+
+def test_energy_and_area_savings_hold_together():
+    reports = energy_comparison(DEEPSEEK_V3, batch=256)
+    energy_reduction = 1.0 - reports["rome"].total_pj / reports["hbm4"].total_pj
+    area_ratio = mc_area_comparison().ratio
+    assert 0 < energy_reduction < 0.06
+    assert area_ratio < 0.15
+
+
+def test_channel_expansion_and_timing_are_consistent():
+    """The added channels (12.5 %) rely on the 5-pin C/A budget, which in turn
+    relies on the row-level command interval being >= 2 x tRRDS."""
+    expansion = channel_expansion()
+    assert expansion.bandwidth_gain == pytest.approx(0.125)
+    assert ROME_TIMING.tR2RS >= 2 * 2  # 2 x tRRDS with tRRDS = 2 ns
+
+
+def test_refresh_pairing_saves_most_of_the_second_stall():
+    summary = refresh_stall_comparison()
+    saved = summary.stall_reduction_ns
+    assert saved == pytest.approx(272)  # tRFCpb - tRREFD = 280 - 8
+    assert summary.paired_stall_ns / summary.naive_stall_ns < 0.55
+
+
+def test_capacity_limits_order_models_as_in_figure12():
+    assert max_batch_size(DEEPSEEK_V3) > max_batch_size(GROK_1) > max_batch_size(LLAMA_3_405B)
