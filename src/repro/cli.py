@@ -10,6 +10,8 @@ Provides quick access to the main experiments without writing code:
 * ``rome-repro pins`` -- Figure 10: C/A pin sweep and channel expansion.
 * ``rome-repro design-space`` -- the six-point VBA design space.
 * ``rome-repro trends`` -- Figure 2: HBM generation trends.
+* ``rome-repro bench-smoke`` -- CI perf smoke: seed-tick vs event-driven
+  simulation-core throughput, with a ``--min-speedup`` gate.
 """
 
 from __future__ import annotations
@@ -165,6 +167,33 @@ def cmd_trends(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_smoke(args: argparse.Namespace) -> int:
+    from repro.sim.bench import throughput_comparison
+
+    if args.bytes < 4096:
+        print("error: --bytes must be at least 4096 (one effective row)",
+              file=sys.stderr)
+        return 2
+    if args.repeats < 1:
+        print("error: --repeats must be at least 1", file=sys.stderr)
+        return 2
+    rows = throughput_comparison(
+        rome_bytes=args.bytes,
+        hbm4_bytes=min(args.bytes, 64 * 1024),
+        repeats=args.repeats,
+    )
+    _print_rows(rows, args.json)
+    rome = next(row for row in rows if row["system"] == "rome")
+    if args.min_speedup > 0 and rome["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: event core speedup {rome['speedup']:.1f}x is below the "
+            f"--min-speedup gate of {args.min_speedup:g}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="rome-repro",
@@ -213,6 +242,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("trends", help="Figure 2 HBM generation trends")
     p.set_defaults(func=cmd_trends)
+
+    p = sub.add_parser(
+        "bench-smoke",
+        help="fast perf smoke: seed-tick vs event-driven simulation cores",
+    )
+    p.add_argument("--bytes", type=int, default=128 * 1024,
+                   help="streaming drain size for the RoMe comparison")
+    p.add_argument("--repeats", type=int, default=2)
+    p.add_argument("--min-speedup", type=float, default=5.0,
+                   help="exit non-zero when the event core is slower than "
+                        "this multiple of the seed core (0 disables)")
+    p.set_defaults(func=cmd_bench_smoke)
     return parser
 
 

@@ -172,12 +172,12 @@ class ConventionalMemoryController:
 
     # ------------------------------------------------------------------ tick
 
-    def tick(self) -> None:
-        """Advance the controller by one nanosecond."""
-        now = self.now
+    def _step(self, now: int) -> bool:
+        """One scheduling evaluation at ``now``; True if any command issued."""
         self.channel.tick(now)
         self._fill_queues()
         timing = self.config.timing
+        issued_any = False
 
         # 1. Refresh has priority when it can no longer be postponed.
         refresh_decision = self.scheduler.pick_refresh(now)
@@ -185,6 +185,7 @@ class ConventionalMemoryController:
         if refresh_decision is not None:
             self._issue(refresh_decision, now)
             issued_row_command = True
+            issued_any = True
 
         # 2. Column commands (row hits), one per pseudo channel, respecting
         #    write-drain mode.
@@ -193,11 +194,13 @@ class ConventionalMemoryController:
             priority = [(self.write_queue, True), (self.read_queue, True)]
         else:
             priority = [(self.read_queue, True), (self.write_queue, False)]
+        completed = 0
         for _ in range(self.config.num_pseudo_channels):
             column_decision = self.scheduler.pick_column(priority, now)
             if column_decision is None:
                 break
             self._issue(column_decision, now)
+            issued_any = True
             transaction = column_decision.transaction
             assert transaction is not None
             data_latency = timing.tCL if transaction.is_read else timing.tCWL
@@ -205,9 +208,14 @@ class ConventionalMemoryController:
             self._page_policy.note_access(
                 bank_key(transaction), transaction.coordinate.row, was_hit=True
             )
-            queue = self.write_queue if transaction.is_write else self.read_queue
-            queue.remove(transaction)
+            # Marks the transaction served; the queues are swept once below.
             self._complete_transaction(transaction, data_ns)
+            completed += 1
+        if completed:
+            # One-pass retirement of everything completed this cycle instead
+            # of an O(n) remove per transaction.
+            self.read_queue.remove_served()
+            self.write_queue.remove_served()
 
         # 3. Row commands (ACT or policy-driven PRE), one per pseudo channel.
         row_budget = self.config.num_pseudo_channels - (1 if issued_row_command else 0)
@@ -216,8 +224,14 @@ class ConventionalMemoryController:
             if row_decision is None:
                 break
             self._issue(row_decision, now)
+            issued_any = True
 
-        self.now = now + 1
+        return issued_any
+
+    def tick(self) -> None:
+        """Advance the controller by one nanosecond (legacy tick core)."""
+        self._step(self.now)
+        self.now += 1
 
     def _issue(self, decision: SchedulerDecision, now: int) -> None:
         self.channel.issue(decision.command, now)
@@ -227,24 +241,85 @@ class ConventionalMemoryController:
             engine.note_refresh_issued(decision.refresh_target, now)
             self.stats.refreshes_issued += 1
 
+    # ------------------------------------------------------- event-driven core
+
+    def next_event_ns(self) -> Optional[int]:
+        """Earliest instant > now at which the controller's state can change.
+
+        The bound is the minimum over every stored future timestamp in the
+        channel hierarchy (bank timing windows, transient-state resolutions,
+        CAS/ACT spacing, bus occupancies, C/A reuse) plus the refresh
+        engines' deadline and criticality transitions.  It is conservative:
+        evaluating the scheduler at the returned instant may still be a
+        no-op, but no command can become issueable strictly before it.
+        """
+        now = self.now
+        best = self.channel.next_event_ns(now)
+        for engine in self.scheduler.refresh_engines:
+            candidate = engine.next_event_ns(now)
+            if candidate is not None and (best is None or candidate < best):
+                best = candidate
+        return best
+
+    def _pending(self) -> bool:
+        return bool(
+            self._backlog or not self.read_queue.is_empty
+            or not self.write_queue.is_empty or self._pending_transactions
+        )
+
+    def _advance(self, target_ns: int, stop_when_idle: bool = False) -> None:
+        """Event-driven advance to ``target_ns`` (or until drained).
+
+        Scheduling decisions are purely a function of (time, state), and
+        state only changes when a command issues, so after an idle
+        evaluation the controller can jump straight to the next constraint
+        expiry instead of re-evaluating every nanosecond.  After a
+        productive evaluation it advances one nanosecond, because the
+        C/A-pin model admits another command in the very next cycle.
+        """
+        while self.now < target_ns:
+            now = self.now
+            acted = self._step(now)
+            if stop_when_idle and not self._pending():
+                self.now = now + 1
+                return
+            if acted:
+                self.now = now + 1
+                continue
+            wake = self.next_event_ns()
+            if wake is None:
+                self.now = target_ns
+            else:
+                self.now = min(max(wake, now + 1), target_ns)
+
+    def advance_to(self, target_ns: int) -> None:
+        """Advance to ``target_ns`` exactly, skipping event-free spans."""
+        self._advance(target_ns)
+
     # ------------------------------------------------------------------ run
 
-    def run_until_idle(self, max_ns: int = 10_000_000) -> int:
-        """Tick until all accepted requests have completed; returns end time."""
-        while (self._backlog or not self.read_queue.is_empty
-               or not self.write_queue.is_empty or self._pending_transactions):
+    def run_until_idle(self, max_ns: int = 10_000_000,
+                       event_driven: bool = True) -> int:
+        """Run until all accepted requests have completed; returns end time."""
+        while self._pending():
             if self.now >= max_ns:
                 raise RuntimeError(
                     f"controller did not drain within {max_ns} ns; "
                     f"{len(self._pending_transactions)} requests outstanding"
                 )
-            self.tick()
+            if event_driven:
+                self._advance(max_ns, stop_when_idle=True)
+            else:
+                self.tick()
         return self.now
 
-    def run_for(self, duration_ns: int) -> None:
+    def run_for(self, duration_ns: int, event_driven: bool = True) -> None:
         end = self.now + duration_ns
-        while self.now < end:
-            self.tick()
+        if event_driven:
+            self.advance_to(end)
+        else:
+            while self.now < end:
+                self.tick()
 
     # ---------------------------------------------------------------- stats
 

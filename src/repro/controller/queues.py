@@ -66,6 +66,20 @@ class RequestQueue:
     def remove(self, transaction: Transaction) -> None:
         self._entries.remove(transaction)
 
+    def remove_served(self) -> int:
+        """Drop every served transaction in one pass; returns the count.
+
+        The controller retires all transactions completed in a cycle with a
+        single sweep instead of one O(n) ``remove`` per transaction.
+        """
+        entries = self._entries
+        if not any(t.served for t in entries):
+            return 0
+        kept = [t for t in entries if not t.served]
+        removed = len(entries) - len(kept)
+        self._entries = kept
+        return removed
+
     # ----------------------------------------------------------- CAM lookups
 
     def oldest(self) -> Optional[Transaction]:

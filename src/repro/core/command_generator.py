@@ -60,6 +60,25 @@ class ExpansionResult:
         return sum(1 for tc in self.commands if tc.command.kind is CommandKind.PRE)
 
 
+@dataclass(frozen=True)
+class ExpansionSummary:
+    """Scalar footprint of one expansion, computed without materializing it.
+
+    The memory controller only needs per-expansion command *counts* and bus
+    occupancy for energy accounting; building the full
+    :class:`TimedCommand` sequence (hundreds of objects per row) on the
+    issue path is pure waste.  ``CommandGenerator.summarize`` computes these
+    analytically and is cross-checked against ``expand`` by the test suite.
+    """
+
+    activates: int
+    column_commands: int
+    precharges: int
+    duration_ns: int
+    data_bus_ns: int
+    bytes_transferred: int
+
+
 class CommandGenerator:
     """Expands RoMe row-level commands into conventional command sequences."""
 
@@ -71,6 +90,9 @@ class CommandGenerator:
         self.timing = timing or TimingParameters()
         self.vba = vba or VirtualBankConfig()
         self.expansions = 0
+        # Summaries depend only on the request kind (the VBA geometry is
+        # uniform), so they are computed once per kind and reused.
+        self._summary_cache: dict = {}
 
     # -------------------------------------------------------------- helpers
 
@@ -112,6 +134,57 @@ class CommandGenerator:
             raise ValueError(f"cannot expand {request.kind}")
         self.expansions += 1
         return result
+
+    def summarize(self, request: RowRequest) -> ExpansionSummary:
+        """Analytic equivalent of ``expand`` for the controller's hot path.
+
+        Returns the same scalar counts/durations ``expand`` would compute,
+        without building the per-command sequence.  Counts one expansion,
+        exactly like ``expand``.
+        """
+        cached = self._summary_cache.get(request.kind)
+        if cached is not None:
+            self.expansions += 1
+            return cached
+        if request.kind not in (RowRequestKind.RD_ROW, RowRequestKind.WR_ROW):
+            raise ValueError(f"cannot expand {request.kind}")
+        is_read = request.kind is RowRequestKind.RD_ROW
+        t = self.timing
+        vba = self.vba
+        banks = self._constituent_banks(request.vba)
+        num_pcs = len(self._pseudo_channels())
+        rcd = t.tRCDRD if is_read else t.tRCDWR
+
+        interleaved = vba.bank_merge is BankMerge.INTERLEAVED_DIFF_BG
+        tandem = vba.bank_merge is BankMerge.TANDEM_SAME_BG
+        act_gap = t.tRRDL if tandem else t.tRRDS
+        cas_gap = t.tCCDS if interleaved else t.tCCDL
+        total_cas = vba.cas_commands_per_row()
+
+        if interleaved:
+            first_cas = max(0, act_gap - cas_gap) + rcd
+            precharged_banks = min(total_cas, len(banks))
+        elif tandem:
+            first_cas = act_gap + rcd
+            precharged_banks = len(banks) if total_cas else 0
+        else:
+            first_cas = rcd
+            precharged_banks = 1 if total_cas else 0
+        last_cas = first_cas + (total_cas - 1) * cas_gap
+        recovery = t.tRTP if is_read else t.tCWL + t.burst_ns + t.tWR
+        duration = last_cas + recovery + t.tRP
+
+        self.expansions += 1
+        summary = ExpansionSummary(
+            activates=num_pcs * len(banks),
+            column_commands=num_pcs * total_cas,
+            precharges=num_pcs * precharged_banks,
+            duration_ns=duration,
+            data_bus_ns=total_cas * cas_gap,
+            bytes_transferred=vba.effective_row_bytes,
+        )
+        self._summary_cache[request.kind] = summary
+        return summary
 
     def expand_refresh(self, request_channel: int, stack_id: int,
                        vba_index: int) -> ExpansionResult:

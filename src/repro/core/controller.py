@@ -13,11 +13,25 @@ The controller operates directly at row granularity; the conventional command
 sequencing lives in the logic-die command generator
 (:mod:`repro.core.command_generator`), whose per-expansion command counts are
 accumulated here for energy accounting.
+
+Simulation core
+---------------
+The controller exposes two cycle-exact execution modes:
+
+* the legacy 1-ns core (:meth:`RoMeMemoryController.tick`), which performs one
+  scheduling evaluation per nanosecond, and
+* the event-driven core (:meth:`RoMeMemoryController.advance_to` /
+  :meth:`RoMeMemoryController.next_event_ns`), which computes the next
+  *interesting* timestamp (VBA release, data-bus free, command-gap expiry,
+  in-flight completion, refresh deadline/criticality) and jumps straight to
+  it.  Both cores produce identical statistics; the event core is what the
+  default ``run_until_idle``/``run_for`` paths use.
 """
 
 from __future__ import annotations
 
 import enum
+import heapq
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
@@ -29,6 +43,7 @@ from repro.core.timing import ROME_TIMING, RoMeTimingParameters
 from repro.core.virtual_bank import VirtualBankConfig, paper_vba_config
 from repro.dram.energy import EnergyCounters
 from repro.dram.timing import TimingParameters
+from repro.latency import LatencyAccumulator
 
 
 class VbaState(enum.Enum):
@@ -65,23 +80,31 @@ class RoMeControllerConfig:
 
 @dataclass
 class RoMeControllerStats:
-    """Aggregate statistics of one RoMe controller run."""
+    """Aggregate statistics of one RoMe controller run.
+
+    Read latencies are kept in a bounded streaming accumulator
+    (:class:`~repro.latency.LatencyAccumulator`) so long-traffic runs do not
+    grow memory linearly; ``average_read_latency`` remains exact.
+    """
 
     served_reads: int = 0
     served_writes: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
     overfetch_bytes: int = 0
-    read_latencies: List[int] = field(default_factory=list)
+    read_latency: LatencyAccumulator = field(default_factory=LatencyAccumulator)
     refreshes_issued: int = 0
     peak_active_fsms: int = 0
     data_bus_busy_ns: int = 0
 
     @property
+    def read_latencies(self) -> List[int]:
+        """Bounded reservoir of read-latency samples (compatibility shim)."""
+        return list(self.read_latency.samples)
+
+    @property
     def average_read_latency(self) -> float:
-        if not self.read_latencies:
-            return 0.0
-        return sum(self.read_latencies) / len(self.read_latencies)
+        return self.read_latency.average
 
 
 @dataclass
@@ -130,10 +153,29 @@ class RoMeMemoryController:
         self._last_was_read: Optional[bool] = None
         self._last_stack: Optional[int] = None
         self._last_issue_ns: Optional[int] = None
+        # Busy-VBA bookkeeping: a min-heap of (busy_until, key) plus
+        # incremental FSM-occupancy counters, so neither the scheduler nor
+        # the event core ever scans all VBAs on the hot path.
+        self._busy_heap: List[Tuple[int, Tuple[int, int]]] = []
+        self._busy_data_fsms = 0
+        self._busy_refresh_fsms = 0
         # Expanded-command counters fed to the energy model.
         self._expanded_activates = 0
         self._expanded_cas = 0
         self._expanded_precharges = 0
+        # Precomputed hot-path constants: the Table III gap lookup keyed by
+        # (previous_is_read, next_is_read, same_stack), per-kind command
+        # durations/occupancies, and the effective row size.
+        t = self.timing
+        self._gap_table: Dict[Tuple[bool, bool, bool], int] = {
+            (True, True, True): t.tR2RS, (True, True, False): t.tR2RR,
+            (True, False, True): t.tR2WS, (True, False, False): t.tR2WR,
+            (False, True, True): t.tW2RS, (False, True, False): t.tW2RR,
+            (False, False, True): t.tW2WS, (False, False, False): t.tW2WR,
+        }
+        self._duration = {True: t.tRD_row, False: t.tWR_row}
+        self._occupancy = {True: t.tR2RS, False: t.tW2WS}
+        self._row_bytes = self.config.vba.effective_row_bytes
         self.now = 0
 
     # -------------------------------------------------------------- enqueue
@@ -155,120 +197,205 @@ class RoMeMemoryController:
 
     # -------------------------------------------------------------- FSM use
 
-    def _active_fsms(self, now: int) -> Tuple[int, int]:
-        """(data FSMs, refresh FSMs) currently occupied."""
-        data = sum(
-            1 for tracker in self._vbas.values()
-            if tracker.state in (VbaState.READING, VbaState.WRITING)
-            and not tracker.is_free(now)
-        )
-        refreshing = sum(
-            1 for tracker in self._vbas.values()
-            if tracker.state is VbaState.REFRESHING and not tracker.is_free(now)
-        )
-        return data, refreshing
+    def _mark_busy(self, key: Tuple[int, int], tracker: _VbaTracker,
+                   state: VbaState, busy_until: int) -> None:
+        tracker.state = state
+        tracker.busy_until = busy_until
+        heapq.heappush(self._busy_heap, (busy_until, key))
+        if state is VbaState.REFRESHING:
+            self._busy_refresh_fsms += 1
+        else:
+            self._busy_data_fsms += 1
 
     def _release_finished(self, now: int) -> None:
-        for tracker in self._vbas.values():
-            if tracker.state is not VbaState.IDLE and tracker.is_free(now):
-                tracker.state = VbaState.IDLE
+        heap = self._busy_heap
+        while heap and heap[0][0] <= now:
+            _, key = heapq.heappop(heap)
+            tracker = self._vbas[key]
+            if tracker.state is VbaState.REFRESHING:
+                self._busy_refresh_fsms -= 1
+            elif tracker.state is not VbaState.IDLE:
+                self._busy_data_fsms -= 1
+            tracker.state = VbaState.IDLE
+
+    def _active_fsms(self, now: int) -> Tuple[int, int]:
+        """(data FSMs, refresh FSMs) currently occupied."""
+        self._release_finished(now)
+        return self._busy_data_fsms, self._busy_refresh_fsms
 
     # --------------------------------------------------------------- issue
 
-    def _command_gap(self, request: RowRequest, now: int) -> int:
-        """Earliest time ``request`` may start on the shared data bus."""
-        if self._last_issue_ns is None or self._last_was_read is None:
-            return now
-        same_stack = self._last_stack == request.stack_id
-        gap = self.timing.gap(
-            previous_is_read=self._last_was_read,
-            next_is_read=request.is_read,
-            same_stack=same_stack,
-        )
-        return max(now, self._last_issue_ns + gap)
+    def _try_issue_refresh(self, now: int) -> Tuple[bool, Optional[int]]:
+        """Try to issue the most urgent refresh.
 
-    def _try_issue_refresh(self, now: int) -> bool:
+        Returns ``(issued, wake)``; when blocked, ``wake`` is the earliest
+        future time this particular decision could flip (the target VBA
+        freeing, or a refresh FSM releasing).  Deadline/criticality
+        transitions are tracked by the refresh scheduler's own
+        ``next_event_ns``.
+        """
         if self.refresh is None:
-            return False
+            return False, None
         key = self.refresh.most_urgent(now)
         if key is None:
-            return False
+            return False, None
         critical = self.refresh.is_critical(key, now)
         # Opportunistic refresh only when the target VBA is idle; critical
         # refresh waits for the VBA to drain but blocks new data commands to
         # it (handled implicitly because the VBA will be marked busy).
         stack_id, vba_index = key
         tracker = self._vbas[(stack_id, vba_index)]
-        if not tracker.is_free(now):
-            return False
+        block = self._refresh_block(now, tracker, critical)
+        if block is not None:
+            return False, block
         data_fsms, refresh_fsms = self._active_fsms(now)
-        if refresh_fsms >= self.config.max_refresh_fsms and not critical:
-            return False
-        tracker.state = VbaState.REFRESHING
-        tracker.busy_until = now + self.refresh.stall_ns()
+        self._mark_busy(key, tracker, VbaState.REFRESHING,
+                        now + self.refresh.stall_ns())
         self.refresh.note_issued(key, now)
         self.stats.refreshes_issued += 1
-        expansion = self.command_generator.expand_refresh(
-            self.channel_id, stack_id, vba_index
-        )
+        # The command generator's paired-REFpb expansion is fixed and has no
+        # observable state, so it is accounted analytically
+        # (``refreshes_issued * banks_per_vba`` in ``energy_counters``)
+        # rather than materialized per refresh.
         self.stats.peak_active_fsms = max(
             self.stats.peak_active_fsms, data_fsms + refresh_fsms + 1
         )
-        return True
+        return True, None
+
+    def _refresh_block(self, now: int, tracker: _VbaTracker,
+                       critical: bool) -> Optional[int]:
+        """Why the most-urgent refresh cannot issue at ``now``, as a wake
+        time -- the target VBA's release, or the first FSM release when the
+        refresh FSMs are saturated (a *critical* refresh bypasses
+        saturation).  ``None`` means it is issueable now.  Shared by the
+        issue path and the event core's wake bound so the two can never
+        diverge.
+        """
+        if not tracker.is_free(now):
+            return tracker.busy_until
+        _, refresh_fsms = self._active_fsms(now)
+        if refresh_fsms >= self.config.max_refresh_fsms and not critical:
+            return self._busy_heap[0][0] if self._busy_heap else now + 1
+        return None
+
+    def _feasible_at(self, request: RowRequest, tracker: _VbaTracker) -> int:
+        """Earliest instant ``request`` could issue under the current channel
+        state: the Table III command gap from the previous issue, the target
+        VBA's release, and the shared data bus freeing.  Shared by the issue
+        path and the event core's wake bound so the two can never diverge.
+        """
+        if self._last_issue_ns is None or self._last_was_read is None:
+            start = 0
+        else:
+            start = self._last_issue_ns + self._gap_table[(
+                self._last_was_read,
+                request.kind is RowRequestKind.RD_ROW,
+                self._last_stack == request.stack_id,
+            )]
+        return max(start, tracker.busy_until, self._bus_free_at)
 
     def _try_issue_data(self, now: int) -> bool:
-        data_fsms, refresh_fsms = self._active_fsms(now)
+        """Issue the oldest ready data request, if any."""
+        data_fsms, _ = self._active_fsms(now)
         if data_fsms >= self.config.max_data_fsms:
             return False
-        for request in list(self.queue):
+        vbas = self._vbas
+        for request in self.queue:
             if request.issue_ns is not None:
                 continue  # already in flight; the entry frees on completion
-            tracker = self._vbas[(request.stack_id, request.vba)]
-            if not tracker.is_free(now):
-                continue
-            start = self._command_gap(request, now)
-            if start > now or self._bus_free_at > now:
-                continue
-            self._issue(request, tracker, now)
-            return True
+            tracker = vbas[(request.stack_id, request.vba)]
+            if self._feasible_at(request, tracker) <= now:
+                self._issue(request, tracker, now)
+                return True
         return False
 
+    def _data_wake(self, now: int) -> Optional[int]:
+        """Earliest future instant the request queue could produce an action.
+
+        Candidates, per the event-driven core's soundness argument:
+
+        * each un-issued request's feasibility time
+          ``max(command-gap expiry, target-VBA release, bus free)``; when
+          the data FSMs are saturated the first issue additionally needs a
+          slot, so the bound is ``max(earliest busy-VBA release, earliest
+          feasibility)``;
+        * when the backlog is non-empty, the earliest time a retirement can
+          admit *and* issue a new request, ``max(first completion, bus
+          free)`` -- a freshly filled entry cannot start before either;
+        * when everything queued is in flight and no backlog remains, the
+          last completion (the drain instant ``run_until_idle`` must land
+          on exactly).
+        """
+        data_fsms, _ = self._active_fsms(now)
+        fsm_blocked = data_fsms >= self.config.max_data_fsms
+        wake: Optional[int] = None
+        c_min: Optional[int] = None
+        c_max: Optional[int] = None
+        has_unissued = False
+        vbas = self._vbas
+        bus_free_at = self._bus_free_at
+        for request in self.queue:
+            if request.issue_ns is not None:
+                completion = request.completion_ns
+                if c_min is None or completion < c_min:
+                    c_min = completion
+                if c_max is None or completion > c_max:
+                    c_max = completion
+                continue
+            has_unissued = True
+            feasible = self._feasible_at(
+                request, vbas[(request.stack_id, request.vba)]
+            )
+            if wake is None or feasible < wake:
+                wake = feasible
+        if fsm_blocked and wake is not None and self._busy_heap:
+            # The first issue also needs a data FSM slot.
+            slot_free = self._busy_heap[0][0]
+            if slot_free > wake:
+                wake = slot_free
+        if c_min is not None:
+            if self._backlog:
+                fill = c_min if c_min > bus_free_at else bus_free_at
+                if wake is None or fill < wake:
+                    wake = fill
+            elif not has_unissued and (wake is None or c_max < wake):
+                wake = c_max
+        return wake
+
     def _issue(self, request: RowRequest, tracker: _VbaTracker, now: int) -> None:
-        timing = self.timing
-        duration = timing.duration(request.is_read)
-        occupancy = timing.gap(
-            previous_is_read=request.is_read,
-            next_is_read=request.is_read,
-            same_stack=True,
+        is_read = request.kind is RowRequestKind.RD_ROW
+        duration = self._duration[is_read]
+        self._mark_busy(
+            (request.stack_id, request.vba), tracker,
+            VbaState.READING if is_read else VbaState.WRITING,
+            now + duration,
         )
-        tracker.state = VbaState.READING if request.is_read else VbaState.WRITING
-        tracker.busy_until = now + duration
-        self._bus_free_at = now + occupancy
-        self._last_was_read = request.is_read
+        self._bus_free_at = now + self._occupancy[is_read]
+        self._last_was_read = is_read
         self._last_stack = request.stack_id
         self._last_issue_ns = now
         request.issue_ns = now
         request.completion_ns = now + duration
 
-        expansion = self.command_generator.expand(request)
+        expansion = self.command_generator.summarize(request)
         self._expanded_activates += expansion.activates
         self._expanded_cas += expansion.column_commands
         self._expanded_precharges += expansion.precharges
         self.stats.data_bus_busy_ns += expansion.data_bus_ns
 
-        row_bytes = self.config.vba.effective_row_bytes
-        if request.is_read:
+        row_bytes = self._row_bytes
+        if is_read:
             self.stats.served_reads += 1
             self.stats.bytes_read += row_bytes
-            self.stats.read_latencies.append(request.completion_ns - request.arrival_ns)
+            self.stats.read_latency.record(request.completion_ns - request.arrival_ns)
         else:
             self.stats.served_writes += 1
             self.stats.bytes_written += row_bytes
         self.stats.overfetch_bytes += request.overfetch_bytes(row_bytes)
 
-        data_fsms, refresh_fsms = self._active_fsms(now)
         self.stats.peak_active_fsms = max(
-            self.stats.peak_active_fsms, data_fsms + refresh_fsms
+            self.stats.peak_active_fsms,
+            self._busy_data_fsms + self._busy_refresh_fsms,
         )
 
     # ------------------------------------------------------------------ tick
@@ -279,36 +406,143 @@ class RoMeMemoryController:
         The request queue models a CAM whose entries track in-flight
         requests until their data transfer finishes; this is what makes a
         two-entry queue the minimum for full bandwidth (Section V-A).
+        Retirement rebuilds the queue in one pass (no O(n) ``deque.remove``
+        per retired entry).
         """
-        for request in list(self.queue):
+        queue = self.queue
+        for request in queue:
             if request.completion_ns is not None and now >= request.completion_ns:
-                self.queue.remove(request)
+                break
+        else:
+            return
+        self.queue = deque(
+            request for request in queue
+            if request.completion_ns is None or now < request.completion_ns
+        )
 
-    def tick(self) -> None:
-        """Advance the controller by one nanosecond."""
-        now = self.now
+    def _step(self, now: int) -> bool:
+        """One scheduling evaluation at ``now``; True if a command issued."""
         self._release_finished(now)
         self._retire_completed(now)
         self._fill_queue()
-        if not self._try_issue_refresh(now):
-            self._try_issue_data(now)
-        self.now = now + 1
+        issued, _ = self._try_issue_refresh(now)
+        if issued:
+            return True
+        return self._try_issue_data(now)
 
-    def run_until_idle(self, max_ns: int = 50_000_000) -> int:
+    def tick(self) -> None:
+        """Advance the controller by one nanosecond (legacy tick core)."""
+        self._step(self.now)
+        self.now += 1
+
+    # ------------------------------------------------------- event-driven core
+
+    def _refresh_wake(self, now: int) -> Optional[int]:
+        """Earliest future instant the refresh path could act (read-only)."""
+        if self.refresh is None:
+            return None
+        wake = self.refresh.next_event_ns(now)
+        key = self.refresh.most_urgent(now)
+        if key is not None:
+            block = self._refresh_block(
+                now, self._vbas[key], self.refresh.is_critical(key, now)
+            )
+            hint = now if block is None else block
+            if wake is None or hint < wake:
+                wake = hint
+        return wake
+
+    def next_event_ns(self) -> Optional[int]:
+        """Earliest instant >= now at which this controller might act.
+
+        Considers un-issued request feasibility (command-gap expiry, target
+        VBA release, bus free), FSM releases, retirements that admit backlog
+        entries, the drain instant, and refresh deadlines (including the
+        postponement-exhausted criticality transition).  Returns ``None``
+        when the controller is fully idle with refresh disabled.
+        """
+        now = self.now
+        wake = self._data_wake(now)
+        refresh_wake = self._refresh_wake(now)
+        if refresh_wake is not None and (wake is None or refresh_wake < wake):
+            wake = refresh_wake
+        return wake
+
+    def _advance(self, target_ns: int, stop_when_idle: bool = False) -> None:
+        """Event-driven advance to ``target_ns`` (or until drained)."""
+        while self.now < target_ns:
+            now = self.now
+            self._release_finished(now)
+            self._retire_completed(now)
+            self._fill_queue()
+            issued_refresh, refresh_hint = self._try_issue_refresh(now)
+            if not issued_refresh:
+                # A data issue needs no special-casing here: the post-step
+                # ``_data_wake`` recomputation below already reflects it.
+                self._try_issue_data(now)
+            if stop_when_idle and not (self._backlog or self.queue):
+                self.now = now + 1
+                return
+            if issued_refresh:
+                # A data command may become issueable the very next
+                # nanosecond (refresh and data share the one-command-per-ns
+                # evaluation), so do not skip past it.
+                self.now = now + 1
+                continue
+            # The queue-side bound is recomputed after a data issue, so the
+            # jump target reflects the post-issue gap/bus/VBA state; the
+            # pre-issue refresh hint stays sound (a data issue can only
+            # delay the refresh path via state already in the candidates).
+            wake = self._data_wake(now)
+            if self.refresh is not None:
+                if refresh_hint is not None and (wake is None or refresh_hint < wake):
+                    wake = refresh_hint
+                due = self.refresh.next_event_ns(now)
+                if due is not None and (wake is None or due < wake):
+                    wake = due
+            if wake is None:
+                jump = target_ns
+            else:
+                jump = min(max(wake, now + 1), target_ns)
+            if jump == target_ns and target_ns - 1 > now:
+                # Settle bookkeeping (releases/retirements/fills) that the
+                # legacy core would have performed on the skipped span, so
+                # queue state at the boundary is tick-identical.  No command
+                # can issue in the span -- ``wake`` bounds that.
+                settle = target_ns - 1
+                self._release_finished(settle)
+                self._retire_completed(settle)
+                self._fill_queue()
+            self.now = jump
+
+    def advance_to(self, target_ns: int) -> None:
+        """Advance to ``target_ns`` exactly, skipping event-free spans."""
+        self._advance(target_ns)
+
+    # ------------------------------------------------------------------- run
+
+    def run_until_idle(self, max_ns: int = 50_000_000,
+                       event_driven: bool = True) -> int:
         while self._backlog or self.queue:
             if self.now >= max_ns:
                 raise RuntimeError("RoMe controller did not drain in time")
-            self.tick()
+            if event_driven:
+                self._advance(max_ns, stop_when_idle=True)
+            else:
+                self.tick()
         # Let the final in-flight command complete.
         self.now = max(
             self.now, max(tracker.busy_until for tracker in self._vbas.values())
         )
         return self.now
 
-    def run_for(self, duration_ns: int) -> None:
+    def run_for(self, duration_ns: int, event_driven: bool = True) -> None:
         end = self.now + duration_ns
-        while self.now < end:
-            self.tick()
+        if event_driven:
+            self.advance_to(end)
+        else:
+            while self.now < end:
+                self.tick()
 
     # ----------------------------------------------------------------- stats
 

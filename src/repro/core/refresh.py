@@ -114,6 +114,24 @@ class RomeRefreshScheduler:
     def is_critical(self, key: tuple, now: int) -> bool:
         return now - self._next_due[key] >= self.max_postponed * self.interval()
 
+    def next_event_ns(self, now: int) -> Optional[int]:
+        """Earliest future time a refresh decision can change.
+
+        For each VBA that is not yet due this is its deadline; for one that
+        is due but still postponable it is the instant the postponement
+        budget runs out (the refresh becomes *critical* and may preempt a
+        saturated refresh-FSM pool).  Already-critical VBAs generate no
+        future event: they are issueable now and only wait on VBA busy time,
+        which the controller tracks separately.
+        """
+        slack = self.max_postponed * self.interval()
+        best: Optional[int] = None
+        for due in self._next_due.values():
+            candidate = due if due > now else due + slack
+            if candidate > now and (best is None or candidate < best):
+                best = candidate
+        return best
+
     def note_issued(self, key: tuple, now: int) -> None:
         self._next_due[key] += self.interval()
         self.issued += 1

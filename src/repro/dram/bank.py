@@ -205,6 +205,27 @@ class Bank:
         else:
             raise ValueError(f"Bank cannot accept command kind {kind}")
 
+    def next_event_ns(self, now: int) -> Optional[int]:
+        """Earliest stored timestamp after ``now`` at which this bank's
+        issueability can change (timing-window expiry, transient-state
+        resolution, or a pending auto-precharge and its completion).
+
+        A superset of the truly relevant instants is fine -- callers treat the
+        result as a conservative wake-up bound for event-driven scheduling.
+        """
+        candidates = [
+            self.next_act, self.next_read, self.next_write, self.next_pre,
+            self.next_refresh, self._state_until,
+        ]
+        if self._auto_precharge_at is not None:
+            candidates.append(self._auto_precharge_at)
+            candidates.append(self._auto_precharge_at + self.timing.tRP)
+        best: Optional[int] = None
+        for candidate in candidates:
+            if candidate > now and (best is None or candidate < best):
+                best = candidate
+        return best
+
     def earliest_issue(self, kind: CommandKind) -> int:
         """Lower bound on when ``kind`` could be issued (ignoring state)."""
         if kind is CommandKind.ACT:

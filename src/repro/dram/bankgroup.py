@@ -54,6 +54,15 @@ class BankGroup:
         self.last_cas_time = now
         self.reserve_bus(now)
 
+    def next_event_ns(self, now: int) -> "int | None":
+        """Earliest future instant the group's issueability can change."""
+        best = self._bus_busy_until if self._bus_busy_until > now else None
+        for bank in self.banks:
+            candidate = bank.next_event_ns(now)
+            if candidate is not None and (best is None or candidate < best):
+                best = candidate
+        return best
+
     @property
     def open_rows(self) -> int:
         """Number of banks currently holding an open row."""

@@ -112,6 +112,21 @@ class Channel:
         pc.issue(command, now)
         self._note_ca_use(command, now)
 
+    def next_event_ns(self, now: int) -> Optional[int]:
+        """Earliest future instant any channel constraint can expire."""
+        best: Optional[int] = None
+        for pc in self.pseudo_channels:
+            candidate = pc.next_event_ns(now)
+            if candidate is not None and (best is None or candidate < best):
+                best = candidate
+        for last in self._last_row_ca_time.values():
+            if last + 1 > now and (best is None or last + 1 < best):
+                best = last + 1
+        for last in self._last_col_ca_time.values():
+            if last + 1 > now and (best is None or last + 1 < best):
+                best = last + 1
+        return best
+
     # ----------------------------------------------------------------- stats
 
     def data_bus_utilization(self, elapsed_ns: int) -> float:

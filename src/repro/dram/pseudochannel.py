@@ -228,6 +228,46 @@ class PseudoChannel:
         else:
             raise ValueError(f"pseudo channel cannot issue {kind}")
 
+    def next_event_ns(self, now: int) -> Optional[int]:
+        """Earliest future instant any PC-level or bank-level constraint can
+        expire.
+
+        The candidate set is a sound superset: every stored timestamp that
+        feeds ``can_issue`` is offset by each gap that could apply to it
+        (tCCDS/tCCDL/tCCDR, turnarounds, tRRDS/tRRDL, tFAW, data-bus and
+        BK-BUS occupancy), so no issueability transition can occur strictly
+        between ``now`` and the returned time.  Extra candidates merely cost
+        a no-op evaluation.
+        """
+        t = self.timing
+        candidates = []
+        if self._last_cas_time != _NEG_INF:
+            base = self._last_cas_time
+            candidates += [base + t.tCCDS, base + t.tCCDL, base + t.tCCDR,
+                           base + t.tRTW]
+        if self._last_write_data_end != _NEG_INF:
+            candidates += [self._last_write_data_end + t.tWTRS,
+                           self._last_write_data_end + t.tWTRL]
+        if self._last_act_time != _NEG_INF:
+            candidates += [self._last_act_time + t.tRRDS,
+                           self._last_act_time + t.tRRDL]
+        if len(self._act_window) >= 4:
+            candidates.append(self._act_window[0] + t.tFAW)
+        if self._data_bus_busy_until > 0:
+            candidates += [self._data_bus_busy_until - t.tCL,
+                           self._data_bus_busy_until - t.tCWL,
+                           self._data_bus_busy_until]
+        best: Optional[int] = None
+        for candidate in candidates:
+            if candidate > now and (best is None or candidate < best):
+                best = candidate
+        for stack in self.stacks:
+            for group in stack:
+                candidate = group.next_event_ns(now)
+                if candidate is not None and (best is None or candidate < best):
+                    best = candidate
+        return best
+
     # ----------------------------------------------------------------- stats
 
     def tick(self, now: int) -> None:

@@ -144,6 +144,26 @@ class RefreshEngine:
         slack = self.max_postponed * self.interval()
         return now - target.due_time >= slack
 
+    def next_event_ns(self, now: int) -> Optional[int]:
+        """Earliest future time a refresh decision can change.
+
+        For each target not yet due this is its deadline; for one already
+        due but still postponable it is the criticality transition (the
+        instant the scheduler must force it through).  Already-critical
+        targets generate no future event of their own.
+        """
+        slack = self.max_postponed * self.interval()
+        if self.mode is RefreshMode.ALL_BANK:
+            deadlines = (self._next_all_bank,)
+        else:
+            deadlines = self._next_due.values()
+        best: Optional[int] = None
+        for due in deadlines:
+            candidate = due if due > now else due + slack
+            if candidate > now and (best is None or candidate < best):
+                best = candidate
+        return best
+
     # ------------------------------------------------------------ completion
 
     def note_refresh_issued(self, target: RefreshTarget, now: int) -> None:

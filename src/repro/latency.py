@@ -1,0 +1,65 @@
+"""Streaming latency statistics with a bounded reservoir.
+
+Long-traffic simulations serve millions of requests; keeping every read
+latency in an unbounded list grows memory linearly with simulated traffic.
+:class:`LatencyAccumulator` keeps exact count/sum/min/max in O(1) space and a
+bounded reservoir sample for percentile estimates.
+
+The reservoir uses Vitter's Algorithm R driven by a deterministic 64-bit LCG
+so that two runs observing the same latency sequence produce *identical*
+accumulators (the event-driven/tick equivalence suite relies on this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+_LCG_MULT = 6364136223846793005
+_LCG_INC = 1442695040888963407
+_LCG_MASK = (1 << 64) - 1
+_LCG_SEED = 0x9E3779B97F4A7C15
+
+
+@dataclass
+class LatencyAccumulator:
+    """Exact streaming moments plus a bounded, deterministic reservoir."""
+
+    reservoir_size: int = 4096
+    count: int = 0
+    total_ns: int = 0
+    max_ns: int = 0
+    min_ns: Optional[int] = None
+    _reservoir: List[int] = field(default_factory=list)
+    _rng: int = field(default=_LCG_SEED, repr=False)
+
+    def record(self, value_ns: int) -> None:
+        """Fold one latency sample into the accumulator."""
+        self.count += 1
+        self.total_ns += value_ns
+        if value_ns > self.max_ns:
+            self.max_ns = value_ns
+        if self.min_ns is None or value_ns < self.min_ns:
+            self.min_ns = value_ns
+        if len(self._reservoir) < self.reservoir_size:
+            self._reservoir.append(value_ns)
+            return
+        self._rng = (self._rng * _LCG_MULT + _LCG_INC) & _LCG_MASK
+        index = self._rng % self.count
+        if index < self.reservoir_size:
+            self._reservoir[index] = value_ns
+
+    @property
+    def average(self) -> float:
+        """Exact mean of every recorded sample (not reservoir-based)."""
+        if not self.count:
+            return 0.0
+        return self.total_ns / self.count
+
+    @property
+    def samples(self) -> Tuple[int, ...]:
+        """The bounded reservoir (all samples while count <= reservoir_size)."""
+        return tuple(self._reservoir)
+
+    def __len__(self) -> int:
+        return self.count

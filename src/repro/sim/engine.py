@@ -1,16 +1,37 @@
-"""A small lockstep simulation engine.
+"""An event-driven multi-controller simulation engine.
 
-The per-channel controllers are independent cycle-level simulators; the
-engine advances a set of them in lockstep and supports early termination on a
-predicate.  It exists mostly for multi-controller experiments where channels
-receive requests over time (e.g. continuous batching studies) rather than the
-load-then-drain pattern the memory-system wrappers use.
+The per-channel controllers are independent cycle-level simulators.  The
+engine advances a set of them through simulated time and supports early
+termination on a predicate.  It exists mostly for multi-controller
+experiments where channels receive requests over time (e.g. continuous
+batching studies) rather than the load-then-drain pattern the memory-system
+wrappers use.
+
+Execution model
+---------------
+By default the engine is *event-driven*: controllers expose
+``advance_to(target_ns)`` and ``next_event_ns()`` (see
+:class:`EventDriven`), and the engine jumps from one globally interesting
+timestamp to the next -- the minimum over every controller's next event and
+the next scheduled arrival -- instead of ticking every nanosecond.  Both
+memory controllers in this tree implement the protocol cycle-exactly, so
+results are identical to lockstep ticking, only orders of magnitude faster
+on sparse timelines.
+
+Request arrivals over time are modelled with :meth:`Simulation.at`, which
+schedules a callback at an absolute timestamp; the engine guarantees the
+callback runs before any controller evaluates that instant.
+
+Two legacy escape hatches force per-nanosecond lockstep stepping: passing an
+``on_cycle`` hook (which by contract must run every nanosecond), or driving
+controllers that only implement ``tick()``.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Protocol, Sequence
+from typing import Callable, List, Optional, Protocol, Sequence, Tuple
 
 
 class Tickable(Protocol):
@@ -22,33 +43,130 @@ class Tickable(Protocol):
         ...
 
 
+class EventDriven(Protocol):
+    """A tickable that can also jump across event-free spans."""
+
+    now: int
+
+    def tick(self) -> None:  # pragma: no cover - protocol definition
+        ...
+
+    def advance_to(self, target_ns: int) -> None:  # pragma: no cover
+        ...
+
+    def next_event_ns(self) -> Optional[int]:  # pragma: no cover
+        ...
+
+
 @dataclass
 class Simulation:
-    """Advance a set of tickable controllers in lockstep."""
+    """Advance a set of controllers through simulated time."""
 
     controllers: Sequence[Tickable]
-    #: Called once per nanosecond before the controllers tick; useful for
-    #: injecting requests over time.
+    #: Called once per nanosecond before the controllers tick.  Setting this
+    #: forces legacy lockstep stepping; prefer :meth:`at` for injecting
+    #: requests at known arrival times.
     on_cycle: Optional[Callable[[int], None]] = None
     now: int = 0
+    _schedule: List[Tuple[int, int, Callable[[int], None]]] = field(
+        default_factory=list, repr=False
+    )
+    _schedule_seq: int = field(default=0, repr=False)
+
+    # ------------------------------------------------------------- arrivals
+
+    def at(self, time_ns: int, callback: Callable[[int], None]) -> None:
+        """Schedule ``callback(now)`` at absolute time ``time_ns``.
+
+        Callbacks run before controllers evaluate that instant, so enqueuing
+        requests from one behaves exactly like the legacy per-ns ``on_cycle``
+        injection.  Callbacks scheduled in the past fire at the next advance.
+        """
+        heapq.heappush(self._schedule, (time_ns, self._schedule_seq, callback))
+        self._schedule_seq += 1
+
+    def _fire_due(self) -> None:
+        while self._schedule and self._schedule[0][0] <= self.now:
+            _, _, callback = heapq.heappop(self._schedule)
+            callback(self.now)
+
+    # ------------------------------------------------------------- stepping
+
+    def _lockstep_required(self) -> bool:
+        if self.on_cycle is not None:
+            return True
+        return any(
+            not (hasattr(c, "advance_to") and hasattr(c, "next_event_ns"))
+            for c in self.controllers
+        )
 
     def step(self) -> None:
+        """Advance every controller by exactly one nanosecond (lockstep)."""
+        self._fire_due()
         if self.on_cycle is not None:
             self.on_cycle(self.now)
         for controller in self.controllers:
             controller.tick()
         self.now += 1
 
+    def _next_global_event(self, default: int) -> int:
+        candidates = [
+            event
+            for controller in self.controllers
+            if (event := controller.next_event_ns()) is not None
+        ]
+        if self._schedule:
+            candidates.append(self._schedule[0][0])
+        return min(candidates) if candidates else default
+
+    # ----------------------------------------------------------------- runs
+
     def run_for(self, duration_ns: int) -> int:
+        """Advance all controllers by ``duration_ns``; returns the end time."""
         end = self.now + duration_ns
+        if self._lockstep_required():
+            while self.now < end:
+                self.step()
+            return self.now
         while self.now < end:
-            self.step()
+            self._fire_due()
+            stop = end
+            if self._schedule and self._schedule[0][0] < stop:
+                stop = self._schedule[0][0]
+            for controller in self.controllers:
+                controller.advance_to(stop)
+            self.now = stop
         return self.now
 
     def run_until(self, predicate: Callable[[], bool], max_ns: int = 10_000_000) -> int:
-        """Step until ``predicate()`` is true; raises if ``max_ns`` elapses."""
+        """Advance until ``predicate()`` is true; raises if ``max_ns`` elapses.
+
+        In event-driven mode the predicate is evaluated after every global
+        event (any controller acting, or a scheduled arrival), which is the
+        only granularity at which it can change.
+        """
+        if self._lockstep_required():
+            while not predicate():
+                if self.now >= max_ns:
+                    raise RuntimeError(
+                        f"simulation did not converge within {max_ns} ns"
+                    )
+                self.step()
+            return self.now
         while not predicate():
             if self.now >= max_ns:
                 raise RuntimeError(f"simulation did not converge within {max_ns} ns")
-            self.step()
+            self._fire_due()
+            # One instant of work for every controller ...
+            for controller in self.controllers:
+                controller.advance_to(self.now + 1)
+            self.now += 1
+            if predicate():
+                break
+            # ... then jump to the next globally interesting timestamp.
+            target = self._next_global_event(default=max_ns)
+            target = max(self.now, min(target, max_ns))
+            for controller in self.controllers:
+                controller.advance_to(target)
+            self.now = target
         return self.now

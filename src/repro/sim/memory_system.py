@@ -93,9 +93,11 @@ class ConventionalMemorySystem:
         for request in requests:
             self.enqueue(request)
 
-    def run_until_idle(self, max_ns: int = 10_000_000) -> int:
+    def run_until_idle(self, max_ns: int = 10_000_000,
+                       event_driven: bool = True) -> int:
         return max(
-            controller.run_until_idle(max_ns) for controller in self.controllers
+            controller.run_until_idle(max_ns, event_driven=event_driven)
+            for controller in self.controllers
         )
 
     def result(self, name: str = "hbm4") -> SimulationResult:
@@ -189,9 +191,11 @@ class RoMeMemorySystem:
                 )
             )
 
-    def run_until_idle(self, max_ns: int = 50_000_000) -> int:
+    def run_until_idle(self, max_ns: int = 50_000_000,
+                       event_driven: bool = True) -> int:
         return max(
-            controller.run_until_idle(max_ns) for controller in self.controllers
+            controller.run_until_idle(max_ns, event_driven=event_driven)
+            for controller in self.controllers
         )
 
     def result(self, name: str = "rome") -> SimulationResult:
@@ -205,11 +209,7 @@ class RoMeMemorySystem:
             * self.controller_config.vba.num_pseudo_channels
             / timing.tCCDS
         )
-        latencies: List[int] = []
-        overfetch = 0
-        for controller in self.controllers:
-            latencies.extend(controller.stats.read_latencies)
-            overfetch += controller.stats.overfetch_bytes
+        overfetch = sum(c.stats.overfetch_bytes for c in self.controllers)
         return SimulationResult(
             name=name,
             bandwidth=BandwidthResult(
@@ -217,7 +217,9 @@ class RoMeMemorySystem:
                 elapsed_ns=float(elapsed),
                 peak_bytes_per_ns=peak_per_channel * self.num_channels,
             ),
-            latency=LatencyResult.from_samples(latencies),
+            latency=LatencyResult.from_accumulators(
+                c.stats.read_latency for c in self.controllers
+            ),
             command_counts={
                 "RD_row": sum(c.stats.served_reads for c in self.controllers),
                 "WR_row": sum(c.stats.served_writes for c in self.controllers),

@@ -1,0 +1,251 @@
+"""Frozen seed implementation of the RoMe controller (golden reference).
+
+This module preserves the original per-nanosecond simulation core exactly as
+it shipped in the seed tree: one Python-level scheduling evaluation per
+nanosecond, O(num_VBAs) state scans in ``_active_fsms``/``_release_finished``,
+``list(queue)`` copies on the issue/retire paths, and full per-command
+expansion on every issue.
+
+It exists for two reasons:
+
+* it is the *oracle* for the event-driven equivalence suite -- an
+  independent, obviously-correct implementation the optimized
+  :class:`repro.core.controller.RoMeMemoryController` must match
+  cycle-for-cycle and stat-for-stat; and
+* it is the baseline ``benchmarks/bench_sim_throughput.py`` measures the
+  event-driven core against, so the perf trajectory tracks speedup over the
+  seed rather than over an already-optimized tick loop.
+
+Do not optimize this file; its slowness is the point.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.core.command_generator import CommandGenerator
+from repro.core.controller import (
+    RoMeControllerConfig,
+    RoMeControllerStats,
+    VbaState,
+    _VbaTracker,
+)
+from repro.core.interface import RowRequest
+from repro.core.refresh import RomeRefreshScheduler
+from repro.dram.energy import EnergyCounters
+
+
+class ReferenceRoMeController:
+    """Seed-faithful per-nanosecond RoMe controller (reference model)."""
+
+    def __init__(self, config: Optional[RoMeControllerConfig] = None,
+                 channel_id: int = 0) -> None:
+        self.config = config or RoMeControllerConfig()
+        self.channel_id = channel_id
+        self.timing = self.config.timing
+        self.command_generator = CommandGenerator(
+            timing=self.config.conventional_timing, vba=self.config.vba
+        )
+        self.queue: Deque[RowRequest] = deque()
+        self._backlog: Deque[RowRequest] = deque()
+        self._vbas: Dict[Tuple[int, int], _VbaTracker] = {
+            (sid, vba): _VbaTracker()
+            for sid in range(self.config.num_stack_ids)
+            for vba in range(self.config.vbas_per_stack)
+        }
+        self.refresh = (
+            RomeRefreshScheduler(
+                timing=self.config.conventional_timing,
+                num_vbas=self.config.vbas_per_stack,
+                num_stack_ids=self.config.num_stack_ids,
+                banks_per_vba=self.config.vba.banks_per_vba,
+            )
+            if self.config.enable_refresh
+            else None
+        )
+        self.stats = RoMeControllerStats()
+        self._bus_free_at = 0
+        self._last_was_read: Optional[bool] = None
+        self._last_stack: Optional[int] = None
+        self._last_issue_ns: Optional[int] = None
+        self._expanded_activates = 0
+        self._expanded_cas = 0
+        self._expanded_precharges = 0
+        self.now = 0
+
+    # -------------------------------------------------------------- enqueue
+
+    def enqueue(self, request: RowRequest) -> None:
+        if request.vba >= self.config.vbas_per_stack:
+            raise ValueError("vba out of range")
+        if request.stack_id >= self.config.num_stack_ids:
+            raise ValueError("stack_id out of range for this controller")
+        self._backlog.append(request)
+
+    def _fill_queue(self) -> None:
+        while self._backlog and len(self.queue) < self.config.request_queue_depth:
+            self.queue.append(self._backlog.popleft())
+
+    # -------------------------------------------------------------- FSM use
+
+    def _active_fsms(self, now: int) -> Tuple[int, int]:
+        data = sum(
+            1 for tracker in self._vbas.values()
+            if tracker.state in (VbaState.READING, VbaState.WRITING)
+            and not tracker.is_free(now)
+        )
+        refreshing = sum(
+            1 for tracker in self._vbas.values()
+            if tracker.state is VbaState.REFRESHING and not tracker.is_free(now)
+        )
+        return data, refreshing
+
+    def _release_finished(self, now: int) -> None:
+        for tracker in self._vbas.values():
+            if tracker.state is not VbaState.IDLE and tracker.is_free(now):
+                tracker.state = VbaState.IDLE
+
+    # --------------------------------------------------------------- issue
+
+    def _command_gap(self, request: RowRequest, now: int) -> int:
+        if self._last_issue_ns is None or self._last_was_read is None:
+            return now
+        same_stack = self._last_stack == request.stack_id
+        gap = self.timing.gap(
+            previous_is_read=self._last_was_read,
+            next_is_read=request.is_read,
+            same_stack=same_stack,
+        )
+        return max(now, self._last_issue_ns + gap)
+
+    def _try_issue_refresh(self, now: int) -> bool:
+        if self.refresh is None:
+            return False
+        key = self.refresh.most_urgent(now)
+        if key is None:
+            return False
+        critical = self.refresh.is_critical(key, now)
+        stack_id, vba_index = key
+        tracker = self._vbas[(stack_id, vba_index)]
+        if not tracker.is_free(now):
+            return False
+        data_fsms, refresh_fsms = self._active_fsms(now)
+        if refresh_fsms >= self.config.max_refresh_fsms and not critical:
+            return False
+        tracker.state = VbaState.REFRESHING
+        tracker.busy_until = now + self.refresh.stall_ns()
+        self.refresh.note_issued(key, now)
+        self.stats.refreshes_issued += 1
+        self.command_generator.expand_refresh(self.channel_id, stack_id, vba_index)
+        self.stats.peak_active_fsms = max(
+            self.stats.peak_active_fsms, data_fsms + refresh_fsms + 1
+        )
+        return True
+
+    def _try_issue_data(self, now: int) -> bool:
+        data_fsms, refresh_fsms = self._active_fsms(now)
+        if data_fsms >= self.config.max_data_fsms:
+            return False
+        for request in list(self.queue):
+            if request.issue_ns is not None:
+                continue
+            tracker = self._vbas[(request.stack_id, request.vba)]
+            if not tracker.is_free(now):
+                continue
+            start = self._command_gap(request, now)
+            if start > now or self._bus_free_at > now:
+                continue
+            self._issue(request, tracker, now)
+            return True
+        return False
+
+    def _issue(self, request: RowRequest, tracker: _VbaTracker, now: int) -> None:
+        timing = self.timing
+        duration = timing.duration(request.is_read)
+        occupancy = timing.gap(
+            previous_is_read=request.is_read,
+            next_is_read=request.is_read,
+            same_stack=True,
+        )
+        tracker.state = VbaState.READING if request.is_read else VbaState.WRITING
+        tracker.busy_until = now + duration
+        self._bus_free_at = now + occupancy
+        self._last_was_read = request.is_read
+        self._last_stack = request.stack_id
+        self._last_issue_ns = now
+        request.issue_ns = now
+        request.completion_ns = now + duration
+
+        expansion = self.command_generator.expand(request)
+        self._expanded_activates += expansion.activates
+        self._expanded_cas += expansion.column_commands
+        self._expanded_precharges += expansion.precharges
+        self.stats.data_bus_busy_ns += expansion.data_bus_ns
+
+        row_bytes = self.config.vba.effective_row_bytes
+        if request.is_read:
+            self.stats.served_reads += 1
+            self.stats.bytes_read += row_bytes
+            self.stats.read_latency.record(request.completion_ns - request.arrival_ns)
+        else:
+            self.stats.served_writes += 1
+            self.stats.bytes_written += row_bytes
+        self.stats.overfetch_bytes += request.overfetch_bytes(row_bytes)
+
+        data_fsms, refresh_fsms = self._active_fsms(now)
+        self.stats.peak_active_fsms = max(
+            self.stats.peak_active_fsms, data_fsms + refresh_fsms
+        )
+
+    # ------------------------------------------------------------------ tick
+
+    def _retire_completed(self, now: int) -> None:
+        for request in list(self.queue):
+            if request.completion_ns is not None and now >= request.completion_ns:
+                self.queue.remove(request)
+
+    def tick(self) -> None:
+        now = self.now
+        self._release_finished(now)
+        self._retire_completed(now)
+        self._fill_queue()
+        if not self._try_issue_refresh(now):
+            self._try_issue_data(now)
+        self.now = now + 1
+
+    def run_until_idle(self, max_ns: int = 50_000_000) -> int:
+        while self._backlog or self.queue:
+            if self.now >= max_ns:
+                raise RuntimeError("RoMe controller did not drain in time")
+            self.tick()
+        self.now = max(
+            self.now, max(tracker.busy_until for tracker in self._vbas.values())
+        )
+        return self.now
+
+    def run_for(self, duration_ns: int) -> None:
+        end = self.now + duration_ns
+        while self.now < end:
+            self.tick()
+
+    # ----------------------------------------------------------------- stats
+
+    def energy_counters(self) -> EnergyCounters:
+        interface_commands = (
+            self.stats.served_reads
+            + self.stats.served_writes
+            + self.stats.refreshes_issued
+        )
+        return EnergyCounters(
+            activates=self._expanded_activates,
+            precharges=self._expanded_precharges,
+            reads_bytes=self.stats.bytes_read,
+            writes_bytes=self.stats.bytes_written,
+            interface_commands=interface_commands,
+            refreshes=self.stats.refreshes_issued * self.config.vba.banks_per_vba,
+            row_command_expansions=self.command_generator.expansions,
+            elapsed_ns=float(self.now),
+            num_channels=1,
+            row_bytes=self.config.conventional_timing.row_size_bytes,
+        )

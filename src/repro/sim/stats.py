@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
+
+from repro.latency import LatencyAccumulator
 
 
 @dataclass(frozen=True)
@@ -34,23 +36,66 @@ class BandwidthResult:
 
 @dataclass(frozen=True)
 class LatencyResult:
-    """Latency statistics of served read requests (nanoseconds)."""
+    """Latency statistics of served read requests (nanoseconds).
+
+    ``samples`` may be a bounded reservoir rather than the full population;
+    when built from :class:`~repro.latency.LatencyAccumulator` objects the
+    exact count/sum/max are carried alongside so ``count``/``average``/``max``
+    stay exact while percentiles are estimated from the reservoir.
+    """
 
     samples: tuple
+    exact_count: Optional[int] = None
+    exact_total: Optional[int] = None
+    exact_max: Optional[int] = None
+    exact_min: Optional[int] = None
 
     @classmethod
     def from_samples(cls, samples: List[int]) -> "LatencyResult":
         return cls(samples=tuple(samples))
 
+    @classmethod
+    def from_accumulators(
+        cls, accumulators: Iterable[LatencyAccumulator]
+    ) -> "LatencyResult":
+        accumulators = list(accumulators)
+        samples = tuple(s for acc in accumulators for s in acc.samples)
+        minima = [acc.min_ns for acc in accumulators if acc.min_ns is not None]
+        return cls(
+            samples=samples,
+            exact_count=sum(acc.count for acc in accumulators),
+            exact_total=sum(acc.total_ns for acc in accumulators),
+            exact_max=max((acc.max_ns for acc in accumulators), default=0),
+            exact_min=min(minima) if minima else None,
+        )
+
     @property
     def count(self) -> int:
+        if self.exact_count is not None:
+            return self.exact_count
         return len(self.samples)
 
     @property
     def average(self) -> float:
+        if self.exact_count is not None:
+            if not self.exact_count:
+                return 0.0
+            return (self.exact_total or 0) / self.exact_count
         if not self.samples:
             return 0.0
         return sum(self.samples) / len(self.samples)
+
+    @property
+    def max(self) -> float:
+        if self.exact_max is not None:
+            return float(self.exact_max)
+        return float(max(self.samples)) if self.samples else 0.0
+
+    @property
+    def min(self) -> float:
+        if self.exact_min is not None:
+            return float(self.exact_min)
+        return float(min(self.samples)) if self.samples else 0.0
 
     @property
     def p50(self) -> float:

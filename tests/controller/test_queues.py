@@ -79,3 +79,16 @@ def test_empty_queue_helpers():
     assert queue.is_empty
     assert queue.oldest() is None
     assert list(queue.banks_with_pending()) == []
+
+
+def test_remove_served_sweeps_in_one_pass(transactions):
+    queue = RequestQueue(capacity=8)
+    for t in transactions[:6]:
+        queue.push(t)
+    for index in (0, 2, 5):
+        transactions[index].served = True
+    assert queue.remove_served() == 3
+    assert list(queue) == [transactions[1], transactions[3], transactions[4]]
+    # No served entries left: the sweep is a cheap no-op.
+    assert queue.remove_served() == 0
+    assert queue.occupancy == 3

@@ -156,3 +156,32 @@ def test_expansion_counter_increments(generator):
     generator.expand(_rd_request())
     generator.expand(_wr_request())
     assert generator.expansions == before + 2
+
+
+@pytest.mark.parametrize("bank_merge", list(BankMerge))
+@pytest.mark.parametrize("pc_merge", list(PseudoChannelMerge))
+@pytest.mark.parametrize("make_request", [_rd_request, _wr_request])
+def test_summarize_matches_expand_for_every_design(timing, bank_merge,
+                                                   pc_merge, make_request):
+    """The controller's hot path uses the analytic ``summarize``; it must
+    agree with the materialized ``expand`` on every scalar it replaces,
+    across the whole VBA design space and both command kinds."""
+    vba = VirtualBankConfig(bank_merge=bank_merge, pc_merge=pc_merge)
+    expander = CommandGenerator(timing=timing, vba=vba)
+    summarizer = CommandGenerator(timing=timing, vba=vba)
+    expansion = expander.expand(make_request())
+    summary = summarizer.summarize(make_request())
+    assert summary.activates == expansion.activates
+    assert summary.column_commands == expansion.column_commands
+    assert summary.precharges == expansion.precharges
+    assert summary.duration_ns == expansion.duration_ns
+    assert summary.data_bus_ns == expansion.data_bus_ns
+    assert summary.bytes_transferred == expansion.bytes_transferred
+    # Both count one expansion (the energy model relies on this).
+    assert expander.expansions == summarizer.expansions == 1
+
+
+def test_summarize_cache_keeps_counting_expansions(generator):
+    for _ in range(5):
+        generator.summarize(_rd_request())
+    assert generator.expansions == 5

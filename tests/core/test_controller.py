@@ -170,3 +170,81 @@ def test_average_read_latency_reported():
         mc.enqueue(request)
     mc.run_until_idle()
     assert mc.stats.average_read_latency >= ROME_TIMING.tRD_row
+
+
+def test_retire_completed_drops_all_completed_in_one_pass():
+    """Regression: retirement must drop every completed in-flight entry in a
+    single sweep (the seed used an O(n^2) ``list`` + ``deque.remove`` walk
+    that this replaced) while preserving arrival order of the rest."""
+    mc = _controller()
+    requests = [
+        RowRequest(kind=RowRequestKind.RD_ROW, vba=i % 4, row=i)
+        for i in range(5)
+    ]
+    for i, request in enumerate(requests):
+        request.issue_ns = 0
+        request.completion_ns = 10 if i in (0, 2, 3) else 100
+        mc.queue.append(request)
+    mc._retire_completed(50)
+    assert list(mc.queue) == [requests[1], requests[4]]
+    mc._retire_completed(50)  # idempotent, nothing left to retire
+    assert list(mc.queue) == [requests[1], requests[4]]
+
+
+def test_read_latency_accumulator_is_bounded_and_exact():
+    mc = _controller()
+    for request in _streaming_requests(64 * 4096):
+        mc.enqueue(request)
+    mc.run_until_idle()
+    stats = mc.stats
+    assert stats.read_latency.count == 64
+    assert stats.average_read_latency == pytest.approx(
+        sum(stats.read_latencies) / 64
+    )
+    # Synthetic long-traffic check: the reservoir stays bounded while the
+    # exact moments keep counting.
+    accumulated = stats.read_latency
+    for value in range(20_000):
+        accumulated.record(value % 977)
+    assert accumulated.count == 64 + 20_000
+    assert len(accumulated.samples) <= accumulated.reservoir_size
+
+
+def test_event_and_tick_wrappers_share_one_scheduler():
+    """tick() must remain a thin 1-ns wrapper over the same scheduler the
+    event core uses (same issue decisions at the same instants)."""
+    results = []
+    for use_tick in (False, True):
+        mc = _controller()
+        requests = _streaming_requests(8 * 4096)
+        for request in requests:
+            mc.enqueue(request)
+        if use_tick:
+            for _ in range(2000):
+                mc.tick()
+        else:
+            mc.advance_to(2000)
+        results.append([(r.issue_ns, r.completion_ns) for r in requests])
+    assert results[0] == results[1]
+
+
+def test_next_event_is_immediate_for_critical_refresh_under_fsm_saturation():
+    """Regression: a postponement-exhausted (critical) refresh bypasses
+    refresh-FSM saturation in the scheduler, so next_event_ns() must report
+    the current instant rather than the next FSM release."""
+    mc = RoMeMemoryController(
+        config=RoMeControllerConfig(num_stack_ids=1, enable_refresh=True)
+    )
+    # Saturate the refresh FSMs with in-progress refreshes...
+    for vba in (1, 2, 3):
+        tracker = mc._vbas[(0, vba)]
+        mc._mark_busy((0, vba), tracker, VbaState.REFRESHING, mc.now + 500)
+    # ...and push the most urgent VBA far past its postponement budget.
+    key = mc.refresh.most_urgent(mc.now)
+    slack = mc.refresh.max_postponed * mc.refresh.interval()
+    mc.now = mc.refresh._next_due[key] + slack + 1
+    assert mc.refresh.is_critical(key, mc.now)
+    assert mc._vbas[key].is_free(mc.now)
+    assert mc.next_event_ns() == mc.now
+    issued, _ = mc._try_issue_refresh(mc.now)
+    assert issued

@@ -51,3 +51,48 @@ def test_run_until_raises_on_timeout():
     sim = Simulation(controllers=[_controller()])
     with pytest.raises(RuntimeError):
         sim.run_until(lambda: False, max_ns=10)
+
+
+def test_scheduled_arrivals_match_per_ns_injection():
+    """Simulation.at() in event mode must reproduce the legacy per-ns
+    on_cycle injection exactly."""
+    results = []
+    for mode in ("on_cycle", "at"):
+        controller = _controller()
+        request = RowRequest(kind=RowRequestKind.RD_ROW, vba=0, row=0,
+                             arrival_ns=10)
+
+        def inject(now, controller=controller, request=request):
+            controller.enqueue(request)
+
+        if mode == "on_cycle":
+            sim = Simulation(
+                controllers=[controller],
+                on_cycle=lambda now: inject(now) if now == 10 else None,
+            )
+        else:
+            sim = Simulation(controllers=[controller])
+            sim.at(10, inject)
+        sim.run_for(500)
+        results.append((sim.now, controller.now, request.issue_ns,
+                        request.completion_ns, controller.stats))
+    assert results[0] == results[1]
+    assert results[0][2] == 10
+
+
+def test_event_run_for_lands_exactly_on_end():
+    controllers = [_controller(), _controller()]
+    sim = Simulation(controllers=controllers)
+    assert sim.run_for(123_456) == 123_456
+    assert all(c.now == 123_456 for c in controllers)
+
+
+def test_event_run_until_sees_scheduled_arrivals():
+    controller = _controller()
+    request = RowRequest(kind=RowRequestKind.RD_ROW, vba=0, row=0,
+                         arrival_ns=50)
+    sim = Simulation(controllers=[controller])
+    sim.at(50, lambda now: controller.enqueue(request))
+    end = sim.run_until(lambda: request.completion_ns is not None)
+    assert request.issue_ns == 50
+    assert end >= 50

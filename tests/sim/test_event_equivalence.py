@@ -1,0 +1,208 @@
+"""Cycle-exactness of the event-driven cores.
+
+The event-driven simulation core must produce *identical* results to
+per-nanosecond ticking: same command issue times, same statistics, same
+energy counters, same end-of-run timestamps, and identical state at
+``run_for`` boundaries.  Three comparisons are made:
+
+* RoMe event core vs. the controller's own legacy 1-ns ``tick()`` wrapper;
+* RoMe event core vs. the frozen seed implementation
+  (:class:`repro.sim.reference.ReferenceRoMeController`), an independent
+  oracle that predates every hot-path optimization in this tree;
+* conventional controller event core vs. its legacy ``tick()`` wrapper.
+"""
+
+import random
+
+import pytest
+
+from repro.controller.mc import ControllerConfig, ConventionalMemoryController
+from repro.controller.request import RequestKind
+from repro.core.controller import RoMeControllerConfig, RoMeMemoryController
+from repro.core.interface import RowRequest, RowRequestKind, requests_for_transfer
+from repro.core.virtual_bank import paper_vba_config
+from repro.sim.memory_system import MemorySystemConfig, RoMeMemorySystem
+from repro.sim.reference import ReferenceRoMeController
+from repro.sim.traces import mixed_trace, random_trace, streaming_trace
+
+
+# --------------------------------------------------------------------- RoMe
+
+
+def _streaming_rows(total_bytes: int):
+    vba = paper_vba_config()
+    return requests_for_transfer(
+        total_bytes,
+        kind=RowRequestKind.RD_ROW,
+        effective_row_bytes=vba.effective_row_bytes,
+        num_channels=1,
+        vbas_per_channel=vba.vbas_per_channel_per_sid,
+    )
+
+
+def _mixed_rows(seed: int, count: int, vbas: int = 8, stacks: int = 2):
+    rng = random.Random(seed)
+    return [
+        RowRequest(
+            kind=rng.choice([RowRequestKind.RD_ROW, RowRequestKind.WR_ROW]),
+            vba=rng.randrange(vbas),
+            stack_id=rng.randrange(stacks),
+            row=rng.randrange(64),
+            valid_bytes=rng.choice([4096, 1000]),
+        )
+        for _ in range(count)
+    ]
+
+
+def _rome_fingerprint(controller, requests):
+    return (
+        controller.now,
+        controller.stats,
+        controller.energy_counters(),
+        [(r.issue_ns, r.completion_ns) for r in requests],
+    )
+
+
+def _run_rome(make_controller, requests, runner):
+    controller = make_controller()
+    for request in requests:
+        controller.enqueue(request)
+    runner(controller)
+    return _rome_fingerprint(controller, requests)
+
+
+ROME_SCENARIOS = {
+    "streaming": (False, lambda: _streaming_rows(64 * 4096)),
+    "mixed-rw": (False, lambda: _mixed_rows(seed=7, count=200)),
+    "refresh-streaming": (True, lambda: _streaming_rows(128 * 4096)),
+    "refresh-mixed": (True, lambda: _mixed_rows(seed=11, count=200)),
+}
+
+
+@pytest.mark.parametrize("name", sorted(ROME_SCENARIOS))
+def test_rome_event_core_matches_tick_core(name):
+    enable_refresh, make_requests = ROME_SCENARIOS[name]
+
+    def make_controller():
+        return RoMeMemoryController(
+            config=RoMeControllerConfig(num_stack_ids=2,
+                                        enable_refresh=enable_refresh)
+        )
+
+    event = _run_rome(make_controller, make_requests(),
+                      lambda c: c.run_until_idle(event_driven=True))
+    tick = _run_rome(make_controller, make_requests(),
+                     lambda c: c.run_until_idle(event_driven=False))
+    assert event == tick
+
+
+@pytest.mark.parametrize("name", sorted(ROME_SCENARIOS))
+def test_rome_event_core_matches_seed_reference(name):
+    enable_refresh, make_requests = ROME_SCENARIOS[name]
+    config = RoMeControllerConfig(num_stack_ids=2, enable_refresh=enable_refresh)
+    event = _run_rome(lambda: RoMeMemoryController(config=config),
+                      make_requests(), lambda c: c.run_until_idle())
+    seed = _run_rome(lambda: ReferenceRoMeController(config=config),
+                     make_requests(), lambda c: c.run_until_idle())
+    assert event == seed
+
+
+@pytest.mark.parametrize("depth", [1, 2, 4])
+def test_rome_run_for_boundaries_are_tick_identical(depth):
+    """Interrupting the event core at arbitrary instants must expose the
+    same queue/backlog/stat state the tick core would have."""
+    snapshots = []
+    for event_driven in (False, True):
+        controller = RoMeMemoryController(
+            config=RoMeControllerConfig(num_stack_ids=2, enable_refresh=True,
+                                        request_queue_depth=depth)
+        )
+        for request in _mixed_rows(seed=3, count=120):
+            controller.enqueue(request)
+        states = []
+        for _ in range(15):
+            controller.run_for(333, event_driven=event_driven)
+            states.append((
+                controller.now,
+                controller.queue_occupancy,
+                controller.outstanding_requests,
+                controller.stats.served_reads,
+                controller.stats.served_writes,
+                controller.stats.refreshes_issued,
+            ))
+        controller.run_until_idle(event_driven=event_driven)
+        snapshots.append((states, controller.now, controller.stats))
+    assert snapshots[0] == snapshots[1]
+
+
+def test_rome_memory_system_results_identical_across_cores():
+    results = []
+    for event_driven in (False, True):
+        system = RoMeMemorySystem(MemorySystemConfig(
+            num_channels=2,
+            rome_controller=RoMeControllerConfig(num_stack_ids=1,
+                                                 enable_refresh=True),
+        ))
+        for request in _streaming_rows(96 * 4096):
+            request.channel = request.channel % 2
+            system.enqueue(request)
+        system.run_until_idle(event_driven=event_driven)
+        results.append(system.result())
+    assert results[0] == results[1]
+
+
+def test_rome_refresh_only_run_for_matches_tick():
+    fingerprints = []
+    for event_driven in (False, True):
+        controller = RoMeMemoryController(
+            config=RoMeControllerConfig(num_stack_ids=1, enable_refresh=True)
+        )
+        controller.run_for(10 * controller.config.timing.tREFIpb,
+                           event_driven=event_driven)
+        fingerprints.append((controller.now, controller.stats))
+    assert fingerprints[0] == fingerprints[1]
+    assert fingerprints[0][1].refreshes_issued > 0
+
+
+# ------------------------------------------------------------- conventional
+
+
+def _conventional_trace(name: str, seed: int):
+    if name == "streaming":
+        return streaming_trace(64 * 1024, request_bytes=4096,
+                               kind=RequestKind.READ)
+    if name == "mixed":
+        return mixed_trace(48 * 1024, write_fraction=0.4, seed=seed)
+    return random_trace(192, 1 << 22, request_bytes=256, seed=seed)
+
+
+@pytest.mark.parametrize("name", ["streaming", "mixed", "random"])
+@pytest.mark.parametrize("enable_refresh", [False, True])
+def test_conventional_event_core_matches_tick_core(name, enable_refresh):
+    fingerprints = []
+    for event_driven in (False, True):
+        controller = ConventionalMemoryController(
+            config=ControllerConfig(num_stack_ids=1,
+                                    enable_refresh=enable_refresh)
+        )
+        for request in _conventional_trace(name, seed=5):
+            controller.enqueue(request)
+        states = []
+        for _ in range(8):
+            controller.run_for(250, event_driven=event_driven)
+            states.append((
+                controller.now,
+                controller.read_queue.occupancy,
+                controller.write_queue.occupancy,
+                controller.stats.served_reads,
+                controller.stats.served_writes,
+            ))
+        controller.run_until_idle(event_driven=event_driven)
+        fingerprints.append((
+            states,
+            controller.now,
+            controller.stats,
+            controller.channel.command_counts(),
+            controller.energy_counters(),
+        ))
+    assert fingerprints[0] == fingerprints[1]

@@ -52,3 +52,19 @@ def test_simulation_result_summary_mentions_name_and_bandwidth():
     assert "demo" in text
     assert "GB/s" in text
     assert result.utilization == pytest.approx(1.0)
+
+
+def test_latency_result_from_accumulators_carries_exact_moments():
+    from repro.latency import LatencyAccumulator
+    from repro.sim.stats import LatencyResult
+
+    first, second = LatencyAccumulator(), LatencyAccumulator()
+    for value in (100, 300):
+        first.record(value)
+    second.record(50)
+    result = LatencyResult.from_accumulators([first, second])
+    assert result.count == 3
+    assert result.average == pytest.approx(150.0)
+    assert result.max == 300.0
+    assert result.min == 50.0
+    assert sorted(result.samples) == [50, 100, 300]
