@@ -18,16 +18,16 @@ PAPER_REDUCTIONS = {
 }
 
 
-def _sweep(model):
+def _sweep(model, workers=1):
     limit = max_batch_size(model, SEQUENCE_LENGTH)
     batches = [b for b in (8, 16, 32, 64, 128, 256, 512, 1024) if b <= limit]
-    return batch_sweep(model, batches, SEQUENCE_LENGTH)
+    return batch_sweep(model, batches, SEQUENCE_LENGTH, workers=workers)
 
 
 @pytest.mark.parametrize("model", [DEEPSEEK_V3, GROK_1, LLAMA_3_405B],
                          ids=lambda m: m.name)
-def test_fig12_tpot_sweep(benchmark, table_printer, model):
-    rows = benchmark(_sweep, model)
+def test_fig12_tpot_sweep(benchmark, table_printer, model, sweep_workers):
+    rows = benchmark(_sweep, model, sweep_workers)
     table_printer(f"Figure 12: TPOT sweep for {model.name}", rows)
     # RoMe wins at every batch point.
     assert all(row["rome_tpot_ms"] < row["hbm4_tpot_ms"] for row in rows)

@@ -8,34 +8,22 @@ the KV-cache and activation footprints grow.
 import pytest
 
 from repro.llm.accelerator import rome_accelerator
-from repro.llm.inference import decode_tpot, max_batch_size
+from repro.llm.inference import decode_tpot, lbr_sweep, max_batch_size
 from repro.llm.models import DEEPSEEK_V3, GROK_1, LLAMA_3_405B
 
 SEQUENCE_LENGTH = 8192
 
 
-def _lbr_sweep(model):
+def _lbr_sweep(model, workers=1):
     limit = max_batch_size(model, SEQUENCE_LENGTH)
-    rows = []
-    for batch in (8, 16, 32, 64, 128, 256, 512, 1024):
-        if batch > limit:
-            break
-        result = decode_tpot(model, batch, SEQUENCE_LENGTH, rome_accelerator())
-        rows.append(
-            {
-                "model": model.name,
-                "batch": batch,
-                "lbr_attention": result.lbr_attention,
-                "lbr_ffn": result.lbr_ffn,
-            }
-        )
-    return rows
+    batches = [b for b in (8, 16, 32, 64, 128, 256, 512, 1024) if b <= limit]
+    return lbr_sweep(model, batches, SEQUENCE_LENGTH, workers=workers)
 
 
 @pytest.mark.parametrize("model", [DEEPSEEK_V3, GROK_1, LLAMA_3_405B],
                          ids=lambda m: m.name)
-def test_fig13_lbr_sweep(benchmark, table_printer, model):
-    rows = benchmark(_lbr_sweep, model)
+def test_fig13_lbr_sweep(benchmark, table_printer, model, sweep_workers):
+    rows = benchmark(_lbr_sweep, model, sweep_workers)
     table_printer(f"Figure 13: RoMe channel load balance for {model.name}", rows)
     # LBR stays in the 0.85-1.0 band the paper plots.
     for row in rows:

@@ -3,23 +3,28 @@
 The conventional HBM4 controller needs a deep (tens of entries) CAM to keep
 its channel busy, while the RoMe controller saturates bandwidth with a
 two-entry queue.
+
+Both sweeps run through :func:`repro.sim.runner.queue_depth_sweep`, so the
+``sweep_workers`` fixture (``REPRO_SWEEP_WORKERS``) can shard the depth
+points across processes without changing the results.
 """
 
 from repro.sim.runner import queue_depth_sweep
 
 
-def _rome_sweep():
+def _rome_sweep(workers=1):
     return queue_depth_sweep([1, 2, 3, 4, 8], system="rome",
-                             total_bytes=64 * 4096)
+                             total_bytes=64 * 4096, workers=workers)
 
 
-def _hbm4_sweep():
+def _hbm4_sweep(workers=1):
     return queue_depth_sweep([4, 8, 16, 32, 48, 64, 96], system="hbm4",
-                             total_bytes=64 * 1024)
+                             total_bytes=64 * 1024, workers=workers)
 
 
-def test_queue_depth_rome_saturates_at_two(benchmark, table_printer):
-    sweep = benchmark(_rome_sweep)
+def test_queue_depth_rome_saturates_at_two(benchmark, table_printer,
+                                           sweep_workers):
+    sweep = benchmark(_rome_sweep, sweep_workers)
     table_printer(
         "Section V-A: RoMe bandwidth vs request-queue depth",
         [{"depth": d, "utilization": u} for d, u in sweep.items()],
@@ -29,8 +34,9 @@ def test_queue_depth_rome_saturates_at_two(benchmark, table_printer):
     assert abs(sweep[8] - sweep[2]) < 0.02  # no benefit beyond two entries
 
 
-def test_queue_depth_hbm4_needs_tens_of_entries(benchmark, table_printer):
-    sweep = benchmark(_hbm4_sweep)
+def test_queue_depth_hbm4_needs_tens_of_entries(benchmark, table_printer,
+                                                sweep_workers):
+    sweep = benchmark(_hbm4_sweep, sweep_workers)
     table_printer(
         "Section V-A: HBM4 bandwidth vs request-queue depth",
         [{"depth": d, "utilization": u} for d, u in sweep.items()],

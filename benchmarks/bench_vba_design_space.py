@@ -4,63 +4,19 @@ All six VBA configurations deliver essentially the same streaming bandwidth
 (the paper reports a performance deviation within 3.6 % of the baseline) but
 differ greatly in DRAM-die area overhead; the adopted point (Figure 7d +
 Figure 8b) is the only one with zero datapath overhead.
+
+The six per-point simulations run through
+:func:`repro.sim.runner.vba_design_space_sweep`, so the ``sweep_workers``
+fixture (``REPRO_SWEEP_WORKERS``) can shard them across processes.
 """
 
-from repro.core.controller import RoMeControllerConfig
-from repro.core.timing import derive_rome_timing
-from repro.core.virtual_bank import VBA_DESIGN_SPACE, paper_vba_config
-from repro.sim.memory_system import MemorySystemConfig, RoMeMemorySystem
-from repro.core.interface import RowRequestKind, requests_for_transfer
-from repro.dram.timing import HBM4_TIMING
+from repro.core.virtual_bank import paper_vba_config
+from repro.sim.runner import vba_design_space_sweep
 
 
-def _measure_configuration(vba, total_bytes=96 * 4096):
-    timing = derive_rome_timing(HBM4_TIMING, vba)
-    # Design points with smaller effective rows (1-2 KB) finish a row command
-    # faster than tRD_row/tR2RS = 2 commands, so they need one or two extra
-    # in-flight bank FSMs to stay at full bandwidth; the adopted 4 KB point
-    # needs only the paper's two.
-    data_fsms = max(2, -(-timing.tRD_row // timing.tR2RS) + 1)
-    system = RoMeMemorySystem(
-        MemorySystemConfig(
-            num_channels=1,
-            rome_controller=RoMeControllerConfig(
-                timing=timing, vba=vba, num_stack_ids=1, enable_refresh=False,
-                max_data_fsms=data_fsms,
-            ),
-        )
-    )
-    requests = requests_for_transfer(
-        total_bytes,
-        kind=RowRequestKind.RD_ROW,
-        effective_row_bytes=vba.effective_row_bytes,
-        num_channels=1,
-        vbas_per_channel=vba.vbas_per_channel_per_sid,
-    )
-    system.enqueue_many(requests)
-    system.run_until_idle()
-    return system.result()
-
-
-def _design_space_rows():
-    rows = []
-    for vba in VBA_DESIGN_SPACE:
-        result = _measure_configuration(vba)
-        rows.append(
-            {
-                "bank_merge": vba.bank_merge.value,
-                "pc_merge": vba.pc_merge.value,
-                "effective_row_bytes": vba.effective_row_bytes,
-                "utilization": result.utilization,
-                "area_overhead": vba.area_overhead_fraction,
-                "needs_dram_changes": vba.requires_dram_core_modification,
-            }
-        )
-    return rows
-
-
-def test_vba_design_space_performance_parity(benchmark, table_printer):
-    rows = benchmark(_design_space_rows)
+def test_vba_design_space_performance_parity(benchmark, table_printer,
+                                             sweep_workers):
+    rows = benchmark(vba_design_space_sweep, 96 * 4096, sweep_workers)
     table_printer("Section IV-B: VBA design space", rows)
     utilizations = [row["utilization"] for row in rows]
     # All six configurations deliver full streaming bandwidth within a few

@@ -9,6 +9,7 @@ bonus that tracks how long each experiment takes to regenerate.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Dict, Iterable, List
 
 import pytest
@@ -37,3 +38,15 @@ def print_table(title: str, rows: List[Dict[str, Any]]) -> None:
 @pytest.fixture
 def table_printer():
     return print_table
+
+
+@pytest.fixture
+def sweep_workers() -> int:
+    """Worker-process count for sweep-style benchmarks.
+
+    Defaults to 1 (the serial path, so benchmark timings stay comparable
+    across machines); export ``REPRO_SWEEP_WORKERS=N`` to shard the sweep
+    points, or ``0`` for one worker per CPU.  Results are identical at any
+    worker count -- only the timings change.
+    """
+    return int(os.environ.get("REPRO_SWEEP_WORKERS", "1"))

@@ -11,7 +11,14 @@ Provides quick access to the main experiments without writing code:
 * ``rome-repro design-space`` -- the six-point VBA design space.
 * ``rome-repro trends`` -- Figure 2: HBM generation trends.
 * ``rome-repro bench-smoke`` -- CI perf smoke: seed-tick vs event-driven
-  simulation-core throughput, with a ``--min-speedup`` gate.
+  simulation-core throughput, with a ``--min-speedup`` gate, plus
+  sweep-runner and trace-cache checks.
+
+Sweep-style subcommands (``tpot``, ``lbr``, ``queue-depth``,
+``design-space``, ``bandwidth``) accept ``--workers N`` to shard their
+independent points across a process pool via :mod:`repro.sim.sweep`;
+``--workers 1`` (default) is the exact serial path and ``--workers 0``
+means one worker per CPU.  Results are identical at any worker count.
 """
 
 from __future__ import annotations
@@ -53,36 +60,23 @@ def _models(names: Optional[List[str]] = None):
 
 
 def cmd_tpot(args: argparse.Namespace) -> int:
-    from repro.llm.inference import batch_sweep, max_batch_size
+    from repro.llm.inference import multi_model_sweep, tpot_point
 
-    rows: List[Dict[str, Any]] = []
-    for model in _models(args.model):
-        limit = max_batch_size(model, args.sequence_length)
-        batches = [b for b in args.batches if b <= limit] or [limit]
-        rows.extend(batch_sweep(model, batches, args.sequence_length))
+    rows = multi_model_sweep(
+        tpot_point, _models(args.model), args.batches, args.sequence_length,
+        workers=args.workers, fall_back_to_limit=True,
+    )
     _print_rows(rows, args.json)
     return 0
 
 
 def cmd_lbr(args: argparse.Namespace) -> int:
-    from repro.llm.inference import decode_tpot, max_batch_size
-    from repro.llm.accelerator import rome_accelerator
+    from repro.llm.inference import lbr_point, multi_model_sweep
 
-    rows = []
-    for model in _models(args.model):
-        limit = max_batch_size(model, args.sequence_length)
-        for batch in [b for b in args.batches if b <= limit]:
-            result = decode_tpot(
-                model, batch, args.sequence_length, rome_accelerator()
-            )
-            rows.append(
-                {
-                    "model": model.name,
-                    "batch": batch,
-                    "lbr_attention": result.lbr_attention,
-                    "lbr_ffn": result.lbr_ffn,
-                }
-            )
+    rows = multi_model_sweep(
+        lbr_point, _models(args.model), args.batches, args.sequence_length,
+        workers=args.workers,
+    )
     _print_rows(rows, args.json)
     return 0
 
@@ -109,13 +103,14 @@ def cmd_energy(args: argparse.Namespace) -> int:
 
 
 def cmd_bandwidth(args: argparse.Namespace) -> int:
-    from repro.sim.runner import (
-        measure_conventional_streaming,
-        measure_rome_streaming,
-    )
+    from repro.sim.runner import streaming_point
+    from repro.sim.sweep import run_sweep
 
-    hbm4 = measure_conventional_streaming(total_bytes=args.bytes)
-    rome = measure_rome_streaming(total_bytes=args.bytes)
+    sweep = run_sweep(
+        streaming_point,
+        [("hbm4", args.bytes), ("rome", args.bytes)],
+        workers=args.workers,
+    )
     rows = [
         {
             "system": result.name,
@@ -123,7 +118,7 @@ def cmd_bandwidth(args: argparse.Namespace) -> int:
             "utilization": result.utilization,
             "avg_read_latency_ns": result.latency.average,
         }
-        for result in (hbm4, rome)
+        for result in sweep.values
     ]
     _print_rows(rows, args.json)
     return 0
@@ -134,7 +129,8 @@ def cmd_queue_depth(args: argparse.Namespace) -> int:
 
     rows = []
     for system, depths in (("rome", args.rome_depths), ("hbm4", args.hbm4_depths)):
-        sweep = queue_depth_sweep(depths, system=system, total_bytes=args.bytes)
+        sweep = queue_depth_sweep(depths, system=system, total_bytes=args.bytes,
+                                  workers=args.workers)
         for depth, utilization in sweep.items():
             rows.append({"system": system, "depth": depth, "utilization": utilization})
     _print_rows(rows, args.json)
@@ -156,7 +152,14 @@ def cmd_pins(args: argparse.Namespace) -> int:
 def cmd_design_space(args: argparse.Namespace) -> int:
     from repro.core.virtual_bank import design_space_summary
 
-    _print_rows(design_space_summary(), args.json)
+    if args.simulate:
+        from repro.sim.runner import vba_design_space_sweep
+
+        rows = vba_design_space_sweep(total_bytes=args.bytes,
+                                      workers=args.workers)
+    else:
+        rows = design_space_summary()
+    _print_rows(rows, args.json)
     return 0
 
 
@@ -168,7 +171,11 @@ def cmd_trends(args: argparse.Namespace) -> int:
 
 
 def cmd_bench_smoke(args: argparse.Namespace) -> int:
-    from repro.sim.bench import throughput_comparison
+    from repro.sim.bench import (
+        sweep_throughput,
+        throughput_comparison,
+        trace_cache_comparison,
+    )
 
     if args.bytes < 4096:
         print("error: --bytes must be at least 4096 (one effective row)",
@@ -177,28 +184,59 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
     if args.repeats < 1:
         print("error: --repeats must be at least 1", file=sys.stderr)
         return 2
-    rows = throughput_comparison(
+    core_rows = throughput_comparison(
         rome_bytes=args.bytes,
         hbm4_bytes=min(args.bytes, 64 * 1024),
         repeats=args.repeats,
     )
-    _print_rows(rows, args.json)
-    rome = next(row for row in rows if row["system"] == "rome")
+    # Sweep-runner smoke: per-worker point throughput, cold vs warm cache.
+    sweep_rows = sweep_throughput(workers=args.workers)
+    # Trace-cache smoke: the cached second derivation of a sweep point's
+    # traces must beat the cold derivation.
+    cache = trace_cache_comparison(total_bytes=min(args.bytes, 512 * 1024),
+                                   repeats=args.repeats)
+
+    if args.json:
+        print(json.dumps(
+            {"core": core_rows, "sweep": sweep_rows, "cache": cache},
+            indent=2, default=str,
+        ))
+    else:
+        _print_rows(core_rows, False)
+        print()
+        _print_rows(sweep_rows, False)
+        print()
+        _print_rows([cache], False)
+
+    failures = []
+    rome = next(row for row in core_rows if row["system"] == "rome")
     if args.min_speedup > 0 and rome["speedup"] < args.min_speedup:
-        print(
-            f"FAIL: event core speedup {rome['speedup']:.1f}x is below the "
-            f"--min-speedup gate of {args.min_speedup:g}x",
-            file=sys.stderr,
+        failures.append(
+            f"event core speedup {rome['speedup']:.1f}x is below the "
+            f"--min-speedup gate of {args.min_speedup:g}x"
         )
-        return 1
-    return 0
+    warm = next(row for row in sweep_rows if row["phase"] == "warm")
+    if warm["cache_hits"] == 0:
+        failures.append("warm sweep run recorded no trace-cache hits")
+    if cache["warm_hits"] == 0 or cache["warm_ms"] >= cache["cold_ms"]:
+        failures.append(
+            f"cached trace setup ({cache['warm_ms']:.3f} ms) is not faster "
+            f"than the cold run ({cache['cold_ms']:.3f} ms)"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="rome-repro",
         description="Reproduction experiments for RoMe (HPCA 2026).",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     parser.add_argument("--json", action="store_true", help="emit JSON rows")
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -207,46 +245,74 @@ def build_parser() -> argparse.ArgumentParser:
                        help="model name (repeatable); default: all three")
         p.add_argument("--sequence-length", type=int, default=8192)
 
+    def add_workers_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=int, default=1,
+                       help="worker processes for independent sweep points "
+                            "(1 = serial, 0 = one per CPU); results are "
+                            "identical at any worker count")
+
     p = sub.add_parser("tpot", help="Figure 12: TPOT across batch sizes")
     add_model_args(p)
+    add_workers_arg(p)
     p.add_argument("--batches", type=int, nargs="+",
                    default=[8, 16, 32, 64, 128, 256, 512, 1024])
     p.set_defaults(func=cmd_tpot)
 
-    p = sub.add_parser("lbr", help="Figure 13: channel load balance ratio")
+    p = sub.add_parser("lbr",
+                       help="Figure 13: channel load balance ratio "
+                            "across batch sizes")
     add_model_args(p)
+    add_workers_arg(p)
     p.add_argument("--batches", type=int, nargs="+",
                    default=[8, 16, 32, 64, 128, 256, 512, 1024])
     p.set_defaults(func=cmd_lbr)
 
-    p = sub.add_parser("energy", help="Figure 14: DRAM energy at batch 256")
+    p = sub.add_parser("energy",
+                       help="Figure 14: DRAM energy breakdown at batch 256")
     add_model_args(p)
     p.add_argument("--batch", type=int, default=256)
     p.set_defaults(func=cmd_energy)
 
-    p = sub.add_parser("bandwidth", help="cycle-level streaming bandwidth")
+    p = sub.add_parser("bandwidth",
+                       help="Section VI-A: cycle-level streaming bandwidth, "
+                            "HBM4 vs RoMe")
+    add_workers_arg(p)
     p.add_argument("--bytes", type=int, default=256 * 1024)
     p.set_defaults(func=cmd_bandwidth)
 
-    p = sub.add_parser("queue-depth", help="request-queue depth sensitivity")
+    p = sub.add_parser("queue-depth",
+                       help="Section V-A: request-queue depth sensitivity")
+    add_workers_arg(p)
     p.add_argument("--bytes", type=int, default=128 * 1024)
     p.add_argument("--rome-depths", type=int, nargs="+", default=[1, 2, 4, 8])
     p.add_argument("--hbm4-depths", type=int, nargs="+", default=[8, 16, 32, 64])
     p.set_defaults(func=cmd_queue_depth)
 
-    p = sub.add_parser("pins", help="Figure 10 + Section IV-E channel expansion")
+    p = sub.add_parser("pins",
+                       help="Figure 10 + Section IV-E: C/A pin sweep and "
+                            "channel expansion")
     p.set_defaults(func=cmd_pins)
 
-    p = sub.add_parser("design-space", help="Section IV-B VBA design space")
+    p = sub.add_parser("design-space",
+                       help="Section IV-B: the six-point VBA design space")
+    add_workers_arg(p)
+    p.add_argument("--simulate", action="store_true",
+                   help="run the cycle-level streaming drain per design "
+                        "point (utilization column) instead of the "
+                        "analytic summary table")
+    p.add_argument("--bytes", type=int, default=96 * 4096,
+                   help="drain size per simulated design point")
     p.set_defaults(func=cmd_design_space)
 
-    p = sub.add_parser("trends", help="Figure 2 HBM generation trends")
+    p = sub.add_parser("trends", help="Figure 2: HBM generation trends")
     p.set_defaults(func=cmd_trends)
 
     p = sub.add_parser(
         "bench-smoke",
-        help="fast perf smoke: seed-tick vs event-driven simulation cores",
+        help="CI perf smoke: seed-tick vs event-driven cores, sweep-runner "
+             "throughput, and the trace-cache cold/warm gate",
     )
+    add_workers_arg(p)
     p.add_argument("--bytes", type=int, default=128 * 1024,
                    help="streaming drain size for the RoMe comparison")
     p.add_argument("--repeats", type=int, default=2)

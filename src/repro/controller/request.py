@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.dram.address import AddressMapping, DramCoordinate
+from repro.trace_cache import global_trace_cache
 
 _request_ids = itertools.count()
 
@@ -79,8 +80,19 @@ class Transaction:
 
 
 def decompose(request: MemoryRequest, mapping: AddressMapping) -> List[Transaction]:
-    """Split ``request`` into per-block transactions using ``mapping``."""
-    coordinates = mapping.decode_range(request.address, request.size_bytes)
+    """Split ``request`` into per-block transactions using ``mapping``.
+
+    The address decode -- the pure, expensive half of the split -- is
+    memoized in the global trace cache keyed by
+    ``(mapping, address, size_bytes)``; a different mapping (or address
+    range) occupies a different cache entry.  The returned
+    :class:`Transaction` queue entries are always freshly built, so the
+    cache never leaks controller state between runs.
+    """
+    coordinates = global_trace_cache().get_or_compute(
+        ("decompose", mapping, request.address, request.size_bytes),
+        lambda: tuple(mapping.decode_range(request.address, request.size_bytes)),
+    )
     return [
         Transaction(
             request=request,

@@ -11,7 +11,9 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Tuple
+
+from repro.trace_cache import global_trace_cache
 
 _row_request_ids = itertools.count()
 
@@ -86,10 +88,45 @@ def requests_for_transfer(
     The transfer is striped across channels first and virtual banks second,
     matching the bandwidth-maximizing address mapping the paper sweeps for
     (Section VI-A).  The final request may be partially valid (overfetch).
+
+    The striping arithmetic is memoized in the global trace cache keyed by
+    the full layout tuple (total bytes, row size, channel/VBA geometry,
+    start row), so repeated sweep points skip the derivation.  Fresh
+    :class:`RowRequest` objects (new request IDs, clean issue/completion
+    state) are built on every call, cached or not.
     """
     if total_bytes <= 0:
         return []
-    requests: List[RowRequest] = []
+    key = ("requests_for_transfer", total_bytes, effective_row_bytes,
+           num_channels, vbas_per_channel, rows_per_vba, start_row)
+    specs = global_trace_cache().get_or_compute(
+        key,
+        lambda: _transfer_specs(total_bytes, effective_row_bytes, num_channels,
+                                vbas_per_channel, rows_per_vba, start_row),
+    )
+    return [
+        RowRequest(
+            kind=kind,
+            channel=channel,
+            vba=vba,
+            row=row,
+            valid_bytes=valid,
+            arrival_ns=arrival_ns,
+        )
+        for channel, vba, row, valid in specs
+    ]
+
+
+def _transfer_specs(
+    total_bytes: int,
+    effective_row_bytes: int,
+    num_channels: int,
+    vbas_per_channel: int,
+    rows_per_vba: int,
+    start_row: int,
+) -> Tuple[Tuple[int, int, int, int], ...]:
+    """Immutable (channel, vba, row, valid_bytes) striping of a transfer."""
+    specs: List[Tuple[int, int, int, int]] = []
     remaining = total_bytes
     index = 0
     while remaining > 0:
@@ -99,19 +136,10 @@ def requests_for_transfer(
         if row >= rows_per_vba:
             raise ValueError("transfer exceeds device capacity for the given layout")
         valid = min(effective_row_bytes, remaining)
-        requests.append(
-            RowRequest(
-                kind=kind,
-                channel=channel,
-                vba=vba,
-                row=row,
-                valid_bytes=valid,
-                arrival_ns=arrival_ns,
-            )
-        )
+        specs.append((channel, vba, row, valid))
         remaining -= valid
         index += 1
-    return requests
+    return tuple(specs)
 
 
 def round_robin_by_channel(requests: List[RowRequest],

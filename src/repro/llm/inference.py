@@ -150,26 +150,112 @@ def max_batch_size(
     return batch
 
 
+def tpot_point(model_name: str, batch: int,
+               sequence_length: int = 8192) -> Dict[str, float]:
+    """One Figure 12 sweep point: the HBM4-vs-RoMe TPOT row for one batch.
+
+    Takes the model by name so the point is a trivially picklable sweep
+    unit for :func:`repro.sim.sweep.run_sweep`.
+    """
+    from repro.llm.models import model_by_name
+
+    model = model_by_name(model_name)
+    comparison = decode_comparison(model, batch, sequence_length)
+    hbm4 = comparison["hbm4"]
+    rome = comparison["rome"]
+    return {
+        "model": model.name,
+        "batch": batch,
+        "hbm4_tpot_ms": hbm4.tpot_ms,
+        "rome_tpot_ms": rome.tpot_ms,
+        "tpot_reduction": 1.0 - rome.tpot_ms / hbm4.tpot_ms,
+        "rome_lbr_attention": rome.lbr_attention,
+        "rome_lbr_ffn": rome.lbr_ffn,
+    }
+
+
+def lbr_point(model_name: str, batch: int,
+              sequence_length: int = 8192) -> Dict[str, float]:
+    """One Figure 13 sweep point: RoMe channel load-balance for one batch."""
+    from repro.llm.accelerator import rome_accelerator
+    from repro.llm.models import model_by_name
+
+    model = model_by_name(model_name)
+    result = decode_tpot(model, batch, sequence_length, rome_accelerator())
+    return {
+        "model": model.name,
+        "batch": batch,
+        "lbr_attention": result.lbr_attention,
+        "lbr_ffn": result.lbr_ffn,
+    }
+
+
 def batch_sweep(
     model: ModelConfig,
     batches: List[int],
     sequence_length: int = 8192,
+    workers: int = 1,
 ) -> List[Dict[str, float]]:
-    """The Figure 12 sweep: TPOT for HBM4 and RoMe across batch sizes."""
-    rows: List[Dict[str, float]] = []
-    for batch in batches:
-        comparison = decode_comparison(model, batch, sequence_length)
-        hbm4 = comparison["hbm4"]
-        rome = comparison["rome"]
-        rows.append(
-            {
-                "model": model.name,
-                "batch": batch,
-                "hbm4_tpot_ms": hbm4.tpot_ms,
-                "rome_tpot_ms": rome.tpot_ms,
-                "tpot_reduction": 1.0 - rome.tpot_ms / hbm4.tpot_ms,
-                "rome_lbr_attention": rome.lbr_attention,
-                "rome_lbr_ffn": rome.lbr_ffn,
-            }
-        )
-    return rows
+    """The Figure 12 sweep: TPOT for HBM4 and RoMe across batch sizes.
+
+    Each batch point is independent; ``workers`` shards them across
+    processes via :func:`repro.sim.sweep.run_sweep` with results returned
+    in ``batches`` order regardless of worker count (``workers=1`` runs
+    the exact serial loop).
+    """
+    from repro.sim.sweep import run_sweep
+
+    sweep = run_sweep(
+        tpot_point,
+        [(model.name, batch, sequence_length) for batch in batches],
+        workers=workers,
+    )
+    return list(sweep.values)
+
+
+def lbr_sweep(
+    model: ModelConfig,
+    batches: List[int],
+    sequence_length: int = 8192,
+    workers: int = 1,
+) -> List[Dict[str, float]]:
+    """The Figure 13 sweep: RoMe LBR across batch sizes (worker semantics
+    as in :func:`batch_sweep`)."""
+    from repro.sim.sweep import run_sweep
+
+    sweep = run_sweep(
+        lbr_point,
+        [(model.name, batch, sequence_length) for batch in batches],
+        workers=workers,
+    )
+    return list(sweep.values)
+
+
+def multi_model_sweep(
+    point_fn,
+    models: List[ModelConfig],
+    batches: List[int],
+    sequence_length: int = 8192,
+    workers: int = 1,
+    fall_back_to_limit: bool = False,
+) -> List[Dict[str, float]]:
+    """Run one batch sweep over several models through a single worker pool.
+
+    ``point_fn`` is :func:`tpot_point` or :func:`lbr_point`.  Batches above
+    each model's capacity limit (:func:`max_batch_size`) are dropped;
+    ``fall_back_to_limit`` sweeps the limit itself when every requested
+    batch exceeds it (the CLI ``tpot`` behavior).  Pooling all
+    (model, batch) points into one :func:`repro.sim.sweep.run_sweep` call
+    keeps the workers busy across model boundaries; rows come back in
+    (models, batches) order at any worker count.
+    """
+    from repro.sim.sweep import run_sweep
+
+    points = []
+    for model in models:
+        limit = max_batch_size(model, sequence_length)
+        kept = [batch for batch in batches if batch <= limit]
+        if not kept and fall_back_to_limit:
+            kept = [limit]
+        points.extend((model.name, batch, sequence_length) for batch in kept)
+    return list(run_sweep(point_fn, points, workers=workers).values)

@@ -1,4 +1,5 @@
-"""Simulation engine, workload traces, and multi-channel memory systems."""
+"""Simulation engine, workload traces, multi-channel memory systems, and
+the process-parallel sweep runner (:mod:`repro.sim.sweep`)."""
 
 from repro.sim.stats import BandwidthResult, LatencyResult, SimulationResult
 from repro.sim.traces import (
@@ -14,26 +15,44 @@ from repro.sim.memory_system import (
     MemorySystemConfig,
 )
 from repro.sim.engine import Simulation
+from repro.sim.sweep import (
+    CacheStats,
+    SweepResult,
+    SweepStats,
+    run_sweep,
+    run_system_until_idle,
+    trace_cache_stats,
+)
 from repro.sim.runner import (
     measure_conventional_streaming,
     measure_rome_streaming,
     queue_depth_sweep,
+    queue_depth_sweep_result,
+    vba_design_space_sweep,
 )
 
 __all__ = [
     "BandwidthResult",
+    "CacheStats",
     "ConventionalMemorySystem",
     "LatencyResult",
     "MemorySystemConfig",
     "RoMeMemorySystem",
     "Simulation",
     "SimulationResult",
+    "SweepResult",
+    "SweepStats",
     "TracePattern",
     "measure_conventional_streaming",
     "measure_rome_streaming",
     "mixed_trace",
     "queue_depth_sweep",
+    "queue_depth_sweep_result",
     "random_trace",
+    "run_sweep",
+    "run_system_until_idle",
     "streaming_trace",
     "strided_trace",
+    "trace_cache_stats",
+    "vba_design_space_sweep",
 ]

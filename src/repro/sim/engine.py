@@ -60,7 +60,26 @@ class EventDriven(Protocol):
 
 @dataclass
 class Simulation:
-    """Advance a set of controllers through simulated time."""
+    """Advance a set of controllers through simulated time.
+
+    Parameters
+    ----------
+    controllers:
+        The per-channel controllers to drive.  If every one implements
+        the :class:`EventDriven` protocol the engine time-skips;
+        otherwise it falls back to 1-ns lockstep.
+    on_cycle:
+        Optional per-nanosecond hook (forces lockstep); prefer
+        :meth:`at` for injecting requests at known arrival times.
+    now:
+        Current simulated time in nanoseconds.
+
+    Determinism: given the same controllers, schedule, and call
+    sequence, a ``Simulation`` visits the same timestamps and produces
+    the same controller state whether it time-skips or ticks -- the
+    controllers' event protocol is cycle-exact (proven against the
+    frozen seed oracle in ``tests/sim/test_event_equivalence.py``).
+    """
 
     controllers: Sequence[Tickable]
     #: Called once per nanosecond before the controllers tick.  Setting this

@@ -1,0 +1,343 @@
+"""Process-parallel sweep runner for independent simulation points.
+
+Every headline experiment in the paper -- TPOT (Figure 12), LBR
+(Figure 13), queue-depth sensitivity (Section V-A), the VBA design space
+(Section IV-B) -- is a *sweep*: many independent simulation or model
+evaluations over batch sizes, queue depths, or controller configurations.
+This module runs such sweeps across a ``concurrent.futures``
+process pool and reports aggregate statistics, including trace-cache
+hit/miss counters from :mod:`repro.trace_cache`.
+
+Guarantees
+----------
+*Deterministic ordering.*  ``run_sweep`` returns one value per input
+point, in input order, regardless of worker count or completion order.
+
+*Serial equivalence.*  ``workers=1`` (the default) never creates a pool:
+points run in-process, in order, through exactly the same code path as a
+hand-written loop, so single-worker results are bit-identical to the
+pre-sweep serial helpers.
+
+*Graceful fallback.*  If the pool cannot run the sweep -- the callable
+or a point fails an upfront pickling probe, process creation fails, a
+result will not pickle back, or a worker dies -- the sweep transparently
+runs serially in-process and the stats record ``parallel=False``.
+Exceptions raised by the swept function itself are *not* swallowed; they
+propagate to the caller.
+
+*Cache warmth survives the pool.*  Trace-cache entries derived inside
+workers are journaled, shipped back, and installed into the parent's
+cache, so a repeated sweep hits the cache even though each ``run_sweep``
+call builds (and tears down) a fresh pool of forked workers.
+
+Two levels of parallelism are offered:
+
+* :func:`run_sweep` -- shard independent sweep *points* across workers
+  (one simulation per point);
+* :func:`run_system_until_idle` -- shard the per-channel *controllers* of
+  one multi-channel memory system across workers (the controllers are
+  independent between arrival points; the engine's
+  ``advance_to``/``next_event_ns`` protocol is the cut point).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.trace_cache import (
+    CacheStats,
+    global_trace_cache,
+    reset_trace_cache,
+    trace_cache_stats,
+)
+
+__all__ = [
+    "CacheStats",
+    "SweepResult",
+    "SweepStats",
+    "global_trace_cache",
+    "reset_trace_cache",
+    "resolve_workers",
+    "run_sweep",
+    "run_system_until_idle",
+    "trace_cache_stats",
+]
+
+#: Pool-infrastructure failures observable while gathering results: a
+#: result that cannot be pickled back, or a worker dying.  Kept narrow so
+#: errors raised *by the swept function* are not mistaken for pool
+#: failures; unpicklable functions/points are screened upfront by
+#: :func:`_picklable`, and ``OSError`` is only treated as a pool failure
+#: around process creation/submission (see :func:`_run_pool`).
+_POOL_FAILURES = (pickle.PicklingError, BrokenProcessPool)
+
+
+def _picklable(*objects: Any) -> bool:
+    """Whether every object survives pickling (pool-transport probe)."""
+    try:
+        for obj in objects:
+            pickle.dumps(obj)
+    except Exception:
+        return False
+    return True
+
+
+def _seed_worker_cache(entries: list) -> None:
+    """Pool-worker initializer: adopt the parent's trace-cache entries.
+
+    Under the ``fork`` start method this is a harmless no-op (the worker
+    already inherited the entries); under ``spawn``/``forkserver`` it is
+    what makes parent-side warmth visible to workers at all.
+    """
+    global_trace_cache().install(entries)
+
+
+def _run_pool(tasks: List[Tuple[Any, ...]], workers: int,
+              seed_cache: bool) -> Optional[List[Any]]:
+    """Run ``(fn, *args)`` tasks on a process pool; ``None`` on pool failure.
+
+    Exceptions raised by the tasks themselves propagate unchanged; only
+    pool-infrastructure failures (process creation forbidden, worker
+    death, unpicklable results) return ``None`` so the caller can fall
+    back to serial execution.
+    """
+    initializer = initargs = None
+    if seed_cache:
+        initializer = _seed_worker_cache
+        initargs = (global_trace_cache().export_entries(),)
+    try:
+        pool = ProcessPoolExecutor(max_workers=workers,
+                                   initializer=initializer,
+                                   initargs=initargs or ())
+    except OSError:
+        return None
+    with pool:
+        # Submission may spawn processes, so OSError here is a pool
+        # failure; once the futures exist, an OSError can only come from
+        # the task itself and must propagate to the caller.
+        try:
+            futures = [pool.submit(*task) for task in tasks]
+        except OSError:
+            return None
+        try:
+            return [future.result() for future in futures]
+        except _POOL_FAILURES:
+            return None
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a worker-count request.
+
+    ``None`` or any value < 1 means "one worker per available CPU"
+    (``os.cpu_count()``); positive values are taken as-is.
+    """
+    if workers is None or workers < 1:
+        return os.cpu_count() or 1
+    return workers
+
+
+@dataclass(frozen=True)
+class SweepStats:
+    """Aggregate statistics of one :func:`run_sweep` call.
+
+    ``workers`` is the worker count actually used (after clamping to the
+    point count); ``parallel`` records whether a process pool really ran
+    -- it is ``False`` for ``workers=1`` and for pools that fell back to
+    serial execution.  ``cache`` aggregates the trace-cache hits/misses
+    accrued while running the points, summed across worker processes.
+    """
+
+    points: int
+    workers: int
+    parallel: bool
+    wall_s: float
+    cache: CacheStats = CacheStats()
+
+    @property
+    def points_per_s(self) -> float:
+        if self.wall_s <= 0:
+            return 0.0
+        return self.points / self.wall_s
+
+    @property
+    def points_per_s_per_worker(self) -> float:
+        """Per-worker throughput (the ``bench-smoke`` headline number)."""
+        if self.workers <= 0:
+            return 0.0
+        return self.points_per_s / self.workers
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Values of a sweep, in input-point order, plus run statistics."""
+
+    values: Tuple[Any, ...]
+    stats: SweepStats
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.values)
+
+    def __getitem__(self, index: int) -> Any:
+        return self.values[index]
+
+
+def _apply(fn: Callable[..., Any], point: Any) -> Any:
+    """Call ``fn`` on one sweep point.
+
+    Mappings expand to keyword arguments, tuples to positional arguments,
+    and anything else is passed as the single positional argument.
+    """
+    if isinstance(point, Mapping):
+        return fn(**point)
+    if isinstance(point, tuple):
+        return fn(*point)
+    return fn(point)
+
+
+def _run_point(fn: Callable[..., Any], point: Any) -> Tuple[Any, int, int, list]:
+    """Worker entry point: run one point, report cache deltas and entries.
+
+    Runs in the worker process (or inline for serial sweeps).  The
+    hit/miss deltas let the parent aggregate trace-cache traffic from
+    workers whose counters it cannot see; the journaled entries let it
+    adopt warmth derived in a worker before the pool is torn down, so a
+    repeat sweep hits the cache even though it forks fresh workers.
+    """
+    cache = global_trace_cache()
+    before = cache.stats()
+    cache.start_journal()
+    try:
+        value = _apply(fn, point)
+    finally:
+        entries = cache.take_journal()
+    delta = cache.stats().delta(before)
+    return value, delta.hits, delta.misses, entries
+
+
+def _run_serial(fn: Callable[..., Any],
+                points: Sequence[Any]) -> Tuple[List[Any], CacheStats]:
+    values: List[Any] = []
+    cache = CacheStats()
+    for point in points:
+        value, hits, misses, _ = _run_point(fn, point)
+        values.append(value)
+        cache = cache.merge(CacheStats(hits=hits, misses=misses))
+    return values, cache
+
+
+def run_sweep(
+    fn: Callable[..., Any],
+    points: Sequence[Any],
+    workers: int = 1,
+) -> SweepResult:
+    """Evaluate ``fn`` on every point of a sweep, optionally in parallel.
+
+    Parameters
+    ----------
+    fn:
+        The function evaluated per point.  For ``workers > 1`` it must be
+        picklable (a module-level function); unpicklable callables fall
+        back to serial execution rather than failing.
+    points:
+        Sweep points, applied per :func:`_apply` (dict -> kwargs,
+        tuple -> args, scalar -> single argument).
+    workers:
+        Maximum concurrent worker processes.  ``1`` (default) runs
+        serially in-process; values < 1 or ``None`` mean one worker per
+        CPU.  The effective count never exceeds ``len(points)``.
+
+    Returns
+    -------
+    SweepResult
+        ``values`` in input order plus :class:`SweepStats` (wall time,
+        effective workers, aggregated trace-cache counters).
+    """
+    points = list(points)
+    workers = min(resolve_workers(workers), max(1, len(points)))
+    if workers > 1 and not _picklable(fn, points):
+        # The pool cannot transport this sweep (e.g. a lambda or closure);
+        # run it serially rather than failing.
+        workers = 1
+    start = time.perf_counter()
+    parallel = False
+    outcomes = None
+    if workers > 1 and len(points) > 1:
+        outcomes = _run_pool([(_run_point, fn, point) for point in points],
+                             workers, seed_cache=True)
+    if outcomes is None:
+        # Serial path: workers=1, a single point, or a pool-infrastructure
+        # failure (process creation forbidden, dead worker, unpicklable
+        # result) -- never an error from the swept function itself.
+        values, cache = _run_serial(fn, points)
+        workers = 1
+    else:
+        parallel = True
+        values = [value for value, _, _, _ in outcomes]
+        cache = CacheStats()
+        for _, hits, misses, entries in outcomes:
+            cache = cache.merge(CacheStats(hits=hits, misses=misses))
+            global_trace_cache().install(entries)
+    wall_s = time.perf_counter() - start
+    return SweepResult(
+        values=tuple(values),
+        stats=SweepStats(points=len(points), workers=workers,
+                         parallel=parallel, wall_s=wall_s, cache=cache),
+    )
+
+
+# --------------------------------------------------------- channel sharding
+
+def _drain_controller(controller: Any, max_ns: Optional[int],
+                      event_driven: bool) -> Tuple[Any, int]:
+    """Worker entry point: drain one channel controller to idle."""
+    if max_ns is None:
+        end = controller.run_until_idle(event_driven=event_driven)
+    else:
+        end = controller.run_until_idle(max_ns, event_driven=event_driven)
+    return controller, end
+
+
+def run_system_until_idle(
+    system: Any,
+    workers: int = 1,
+    max_ns: Optional[int] = None,
+    event_driven: bool = True,
+) -> int:
+    """Drain a multi-channel memory system, optionally sharding channels.
+
+    ``system`` is a :class:`~repro.sim.memory_system.ConventionalMemorySystem`
+    or :class:`~repro.sim.memory_system.RoMeMemorySystem` (anything with a
+    ``controllers`` list whose members implement ``run_until_idle``).
+    Channels are independent once their requests are enqueued, so each
+    worker drains a subset and the drained controllers -- stats, energy
+    counters and all -- replace the originals in channel order.
+
+    ``workers=1`` calls ``system.run_until_idle`` directly and is
+    bit-identical to the serial path; ``max_ns=None`` keeps each system's
+    own drain deadline.  Pool failures fall back to the serial path.
+    Returns the simulation end time (max over channels).
+    """
+    workers = min(resolve_workers(workers), max(1, len(system.controllers)))
+    outcomes = None
+    if workers > 1 and len(system.controllers) > 1 \
+            and _picklable(system.controllers):
+        outcomes = _run_pool(
+            [(_drain_controller, controller, max_ns, event_driven)
+             for controller in system.controllers],
+            workers, seed_cache=False,
+        )
+    if outcomes is None:
+        if max_ns is None:
+            return system.run_until_idle(event_driven=event_driven)
+        return system.run_until_idle(max_ns, event_driven=event_driven)
+    system.controllers = [controller for controller, _ in outcomes]
+    return max(end for _, end in outcomes)

@@ -4,6 +4,16 @@ LLM inference produces highly sequential, bulky memory accesses (Section III);
 the generators here produce request streams for the cycle-level simulators:
 pure streaming (the LLM-like pattern), strided, random (the adversarial
 pattern for RoMe, causing overfetch), and read/write mixes.
+
+All generators are deterministic: the randomized ones (``random_trace``,
+``mixed_trace``) take an explicit ``seed`` and use a private
+``random.Random`` instance, so the same arguments always produce the
+same trace -- in any process, which is what lets the sweep runner
+(:mod:`repro.sim.sweep`) regenerate traces inside worker processes
+without changing results.  Generators return fresh, mutable
+:class:`~repro.controller.request.MemoryRequest` objects on every call;
+the expensive *downstream* derivation (address decode, transfer
+striping) is what :mod:`repro.trace_cache` memoizes.
 """
 
 from __future__ import annotations
@@ -29,7 +39,13 @@ def streaming_trace(
     start_address: int = 0,
     arrival_ns: int = 0,
 ) -> List[MemoryRequest]:
-    """Sequential requests covering ``total_bytes`` from ``start_address``."""
+    """Sequential requests covering ``total_bytes`` from ``start_address``.
+
+    Emits ``ceil(total_bytes / request_bytes)`` back-to-back requests of
+    ``request_bytes`` each (the final one truncated to the remainder),
+    all stamped with the same ``arrival_ns`` -- the load-then-drain
+    pattern the streaming measurers use.
+    """
     if request_bytes <= 0:
         raise ValueError("request_bytes must be positive")
     requests = []
@@ -74,7 +90,12 @@ def random_trace(
     seed: int = 0,
     arrival_ns: int = 0,
 ) -> List[MemoryRequest]:
-    """Uniformly random requests over ``address_space_bytes``."""
+    """Uniformly random requests over ``address_space_bytes``.
+
+    Addresses are drawn block-aligned (multiples of ``request_bytes``)
+    from a private ``random.Random(seed)``, so equal seeds give equal
+    traces.
+    """
     rng = random.Random(seed)
     max_block = max(1, address_space_bytes // request_bytes)
     return [
@@ -96,7 +117,12 @@ def mixed_trace(
     start_address: int = 0,
     arrival_ns: int = 0,
 ) -> List[MemoryRequest]:
-    """Sequential stream with a fraction of writes (e.g. KV-cache appends)."""
+    """Sequential stream with a fraction of writes (e.g. KV-cache appends).
+
+    Each request of the underlying streaming trace independently flips
+    to a write with probability ``write_fraction`` under
+    ``random.Random(seed)``; equal arguments give equal traces.
+    """
     if not 0.0 <= write_fraction <= 1.0:
         raise ValueError("write_fraction must be in [0, 1]")
     rng = random.Random(seed)

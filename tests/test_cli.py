@@ -63,3 +63,81 @@ def test_bandwidth_command_runs(capsys):
     assert main(["--json", "bandwidth", "--bytes", "65536"]) == 0
     rows = json.loads(capsys.readouterr().out)
     assert len(rows) == 2
+
+
+def test_version_flag(capsys):
+    from repro import __version__
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert __version__ in capsys.readouterr().out
+
+
+def test_queue_depth_workers_matches_serial(capsys):
+    argv = ["--json", "queue-depth", "--bytes", "65536",
+            "--rome-depths", "1", "2", "--hbm4-depths", "8"]
+    assert main(argv) == 0
+    serial = json.loads(capsys.readouterr().out)
+    assert main(argv + ["--workers", "2"]) == 0
+    parallel = json.loads(capsys.readouterr().out)
+    assert serial == parallel
+
+
+def test_tpot_workers_matches_serial(capsys):
+    argv = ["--json", "tpot", "--model", "grok-1", "--batches", "8", "16"]
+    assert main(argv) == 0
+    serial = json.loads(capsys.readouterr().out)
+    assert main(argv + ["--workers", "2"]) == 0
+    parallel = json.loads(capsys.readouterr().out)
+    assert serial == parallel
+
+
+def test_lbr_workers_matches_serial(capsys):
+    argv = ["--json", "lbr", "--model", "llama-3-405b", "--batches", "8"]
+    assert main(argv) == 0
+    serial = json.loads(capsys.readouterr().out)
+    assert main(argv + ["--workers", "2"]) == 0
+    parallel = json.loads(capsys.readouterr().out)
+    assert serial == parallel
+
+
+def test_bandwidth_workers_matches_serial(capsys):
+    argv = ["--json", "bandwidth", "--bytes", "65536"]
+    assert main(argv) == 0
+    serial = json.loads(capsys.readouterr().out)
+    assert main(argv + ["--workers", "2"]) == 0
+    parallel = json.loads(capsys.readouterr().out)
+    assert serial == parallel
+
+
+def test_design_space_simulate_reports_utilization(capsys):
+    assert main(["--json", "design-space", "--simulate",
+                 "--bytes", str(16 * 4096), "--workers", "2"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert len(rows) == 6
+    assert all(row["utilization"] > 0.9 for row in rows)
+
+
+def test_bench_smoke_reports_sweep_and_cache_rows(capsys):
+    assert main(["--json", "bench-smoke", "--bytes", "65536",
+                 "--repeats", "1", "--min-speedup", "0"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert set(report) == {"core", "sweep", "cache"}
+    assert {row["system"] for row in report["core"]} == {"rome", "hbm4"}
+    assert {row["phase"] for row in report["sweep"]} == {"cold", "warm"}
+    warm = next(row for row in report["sweep"] if row["phase"] == "warm")
+    assert warm["cache_hits"] > 0
+    assert report["cache"]["warm_hits"] > 0
+    assert report["cache"]["warm_ms"] < report["cache"]["cold_ms"]
+
+
+def test_bench_smoke_parallel_warm_sweep_still_hits_cache(capsys):
+    # Worker-derived cache entries must flow back to the parent so the
+    # warm sweep hits even though each sweep builds a fresh pool.
+    assert main(["--json", "bench-smoke", "--bytes", "65536", "--repeats",
+                 "1", "--min-speedup", "0", "--workers", "4"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    warm = next(row for row in report["sweep"] if row["phase"] == "warm")
+    assert warm["cache_hits"] > 0
+    assert warm["cache_misses"] == 0
