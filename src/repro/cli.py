@@ -171,7 +171,11 @@ def cmd_trends(args: argparse.Namespace) -> int:
 
 
 def cmd_bench_smoke(args: argparse.Namespace) -> int:
+    import datetime
+    import pathlib
+
     from repro.sim.bench import (
+        streaming_conventional_comparison,
         sweep_throughput,
         throughput_comparison,
         trace_cache_comparison,
@@ -189,6 +193,11 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
         hbm4_bytes=min(args.bytes, 64 * 1024),
         repeats=args.repeats,
     )
+    # Burst-train gate: the conventional controller on the paper's headline
+    # saturation scenario (512 KiB streaming drain by default).
+    streaming = streaming_conventional_comparison(
+        total_bytes=args.conventional_bytes, repeats=args.repeats,
+    )
     # Sweep-runner smoke: per-worker point throughput, cold vs warm cache.
     sweep_rows = sweep_throughput(workers=args.workers)
     # Trace-cache smoke: the cached second derivation of a sweep point's
@@ -196,13 +205,18 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
     cache = trace_cache_comparison(total_bytes=min(args.bytes, 512 * 1024),
                                    repeats=args.repeats)
 
+    report = {
+        "core": core_rows,
+        "streaming_conventional": streaming,
+        "sweep": sweep_rows,
+        "cache": cache,
+    }
     if args.json:
-        print(json.dumps(
-            {"core": core_rows, "sweep": sweep_rows, "cache": cache},
-            indent=2, default=str,
-        ))
+        print(json.dumps(report, indent=2, default=str))
     else:
         _print_rows(core_rows, False)
+        print()
+        _print_rows([streaming], False)
         print()
         _print_rows(sweep_rows, False)
         print()
@@ -215,6 +229,21 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
             f"event core speedup {rome['speedup']:.1f}x is below the "
             f"--min-speedup gate of {args.min_speedup:g}x"
         )
+    if args.min_conventional_speedup > 0 \
+            and streaming["speedup"] < args.min_conventional_speedup:
+        failures.append(
+            f"conventional streaming speedup {streaming['speedup']:.2f}x is "
+            f"below the --min-conventional-speedup gate of "
+            f"{args.min_conventional_speedup:g}x"
+        )
+    if args.min_evaluation_reduction > 0 \
+            and streaming["evaluation_reduction"] < args.min_evaluation_reduction:
+        failures.append(
+            f"conventional scheduler-evaluation reduction "
+            f"{streaming['evaluation_reduction']:.1f}x is below the "
+            f"--min-evaluation-reduction gate of "
+            f"{args.min_evaluation_reduction:g}x"
+        )
     warm = next(row for row in sweep_rows if row["phase"] == "warm")
     if warm["cache_hits"] == 0:
         failures.append("warm sweep run recorded no trace-cache hits")
@@ -225,6 +254,19 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
         )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
+
+    # Persist the full document so the perf trajectory accumulates; one
+    # file per UTC day (reruns overwrite, so the day's *latest* run wins).
+    # ``--bench-out ''`` disables the write.
+    out = args.bench_out
+    if out is None:
+        date = datetime.datetime.now(datetime.timezone.utc).strftime("%Y%m%d")
+        out = f"BENCH_{date}.json"
+    if out:
+        report["gates_passed"] = not failures
+        pathlib.Path(out).write_text(
+            json.dumps(report, indent=2, default=str) + "\n"
+        )
     return 1 if failures else 0
 
 
@@ -309,16 +351,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "bench-smoke",
-        help="CI perf smoke: seed-tick vs event-driven cores, sweep-runner "
-             "throughput, and the trace-cache cold/warm gate",
+        help="CI perf smoke: seed-tick vs event-driven cores, the "
+             "conventional burst-train gate, sweep-runner throughput, and "
+             "the trace-cache cold/warm gate; writes BENCH_<UTC-date>.json",
     )
     add_workers_arg(p)
     p.add_argument("--bytes", type=int, default=128 * 1024,
                    help="streaming drain size for the RoMe comparison")
+    p.add_argument("--conventional-bytes", type=int, default=512 * 1024,
+                   help="streaming drain size for the conventional "
+                        "burst-train gate (the paper's headline saturation "
+                        "scenario)")
     p.add_argument("--repeats", type=int, default=2)
     p.add_argument("--min-speedup", type=float, default=5.0,
                    help="exit non-zero when the event core is slower than "
                         "this multiple of the seed core (0 disables)")
+    p.add_argument("--min-conventional-speedup", type=float, default=1.2,
+                   help="exit non-zero when the conventional event core "
+                        "(burst trains) is slower than this multiple of its "
+                        "tick core on the streaming drain (0 disables)")
+    p.add_argument("--min-evaluation-reduction", type=float, default=10.0,
+                   help="exit non-zero when burst trains cut conventional "
+                        "scheduler evaluations by less than this factor on "
+                        "the streaming drain (0 disables)")
+    p.add_argument("--bench-out", default=None,
+                   help="path for the JSON perf document (default: "
+                        "BENCH_<UTC-date>.json in the current directory; "
+                        "'' disables the write)")
     p.set_defaults(func=cmd_bench_smoke)
     return parser
 

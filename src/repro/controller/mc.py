@@ -16,13 +16,26 @@ from collections import deque
 from repro.controller.page_policy import PagePolicy, make_page_policy
 from repro.controller.queues import RequestQueue, bank_key
 from repro.controller.request import MemoryRequest, Transaction, decompose
-from repro.controller.scheduler import FrFcfsScheduler, SchedulerDecision
+from repro.controller.scheduler import (
+    ColumnTrain,
+    FrFcfsScheduler,
+    SchedulerDecision,
+)
+from repro.defaults import DEFAULT_DRAIN_HORIZON_NS
 from repro.dram.address import AddressMapping, baseline_hbm4_mapping
 from repro.dram.channel import Channel, ChannelConfig
 from repro.dram.commands import CommandKind
 from repro.dram.energy import EnergyCounters
 from repro.dram.refresh import RefreshEngine, RefreshMode
 from repro.dram.timing import TimingParameters
+
+#: Minimum dense steps a planned burst train must cover to be applied, and
+#: the number of single-step evaluations to wait before planning again after
+#: a failed attempt.  Both are deterministic state-machine constants, so
+#: results are independent of wall-clock; they only bound planning overhead
+#: on workloads that never saturate the channel.
+_MIN_TRAIN_STEPS = 4
+_TRAIN_PLAN_COOLDOWN = 8
 
 
 @dataclass(frozen=True)
@@ -68,7 +81,15 @@ class ControllerConfig:
 
 @dataclass
 class ControllerStats:
-    """Aggregate statistics of one controller run."""
+    """Aggregate statistics of one controller run.
+
+    ``evaluations`` counts scheduler evaluations: one per ``_step`` and one
+    per applied burst train (regardless of how many commands the train
+    covered).  It is excluded from equality so cores that reach identical
+    results with different evaluation counts still compare equal -- it is an
+    observability counter for the burst-train speedup mechanism, not a
+    simulation output.
+    """
 
     served_reads: int = 0
     served_writes: int = 0
@@ -77,6 +98,7 @@ class ControllerStats:
     read_latencies: List[int] = field(default_factory=list)
     issued_commands: Dict[str, int] = field(default_factory=dict)
     refreshes_issued: int = 0
+    evaluations: int = field(default=0, compare=False)
 
     def note_command(self, kind: CommandKind) -> None:
         self.issued_commands[kind.value] = self.issued_commands.get(kind.value, 0) + 1
@@ -126,6 +148,7 @@ class ConventionalMemoryController:
         self.stats = ControllerStats()
         self._pending_transactions: Dict[int, int] = {}
         self._requests: Dict[int, MemoryRequest] = {}
+        self._train_cooldown = 0
         self.now = 0
 
     # -------------------------------------------------------------- enqueue
@@ -151,6 +174,17 @@ class ConventionalMemoryController:
 
     # ----------------------------------------------------------- completion
 
+    def _serve_column(self, transaction: Transaction, now: int) -> None:
+        """Bookkeeping for one served column command (shared by the
+        per-step path and the burst-train apply so they cannot drift)."""
+        timing = self.config.timing
+        data_latency = timing.tCL if transaction.is_read else timing.tCWL
+        data_ns = now + data_latency + timing.burst_ns
+        self._page_policy.note_access(
+            bank_key(transaction), transaction.coordinate.row, was_hit=True
+        )
+        self._complete_transaction(transaction, data_ns)
+
     def _complete_transaction(self, transaction: Transaction, data_ns: int) -> None:
         transaction.served = True
         transaction.data_ready_ns = data_ns
@@ -174,6 +208,7 @@ class ConventionalMemoryController:
 
     def _step(self, now: int) -> bool:
         """One scheduling evaluation at ``now``; True if any command issued."""
+        self.stats.evaluations += 1
         self.channel.tick(now)
         self._fill_queues()
         timing = self.config.timing
@@ -189,11 +224,8 @@ class ConventionalMemoryController:
 
         # 2. Column commands (row hits), one per pseudo channel, respecting
         #    write-drain mode.
-        draining = self.scheduler.update_write_drain(self.write_queue)
-        if draining or self.read_queue.is_empty:
-            priority = [(self.write_queue, True), (self.read_queue, True)]
-        else:
-            priority = [(self.read_queue, True), (self.write_queue, False)]
+        priority = self.scheduler.queue_priority(self.read_queue,
+                                                 self.write_queue)
         completed = 0
         for _ in range(self.config.num_pseudo_channels):
             column_decision = self.scheduler.pick_column(priority, now)
@@ -203,13 +235,8 @@ class ConventionalMemoryController:
             issued_any = True
             transaction = column_decision.transaction
             assert transaction is not None
-            data_latency = timing.tCL if transaction.is_read else timing.tCWL
-            data_ns = now + data_latency + timing.burst_ns
-            self._page_policy.note_access(
-                bank_key(transaction), transaction.coordinate.row, was_hit=True
-            )
             # Marks the transaction served; the queues are swept once below.
-            self._complete_transaction(transaction, data_ns)
+            self._serve_column(transaction, now)
             completed += 1
         if completed:
             # One-pass retirement of everything completed this cycle instead
@@ -276,9 +303,32 @@ class ConventionalMemoryController:
         expiry instead of re-evaluating every nanosecond.  After a
         productive evaluation it advances one nanosecond, because the
         C/A-pin model admits another command in the very next cycle.
+
+        Saturated spans take the burst-train fast path: when the scheduler
+        can prove the next N nanoseconds each issue only column commands
+        (see :meth:`FrFcfsScheduler.plan_train`), the whole run is applied
+        in one evaluation and time jumps past it.  Trains are truncated at
+        ``target_ns``, so externally scheduled arrivals (``Simulation.at``)
+        still land cycle-exactly.
         """
         while self.now < target_ns:
             now = self.now
+            if self._train_cooldown == 0 \
+                    and target_ns - now >= _MIN_TRAIN_STEPS:
+                train = self.scheduler.plan_train(
+                    self.read_queue, self.write_queue, self._backlog,
+                    now, target_ns,
+                    num_picks=self.config.num_pseudo_channels,
+                    min_steps=_MIN_TRAIN_STEPS,
+                )
+                if train is not None:
+                    self._apply_column_train(train)
+                    if stop_when_idle and not self._pending():
+                        return
+                    continue
+                self._train_cooldown = _TRAIN_PLAN_COOLDOWN
+            elif self._train_cooldown:
+                self._train_cooldown -= 1
             acted = self._step(now)
             if stop_when_idle and not self._pending():
                 self.now = now + 1
@@ -292,13 +342,42 @@ class ConventionalMemoryController:
             else:
                 self.now = min(max(wake, now + 1), target_ns)
 
+    def _apply_column_train(self, train: ColumnTrain) -> None:
+        """Bulk-apply a planned burst train (one scheduler evaluation).
+
+        Every planned command is replayed through ``Channel.issue`` at its
+        planned instant, which re-validates all timing constraints against
+        the live channel state -- a planner divergence raises instead of
+        silently corrupting statistics.  Queue retirement, backlog refills,
+        and the write-drain flag are applied in bulk from the planner's
+        model, which matched the per-step bookkeeping exactly.
+        """
+        stats = self.stats
+        for step in train.steps:
+            t = step.time_ns
+            for decision in step.decisions:
+                self.channel.issue(decision.command, t)
+                stats.note_command(decision.command.kind)
+                transaction = decision.transaction
+                if transaction is None:
+                    continue  # planned row command (ACT / policy PRE)
+                self._serve_column(transaction, t)
+        for update in train.queue_updates:
+            update.queue.apply_train(update.survivors, update.pushed,
+                                     update.peak, update.rejected)
+        for _ in range(train.backlog_consumed):
+            self._backlog.popleft()
+        self.scheduler.set_draining(train.final_draining)
+        stats.evaluations += 1
+        self.now = train.end_ns + 1
+
     def advance_to(self, target_ns: int) -> None:
         """Advance to ``target_ns`` exactly, skipping event-free spans."""
         self._advance(target_ns)
 
     # ------------------------------------------------------------------ run
 
-    def run_until_idle(self, max_ns: int = 10_000_000,
+    def run_until_idle(self, max_ns: int = DEFAULT_DRAIN_HORIZON_NS,
                        event_driven: bool = True) -> int:
         """Run until all accepted requests have completed; returns end time."""
         while self._pending():

@@ -80,6 +80,22 @@ class RequestQueue:
         self._entries = kept
         return removed
 
+    def apply_train(self, survivors: List[Transaction], pushed: int,
+                    peak: int, rejected: int = 0) -> None:
+        """Bulk equivalent of the per-step ``push``/``remove_served`` churn
+        a burst train would have performed.
+
+        ``survivors`` is the post-train entry list in FIFO order (original
+        unserved entries followed by unserved refills), ``pushed`` the
+        number of refills admitted during the train, ``peak`` the highest
+        occupancy the per-step replay would have observed, and ``rejected``
+        the failed pushes its full-queue fill attempts would have counted.
+        """
+        self._entries = survivors
+        self.total_enqueued += pushed
+        self.peak_occupancy = max(self.peak_occupancy, peak)
+        self.rejected += rejected
+
     # ----------------------------------------------------------- CAM lookups
 
     def oldest(self) -> Optional[Transaction]:

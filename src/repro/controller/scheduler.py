@@ -5,19 +5,37 @@ by the paper's baseline (Section VI-A): column commands to already-open rows
 are preferred over row commands, and within each class the oldest transaction
 wins.  It also handles write draining, the page policy's precharge decisions,
 and per-bank refresh with bounded postponement.
+
+Burst trains
+------------
+A saturated HBM4 channel issues a column command nearly every nanosecond, so
+the event-driven controller core degenerates to one full scheduler evaluation
+per nanosecond.  :meth:`FrFcfsScheduler.plan_train` closes that gap: when the
+upcoming decisions are provably a dense run of column commands (row hits to
+already-open rows, no refresh deadline, no actionable row work), it computes
+the whole run -- per-step picks, refill admissions, and write-drain state --
+analytically in one evaluation and returns a :class:`ColumnTrain` the
+controller bulk-applies.  The planner only *models* state (pure reads); the
+controller's apply path replays the planned commands through the ordinary
+``Channel.issue`` validation, so a planner divergence raises instead of
+silently corrupting results.  Whenever any precondition fails the planner
+returns ``None`` and the controller falls back to single-step evaluation,
+keeping results bit-identical to the per-nanosecond core by construction.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.controller.page_policy import PagePolicy
+from repro.controller.page_policy import OpenPagePolicy, PagePolicy
 from repro.controller.queues import BankKey, RequestQueue, bank_key
 from repro.controller.request import Transaction
-from repro.dram.bank import Bank
+from repro.dram.bank import Bank, column_precharge_ready
 from repro.dram.channel import Channel
 from repro.dram.commands import Command, CommandKind
+from repro.dram.pseudochannel import act_ready_time, cas_ready_time
 from repro.dram.refresh import RefreshEngine, RefreshTarget
 
 
@@ -28,6 +46,151 @@ class SchedulerDecision:
     command: Command
     transaction: Optional[Transaction] = None
     refresh_target: Optional[RefreshTarget] = None
+
+
+@dataclass
+class TrainStep:
+    """One planned evaluation instant of a burst train (>= 1 column issue)."""
+
+    time_ns: int
+    decisions: List[SchedulerDecision]
+
+
+@dataclass
+class QueueTrainUpdate:
+    """Bulk queue maintenance a train performs in place of per-step churn."""
+
+    queue: RequestQueue
+    survivors: List[Transaction]
+    pushed: int
+    peak: int
+    #: Failed-push count: one per covered step whose refill loop stopped on
+    #: this queue being full (mirroring ``_fill_queues``'s per-evaluation
+    #: rejected push), keeping the telemetry train/single-step invariant.
+    rejected: int = 0
+
+
+@dataclass
+class ColumnTrain:
+    """An analytically planned run of back-to-back commands.
+
+    ``steps`` hold consecutive evaluation instants (stride 1 ns -- a train
+    is only planned while the channel stays saturated, i.e. every covered
+    nanosecond issues at least one command).  Steps carry the planned
+    column commands plus, under the open-page policy, the row commands
+    (ACT / policy PRE) the per-step scheduler would have issued.  The bulk
+    bookkeeping fields let the controller apply the queue/backlog/drain
+    effects of the whole run in one pass.
+    """
+
+    steps: List[TrainStep]
+    queue_updates: List[QueueTrainUpdate] = field(default_factory=list)
+    backlog_consumed: int = 0
+    final_draining: bool = False
+
+    @property
+    def count(self) -> int:
+        """Total column commands in the train."""
+        return sum(len(step.decisions) for step in self.steps)
+
+    @property
+    def stride_ns(self) -> int:
+        """Spacing between covered evaluation instants (dense: 1 ns)."""
+        return 1
+
+    @property
+    def end_ns(self) -> int:
+        """Last covered evaluation instant."""
+        return self.steps[-1].time_ns
+
+
+class _PcModel:
+    """Modeled command-timing state of one pseudo channel during planning.
+
+    Mirrors exactly the fields ``PseudoChannel._cas_ready_time`` /
+    ``_act_ready_time`` and the data-bus check in ``PseudoChannel.can_issue``
+    read, plus the per-bus C/A reuse tracked by the channel.  Initialized
+    from read-only snapshots and updated per planned issue with the same
+    formulas ``issue`` applies.
+    """
+
+    __slots__ = ("last_cas_time", "last_cas_bank_group", "last_cas_stack",
+                 "last_cas_was_read", "last_write_data_end",
+                 "data_bus_busy_until", "ca_last",
+                 "last_act_time", "last_act_bank_group", "act_window",
+                 "row_ca_last")
+
+    def __init__(self, snapshot, ca_last: int, row_ca_last: int) -> None:
+        self.last_cas_time = snapshot.last_cas_time
+        self.last_cas_bank_group = snapshot.last_cas_bank_group
+        self.last_cas_stack = snapshot.last_cas_stack
+        self.last_cas_was_read = snapshot.last_cas_was_read
+        self.last_write_data_end = snapshot.last_write_data_end
+        self.data_bus_busy_until = snapshot.data_bus_busy_until
+        self.ca_last = ca_last
+        self.last_act_time = snapshot.last_act_time
+        self.last_act_bank_group = snapshot.last_act_bank_group
+        self.act_window = list(snapshot.act_window)
+        self.row_ca_last = row_ca_last
+
+
+class _BankModel:
+    """Modeled per-bank state during planning (mirrors ``Bank``).
+
+    ``idle_at`` is the instant a closed bank finishes its transient
+    (precharging/refreshing) and can accept an ACT; it is only meaningful
+    while ``open_row`` is ``None``.
+    """
+
+    __slots__ = ("open_row", "next_read", "next_write", "next_pre",
+                 "next_act", "idle_at")
+
+    def __init__(self, bank: Bank) -> None:
+        self.open_row = bank.open_row if bank.has_open_row else None
+        self.next_read = bank.next_read
+        self.next_write = bank.next_write
+        self.next_pre = bank.next_pre
+        self.next_act = bank.next_act
+        self.idle_at = bank.transient_until
+
+
+class _QueueModel:
+    """Modeled contents of one request queue during planning."""
+
+    __slots__ = ("queue", "entries", "hits", "served", "cursor", "live",
+                 "capacity", "pushed", "peak", "rejected", "serve_count",
+                 "bank_fifos", "hit_counts", "miss_heads")
+
+    def __init__(self, queue: RequestQueue) -> None:
+        self.queue = queue
+        self.entries: List[Transaction] = list(queue)
+        self.hits: List[bool] = []
+        self.served: List[bool] = [False] * len(self.entries)
+        self.cursor = 0
+        self.live = len(self.entries)
+        self.capacity = queue.capacity
+        self.pushed = 0
+        self.peak = 0
+        self.rejected = 0
+        self.serve_count = 0
+        #: Per-bank FIFO of pending entry indices.  ``pick_row`` only acts
+        #: on a bank whose *oldest* pending transaction is a row miss, so
+        #: the planner tracks each bank's pending entries in order plus the
+        #: number of still-pending row hits (``hit_counts``, which is what
+        #: the open-page policy's precharge decision reads).  ``miss_heads``
+        #: is the set of banks whose oldest pending entry is currently a
+        #: miss -- non-empty iff ``pick_row`` could act on this queue.
+        self.bank_fifos: Dict[BankKey, Deque[int]] = {}
+        self.hit_counts: Dict[BankKey, int] = {}
+        self.miss_heads: set = set()
+
+    def refresh_head(self, key: BankKey) -> None:
+        """Recompute whether ``key``'s oldest pending entry is a miss."""
+        fifo = self.bank_fifos.get(key)
+        if fifo and not self.hits[fifo[0]]:
+            self.miss_heads.add(key)
+        else:
+            self.miss_heads.discard(key)
 
 
 class FrFcfsScheduler:
@@ -96,14 +259,33 @@ class FrFcfsScheduler:
 
     def update_write_drain(self, write_queue: RequestQueue) -> bool:
         """Hysteretic switch into/out of write-drain mode."""
-        if write_queue.capacity == 0:
-            return False
-        occupancy = write_queue.occupancy / write_queue.capacity
-        if not self._draining_writes and occupancy >= self.write_drain_high:
-            self._draining_writes = True
-        elif self._draining_writes and occupancy <= self.write_drain_low:
-            self._draining_writes = False
+        self._draining_writes = self._drain_step(
+            self._draining_writes, write_queue.occupancy, write_queue.capacity
+        )
         return self._draining_writes
+
+    def _drain_step(self, draining: bool, occupancy: int, capacity: int) -> bool:
+        """Pure write-drain hysteresis step (shared with the train planner)."""
+        if capacity == 0:
+            return False
+        fraction = occupancy / capacity
+        if not draining and fraction >= self.write_drain_high:
+            return True
+        if draining and fraction <= self.write_drain_low:
+            return False
+        return draining
+
+    def set_draining(self, draining: bool) -> None:
+        """Install the write-drain state a planned train ended in."""
+        self._draining_writes = draining
+
+    def queue_priority(
+        self, read_queue: RequestQueue, write_queue: RequestQueue
+    ) -> List[Tuple[RequestQueue, bool]]:
+        """Queue service order for one evaluation (updates drain hysteresis)."""
+        if self.update_write_drain(write_queue) or read_queue.is_empty:
+            return [(write_queue, True), (read_queue, True)]
+        return [(read_queue, True), (write_queue, False)]
 
     # --------------------------------------------------------------- refresh
 
@@ -168,6 +350,440 @@ class FrFcfsScheduler:
                 if self.channel.can_issue(command, now):
                     return SchedulerDecision(command=command, transaction=transaction)
         return None
+
+    # ----------------------------------------------------------- burst trains
+
+    def plan_train(
+        self,
+        read_queue: RequestQueue,
+        write_queue: RequestQueue,
+        backlog: Sequence[Transaction],
+        now: int,
+        target_ns: int,
+        num_picks: int,
+        min_steps: int = 4,
+        max_steps: int = 512,
+    ) -> Optional[ColumnTrain]:
+        """Plan a dense run of column commands starting at ``now``.
+
+        Returns a :class:`ColumnTrain` covering consecutive evaluation
+        instants ``now .. now + N - 1`` during which the per-step scheduler
+        would provably (a) issue exactly the planned column commands, (b)
+        issue no refresh and no row command, and (c) perform exactly the
+        modeled refills and write-drain transitions -- or ``None`` when any
+        precondition fails, in which case the caller falls back to ordinary
+        single-step evaluation.
+
+        Soundness argument, mirroring ``ConventionalMemoryController._step``:
+
+        * *refresh*: nothing is due at any covered instant (the train is
+          truncated one ns before the earliest engine deadline);
+        * *row work*: ``pick_row`` only acts on a bank whose oldest pending
+          transaction is a row miss; the planner tracks a per-bank FIFO of
+          pending entries.  Under the open-page policy it models the row
+          decisions exactly (ACT, and the policy's PRE once a bank has no
+          pending hits left); under other policies it conservatively ends
+          the train at the first step where a miss would surface;
+        * *picks*: readiness is modeled with exact replicas of the
+          pseudo-channel CAS/ACT spacing, turnaround, data-bus, BK-BUS,
+          tFAW, bank timing-window, and C/A-reuse checks, seeded from
+          read-only snapshots and advanced with the same update formulas
+          ``issue`` applies;
+        * *density*: the train ends at the first instant with no pick, so
+          every covered instant issues >= 1 command -- exactly the instants
+          the event core would evaluate back-to-back anyway.
+        """
+        last_allowed = target_ns - 1
+        for engine in self.refresh_engines:
+            if engine.most_urgent(now) is not None:
+                return None
+            due = engine.next_event_ns(now)
+            if due is not None and due - 1 < last_allowed:
+                last_allowed = due - 1
+        if last_allowed < now + min_steps - 1:
+            return None
+        channel = self.channel
+        if channel.any_auto_precharge_pending():
+            return None
+
+        timing = channel.timing
+        tCL, tCWL, burst = timing.tCL, timing.tCWL, timing.burst_ns
+        tCCDL = timing.tCCDL
+        tRP, tRAS, tRC = timing.tRP, timing.tRAS, timing.tRC
+        tRCDRD, tRCDWR = timing.tRCDRD, timing.tRCDWR
+
+        # Row work (ACT and the policy PRE) is modeled exactly for the
+        # stock open-page policy only; subclasses or other policies fall
+        # back to ending the train before any possible row action.
+        row_mode = type(self.page_policy) is OpenPagePolicy
+
+        pc_models = [
+            _PcModel(pc.cas_state_snapshot(), channel.last_column_ca_time(i),
+                     channel.last_row_ca_time(i))
+            for i, pc in enumerate(channel.pseudo_channels)
+        ]
+        group_bus: Dict[Tuple[int, int, int], int] = {}
+        bank_models: Dict[BankKey, _BankModel] = {}
+
+        def bank_model(txn: Transaction) -> _BankModel:
+            key = bank_key(txn)
+            model = bank_models.get(key)
+            if model is None:
+                model = _BankModel(self._bank_for(txn))
+                bank_models[key] = model
+            return model
+
+        def classify(qm: _QueueModel, txn: Transaction) -> bool:
+            open_row = bank_model(txn).open_row
+            hit = open_row is not None and open_row == txn.coordinate.row
+            qm.hits.append(hit)
+            key = bank_key(txn)
+            fifo = qm.bank_fifos.get(key)
+            if fifo is None:
+                fifo = deque()
+                qm.bank_fifos[key] = fifo
+            fifo.append(len(qm.hits) - 1)
+            if hit:
+                qm.hit_counts[key] = qm.hit_counts.get(key, 0) + 1
+            elif len(fifo) == 1:
+                qm.miss_heads.add(key)
+            return hit
+
+        def reclassify(key: BankKey, open_row: Optional[int]) -> None:
+            # A modeled ACT/PRE changed ``key``'s open row: recompute the
+            # hit flags of every pending entry targeting that bank.
+            for qm in (rq, wq):
+                fifo = qm.bank_fifos.get(key)
+                if not fifo:
+                    continue
+                hits, entries = qm.hits, qm.entries
+                count = 0
+                for idx in fifo:
+                    flag = (open_row is not None
+                            and entries[idx].coordinate.row == open_row)
+                    hits[idx] = flag
+                    if flag:
+                        count += 1
+                qm.hit_counts[key] = count
+                qm.refresh_head(key)
+
+        def cas_ready(pcm: _PcModel, bg: int, sid: int, is_read: bool) -> int:
+            # The same pure rule PseudoChannel._cas_ready_time delegates to,
+            # applied to the modeled state.
+            return cas_ready_time(
+                timing, pcm.last_cas_time, pcm.last_cas_bank_group,
+                pcm.last_cas_stack, pcm.last_cas_was_read,
+                pcm.last_write_data_end, bg, sid, is_read,
+            )
+
+        def group_busy_until(pc: int, sid: int, bg: int) -> int:
+            key = (pc, sid, bg)
+            busy = group_bus.get(key)
+            if busy is None:
+                busy = channel.pseudo_channel(pc).stacks[sid][bg].bus_busy_until
+                group_bus[key] = busy
+            return busy
+
+        rq = _QueueModel(read_queue)
+        wq = _QueueModel(write_queue)
+        for qm in (rq, wq):
+            for txn in qm.entries:
+                classify(qm, txn)
+        if not row_mode and (rq.miss_heads or wq.miss_heads):
+            # Some bank's oldest pending transaction is already a row
+            # miss and this policy's row decisions are not modeled:
+            # pick_row may act right now.
+            return None
+
+        backlog_buf: List[Transaction] = []
+        backlog_iter = iter(backlog)
+
+        def backlog_peek(index: int) -> Optional[Transaction]:
+            while len(backlog_buf) <= index:
+                nxt = next(backlog_iter, None)
+                if nxt is None:
+                    return None
+                backlog_buf.append(nxt)
+            return backlog_buf[index]
+
+        steps: List[TrainStep] = []
+        draining = self._draining_writes
+        bi = 0
+
+        for offset in range(max_steps):
+            t = now + offset
+            if t > last_allowed:
+                break
+            undo_bi, undo_draining = bi, draining
+            undo_state = [
+                (qm, len(qm.entries), qm.live, qm.pushed, qm.peak, qm.cursor,
+                 qm.serve_count, qm.rejected)
+                for qm in (rq, wq)
+            ]
+            fill_appends: List[Tuple[_QueueModel, BankKey]] = []
+            serves: List[Tuple[_QueueModel, int, BankKey]] = []
+
+            def undo_step() -> None:
+                nonlocal bi, draining
+                bi, draining = undo_bi, undo_draining
+                for qm, idx, key in reversed(serves):
+                    qm.served[idx] = False
+                    qm.bank_fifos[key].appendleft(idx)
+                    # Column picks always serve row hits.
+                    qm.hit_counts[key] = qm.hit_counts.get(key, 0) + 1
+                for qm, key in reversed(fill_appends):
+                    idx = qm.bank_fifos[key].pop()
+                    if qm.hits[idx]:
+                        qm.hit_counts[key] -= 1
+                touched = {(id(qm), key): (qm, key)
+                           for qm, _, key in serves}
+                touched.update({(id(qm), key): (qm, key)
+                                for qm, key in fill_appends})
+                for qm, n, live, pushed, peak, cursor, scount, rejected \
+                        in undo_state:
+                    del qm.entries[n:]
+                    del qm.hits[n:]
+                    del qm.served[n:]
+                    qm.live = live
+                    qm.pushed = pushed
+                    qm.peak = peak
+                    qm.cursor = cursor
+                    qm.serve_count = scount
+                    qm.rejected = rejected
+                for qm, key in touched.values():
+                    qm.refresh_head(key)
+
+            # -- 1. refills, with _fill_queues' head-of-line semantics -----
+            violated = False
+            while True:
+                txn = backlog_peek(bi)
+                if txn is None:
+                    break
+                qm = wq if txn.is_write else rq
+                if qm.live >= qm.capacity:
+                    # The per-step _fill_queues would have attempted (and
+                    # rejected) this push before breaking.
+                    qm.rejected += 1
+                    break
+                qm.entries.append(txn)
+                qm.served.append(False)
+                classify(qm, txn)
+                fill_appends.append((qm, bank_key(txn)))
+                qm.live += 1
+                qm.pushed += 1
+                if qm.live > qm.peak:
+                    qm.peak = qm.live
+                bi += 1
+            if not row_mode and (rq.miss_heads or wq.miss_heads):
+                # An admitted miss became its bank's oldest pending entry:
+                # pick_row could act this step.
+                undo_step()
+                break
+
+            # -- 2. write-drain hysteresis and queue priority --------------
+            draining = self._drain_step(draining, wq.live, wq.capacity)
+            if draining or rq.live == 0:
+                priority = ((wq, True), (rq, True))
+            else:
+                priority = ((rq, True), (wq, False))
+
+            # -- 3. column picks (exact pick_column mirror) ----------------
+            ca_used: set = set()
+            picked: List[Transaction] = []
+            for _ in range(num_picks):
+                found = None
+                for qm, enabled in priority:
+                    if not enabled:
+                        continue
+                    entries, served, hits = qm.entries, qm.served, qm.hits
+                    for idx in range(qm.cursor, len(entries)):
+                        if served[idx] or not hits[idx]:
+                            continue
+                        txn = entries[idx]
+                        coord = txn.coordinate
+                        pc = coord.pseudo_channel
+                        if pc in ca_used:
+                            continue
+                        pcm = pc_models[pc]
+                        if t <= pcm.ca_last:
+                            continue
+                        is_read = txn.is_read
+                        if t < cas_ready(pcm, coord.bank_group,
+                                         coord.stack_id, is_read):
+                            continue
+                        if t + (tCL if is_read else tCWL) \
+                                < pcm.data_bus_busy_until:
+                            continue
+                        if t < group_busy_until(pc, coord.stack_id,
+                                                coord.bank_group):
+                            continue
+                        model = bank_models[bank_key(txn)]
+                        if t < (model.next_read if is_read
+                                else model.next_write):
+                            continue
+                        found = (qm, idx, txn)
+                        break
+                    if found is not None:
+                        break
+                if found is None:
+                    break
+                qm, idx, txn = found
+                key = bank_key(txn)
+                fifo = qm.bank_fifos[key]
+                if not fifo or fifo[0] != idx:
+                    # The FIFO-service invariant broke (should be
+                    # unreachable while the row guard holds): bail out
+                    # conservatively before this step.
+                    violated = True
+                    break
+                fifo.popleft()
+                serves.append((qm, idx, key))
+                qm.served[idx] = True
+                qm.live -= 1
+                qm.serve_count += 1
+                qm.hit_counts[key] -= 1
+                qm.refresh_head(key)
+                while qm.cursor < len(qm.served) and qm.served[qm.cursor]:
+                    qm.cursor += 1
+                ca_used.add(txn.coordinate.pseudo_channel)
+                picked.append(txn)
+            if violated or (not row_mode
+                            and (rq.miss_heads or wq.miss_heads)):
+                # Either the defensive invariant tripped, or serving a
+                # bank's last hit exposed a row miss that pick_row (which
+                # runs after the sweep in this very step) could act on.
+                undo_step()
+                break
+
+            # -- 4. commit column effects: modeled channel-state updates ---
+            decisions = []
+            for txn in picked:
+                coord = txn.coordinate
+                is_read = txn.is_read
+                pcm = pc_models[coord.pseudo_channel]
+                pcm.ca_last = t
+                pcm.last_cas_time = t
+                pcm.last_cas_bank_group = coord.bank_group
+                pcm.last_cas_stack = coord.stack_id
+                pcm.last_cas_was_read = is_read
+                data_end = t + (tCL if is_read else tCWL) + burst
+                if data_end > pcm.data_bus_busy_until:
+                    pcm.data_bus_busy_until = data_end
+                if not is_read:
+                    pcm.last_write_data_end = data_end
+                gkey = (coord.pseudo_channel, coord.stack_id, coord.bank_group)
+                if t + tCCDL > group_busy_until(*gkey):
+                    group_bus[gkey] = t + tCCDL
+                model = bank_models[bank_key(txn)]
+                recovery = column_precharge_ready(timing, is_read, t)
+                if recovery > model.next_pre:
+                    model.next_pre = recovery
+                decisions.append(SchedulerDecision(
+                    command=self._column_command(txn), transaction=txn))
+
+            # -- 5. row picks (exact pick_row mirror, open-page only) ------
+            if row_mode and (rq.miss_heads or wq.miss_heads):
+                for _ in range(num_picks):
+                    row_pick = None
+                    for qm, enabled in priority:
+                        if not enabled or not qm.miss_heads:
+                            continue
+                        entries, served, hits = qm.entries, qm.served, qm.hits
+                        seen: set = set()
+                        for idx in range(qm.cursor, len(entries)):
+                            if served[idx]:
+                                continue
+                            txn = entries[idx]
+                            key = bank_key(txn)
+                            if key in seen:
+                                continue
+                            seen.add(key)
+                            if hits[idx]:
+                                continue
+                            model = bank_models[key]
+                            coord = txn.coordinate
+                            pcm = pc_models[coord.pseudo_channel]
+                            if model.open_row is not None:
+                                # Row conflict: open-page precharges only
+                                # once this queue holds no hits to the row.
+                                if qm.hit_counts.get(key, 0) == 0 \
+                                        and t > pcm.row_ca_last \
+                                        and t >= model.next_pre:
+                                    row_pick = ("pre", key, txn, model, pcm)
+                                    break
+                                continue
+                            if t <= pcm.row_ca_last:
+                                continue
+                            # Same pure rule PseudoChannel._act_ready_time
+                            # delegates to, applied to the modeled state.
+                            ready = act_ready_time(
+                                timing, pcm.last_act_time,
+                                pcm.last_act_bank_group, pcm.act_window,
+                                coord.bank_group,
+                            )
+                            if t < ready or t < model.idle_at \
+                                    or t < model.next_act:
+                                continue
+                            row_pick = ("act", key, txn, model, pcm)
+                            break
+                        if row_pick is not None:
+                            break
+                    if row_pick is None:
+                        break
+                    action, key, txn, model, pcm = row_pick
+                    pcm.row_ca_last = t
+                    if action == "pre":
+                        model.open_row = None
+                        model.idle_at = t + tRP
+                        if t + tRP > model.next_act:
+                            model.next_act = t + tRP
+                        reclassify(key, None)
+                        decisions.append(SchedulerDecision(
+                            command=self._pre_command(key)))
+                    else:
+                        row = txn.coordinate.row
+                        model.open_row = row
+                        if t + tRCDRD > model.next_read:
+                            model.next_read = t + tRCDRD
+                        if t + tRCDWR > model.next_write:
+                            model.next_write = t + tRCDWR
+                        if t + tRAS > model.next_pre:
+                            model.next_pre = t + tRAS
+                        if t + tRC > model.next_act:
+                            model.next_act = t + tRC
+                        pcm.last_act_time = t
+                        pcm.last_act_bank_group = txn.coordinate.bank_group
+                        pcm.act_window.append(t)
+                        if len(pcm.act_window) > 4:
+                            pcm.act_window.pop(0)
+                        reclassify(key, row)
+                        decisions.append(SchedulerDecision(
+                            command=self._act_command(txn)))
+
+            if not decisions:
+                undo_step()
+                break
+            steps.append(TrainStep(time_ns=t, decisions=decisions))
+
+        if len(steps) < min_steps:
+            return None
+        updates = []
+        for qm in (rq, wq):
+            if qm.pushed == 0 and qm.serve_count == 0 and qm.rejected == 0:
+                continue
+            survivors = [
+                txn for txn, served in zip(qm.entries, qm.served) if not served
+            ]
+            updates.append(QueueTrainUpdate(
+                queue=qm.queue, survivors=survivors,
+                pushed=qm.pushed, peak=qm.peak, rejected=qm.rejected,
+            ))
+        return ColumnTrain(
+            steps=steps,
+            queue_updates=updates,
+            backlog_consumed=bi,
+            final_draining=draining,
+        )
 
     def pick_row(
         self,

@@ -41,9 +41,15 @@ from repro.core.interface import RowRequest, RowRequestKind
 from repro.core.refresh import RomeRefreshScheduler
 from repro.core.timing import ROME_TIMING, RoMeTimingParameters
 from repro.core.virtual_bank import VirtualBankConfig, paper_vba_config
+from repro.defaults import DEFAULT_DRAIN_HORIZON_NS
 from repro.dram.energy import EnergyCounters
 from repro.dram.timing import TimingParameters
 from repro.latency import LatencyAccumulator
+
+#: Upper bound on commands per planned burst train (memory/latency bound;
+#: the planner simply stops there and a new train picks up on the next
+#: evaluation).
+_MAX_TRAIN_COMMANDS = 4096
 
 
 class VbaState(enum.Enum):
@@ -96,6 +102,10 @@ class RoMeControllerStats:
     refreshes_issued: int = 0
     peak_active_fsms: int = 0
     data_bus_busy_ns: int = 0
+    #: Scheduler evaluations performed (one per ``_step``/event-loop
+    #: iteration, one per applied burst train).  Excluded from equality:
+    #: it measures the speedup mechanism, not the simulated outcome.
+    evaluations: int = field(default=0, compare=False)
 
     @property
     def read_latencies(self) -> List[int]:
@@ -116,6 +126,29 @@ class _VbaTracker:
 
     def is_free(self, now: int) -> bool:
         return now >= self.busy_until
+
+
+@dataclass
+class RowBurstTrain:
+    """An analytically planned run of same-kind row commands.
+
+    ``requests`` issue at ``start_ns + k * stride_ns`` (the stride is the
+    Table III same-kind command gap, which equals the channel-bus occupancy
+    of one row command, so a saturated stream issues exactly on this grid).
+    """
+
+    requests: List[RowRequest]
+    start_ns: int
+    stride_ns: int
+
+    @property
+    def count(self) -> int:
+        return len(self.requests)
+
+    @property
+    def end_ns(self) -> int:
+        """Issue instant of the train's last command."""
+        return self.start_ns + (len(self.requests) - 1) * self.stride_ns
 
 
 class RoMeMemoryController:
@@ -422,6 +455,7 @@ class RoMeMemoryController:
 
     def _step(self, now: int) -> bool:
         """One scheduling evaluation at ``now``; True if a command issued."""
+        self.stats.evaluations += 1
         self._release_finished(now)
         self._retire_completed(now)
         self._fill_queue()
@@ -468,13 +502,168 @@ class RoMeMemoryController:
             wake = refresh_wake
         return wake
 
+    # --------------------------------------------------------- burst trains
+
+    def _plan_burst_train(self, now: int,
+                          target_ns: int) -> Optional[RowBurstTrain]:
+        """Plan a run of same-kind row commands issuing every ``gap`` ns.
+
+        Preconditions (any failure returns ``None`` and the caller falls
+        back to single-step evaluation, so results stay bit-identical):
+
+        * the FIFO head is issueable *now* and a data FSM is free;
+        * every train member shares the head's kind and stack ID, so the
+          inter-command gap is the constant same-kind spacing ``g`` -- which
+          also equals the channel-bus occupancy, making the issue grid
+          exactly ``now + k*g``;
+        * no other Table III gap is smaller than ``g`` (gap domination), so
+          no queued request of a different kind/stack can become feasible
+          between grid points and overtake the FIFO order;
+        * each member's VBA is free at its slot and a data FSM is available
+          (modeled with the planned completions; in-flight commands are
+          carried in), and backlog members have queue space by their slot;
+        * no refresh is due anywhere in the covered window (the train is
+          truncated one ns before the earliest refresh deadline or
+          criticality transition).
+        """
+        queue = self.queue
+        unissued = [r for r in queue if r.issue_ns is None]
+        if not unissued:
+            return None
+        head = unissued[0]
+        is_read = head.kind is RowRequestKind.RD_ROW
+        stack = head.stack_id
+        gap_table = self._gap_table
+        g = gap_table[(is_read, is_read, True)]
+        if g <= 0 or any(
+            gap_table[(is_read, next_read, same_stack)] < g
+            for next_read in (True, False)
+            for same_stack in (True, False)
+        ):
+            return None
+        vbas = self._vbas
+        if self._feasible_at(head, vbas[(stack, head.vba)]) > now:
+            return None
+        if self._busy_data_fsms >= self.config.max_data_fsms:
+            return None
+        last_allowed = target_ns - 1
+        refresh = self.refresh
+        if refresh is not None:
+            if refresh.most_urgent(now) is not None:
+                return None
+            due = refresh.next_event_ns(now)
+            if due is not None and due - 1 < last_allowed:
+                last_allowed = due - 1
+        max_len = min((last_allowed - now) // g + 1, _MAX_TRAIN_COMMANDS)
+        if max_len < 2:
+            return None
+
+        kind = head.kind
+        duration = self._duration[is_read]
+        capacity = self.config.request_queue_depth
+        max_fsms = self.config.max_data_fsms
+        inflight = sorted(
+            r.completion_ns for r in queue if r.issue_ns is not None
+        )
+        n_inflight = len(inflight)
+        occupancy = len(queue)
+        backlog_iter = iter(self._backlog)
+        plan: List[RowRequest] = []
+        vba_busy: Dict[Tuple[int, int], int] = {}
+        completions: Deque[int] = deque()
+        retired_inflight = 0
+        next_unissued = 0
+        for k in range(max_len):
+            t_k = now + k * g
+            while (retired_inflight < n_inflight
+                   and inflight[retired_inflight] <= t_k):
+                retired_inflight += 1
+                occupancy -= 1
+            while completions and completions[0] <= t_k:
+                completions.popleft()
+                occupancy -= 1
+            from_backlog = False
+            if next_unissued < len(unissued):
+                request = unissued[next_unissued]
+            else:
+                if occupancy >= capacity:
+                    break
+                request = next(backlog_iter, None)
+                if request is None:
+                    break
+                from_backlog = True
+            if k > 0:
+                if request.kind is not kind or request.stack_id != stack:
+                    break
+                key = (request.stack_id, request.vba)
+                busy = vba_busy.get(key)
+                if busy is None:
+                    busy = vbas[key].busy_until
+                if busy > t_k:
+                    break
+                if (n_inflight - retired_inflight) + len(completions) \
+                        >= max_fsms:
+                    break
+            plan.append(request)
+            if from_backlog:
+                occupancy += 1
+            else:
+                next_unissued += 1
+            completions.append(t_k + duration)
+            vba_busy[(request.stack_id, request.vba)] = t_k + duration
+        if len(plan) < 2:
+            return None
+        return RowBurstTrain(requests=plan, start_ns=now, stride_ns=g)
+
+    def _apply_burst_train(self, train: RowBurstTrain) -> None:
+        """Apply a planned train in one scheduler evaluation.
+
+        Each command replays the ordinary release/retire/fill/issue sequence
+        at its planned instant (so statistics, energy counters, the latency
+        accumulator, and FSM peaks come out of the very same code paths the
+        per-step core uses); feasibility is re-validated per command and a
+        planner divergence raises instead of corrupting results.
+        """
+        vbas = self._vbas
+        max_fsms = self.config.max_data_fsms
+        for index, request in enumerate(train.requests):
+            t_k = train.start_ns + index * train.stride_ns
+            self._release_finished(t_k)
+            self._retire_completed(t_k)
+            self._fill_queue()
+            tracker = vbas[(request.stack_id, request.vba)]
+            if (self._feasible_at(request, tracker) > t_k
+                    or self._busy_data_fsms >= max_fsms):
+                raise RuntimeError(
+                    f"burst-train plan diverged from controller state at "
+                    f"t={t_k}"
+                )
+            self._issue(request, tracker, t_k)
+        self.stats.evaluations += 1
+        self.now = train.end_ns + 1
+
     def _advance(self, target_ns: int, stop_when_idle: bool = False) -> None:
-        """Event-driven advance to ``target_ns`` (or until drained)."""
+        """Event-driven advance to ``target_ns`` (or until drained).
+
+        Saturated spans take the burst-train fast path: when the next run
+        of decisions is provably a same-kind column/row-command train with
+        no intervening event (see :meth:`_plan_burst_train`), the whole run
+        is planned and applied in one scheduler evaluation and time jumps
+        past it.  Trains are truncated at ``target_ns`` so externally
+        scheduled arrivals still land cycle-exactly.
+        """
         while self.now < target_ns:
             now = self.now
             self._release_finished(now)
             self._retire_completed(now)
             self._fill_queue()
+            train = self._plan_burst_train(now, target_ns)
+            if train is not None:
+                self._apply_burst_train(train)
+                if stop_when_idle and not (self._backlog or self.queue):
+                    return
+                continue
+            self.stats.evaluations += 1
             issued_refresh, refresh_hint = self._try_issue_refresh(now)
             if not issued_refresh:
                 # A data issue needs no special-casing here: the post-step
@@ -521,7 +710,7 @@ class RoMeMemoryController:
 
     # ------------------------------------------------------------------- run
 
-    def run_until_idle(self, max_ns: int = 50_000_000,
+    def run_until_idle(self, max_ns: int = DEFAULT_DRAIN_HORIZON_NS,
                        event_driven: bool = True) -> int:
         while self._backlog or self.queue:
             if self.now >= max_ns:

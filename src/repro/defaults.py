@@ -1,0 +1,16 @@
+"""Shared simulation defaults.
+
+Historically the two controllers disagreed on the default drain horizon
+(``max_ns=50_000_000`` on the RoMe controller vs ``10_000_000`` on the
+conventional one), so a sweep comparing the two systems could abort on
+one controller but not the other for the same simulated span.  Every
+``run_until_idle`` entry point (both controllers and both multi-channel
+memory systems) now shares this single constant.
+"""
+
+from __future__ import annotations
+
+#: Default ceiling, in simulated nanoseconds, for ``run_until_idle`` on
+#: both controllers and both memory systems.  Runs that have not drained
+#: by this horizon raise instead of silently truncating.
+DEFAULT_DRAIN_HORIZON_NS = 50_000_000

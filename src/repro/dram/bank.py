@@ -36,6 +36,19 @@ _OPEN_ROW_STATES = frozenset(
 )
 
 
+def column_precharge_ready(timing: TimingParameters, is_read: bool,
+                           now: int) -> int:
+    """Earliest precharge instant implied by a column command at ``now``
+    (read-to-precharge vs write-recovery).
+
+    Pure helper shared by :meth:`Bank.issue` and the burst-train planner so
+    the recovery rule cannot drift between the live and modeled paths.
+    """
+    if is_read:
+        return now + timing.tRTP
+    return now + timing.tCWL + timing.burst_ns + timing.tWR
+
+
 @dataclass
 class BankCounters:
     """Per-bank event counters used for statistics and energy accounting."""
@@ -112,6 +125,27 @@ class Bank:
     def has_open_row(self) -> bool:
         return self.open_row is not None and self.state in _OPEN_ROW_STATES
 
+    @property
+    def transient_until(self) -> int:
+        """When the current transient state resolves (planner snapshot).
+
+        Only meaningful for deciding when a closed bank becomes IDLE
+        (precharging/refreshing); open-row transients resolve to ACTIVE,
+        which the schedulers treat identically to their transient states.
+        """
+        return self._state_until
+
+    @property
+    def auto_precharge_pending(self) -> bool:
+        """True while an RDA/WRA auto-precharge has not yet resolved.
+
+        The burst-train planner refuses to plan over banks in this state:
+        a pending auto-precharge is the one transition that can close a
+        row purely by time passing, which would invalidate the planner's
+        static row-hit classification.
+        """
+        return self._auto_precharge_at is not None
+
     def is_row_hit(self, row: int) -> bool:
         """True when ``row`` is already open in the row buffer."""
         return self.has_open_row and self.open_row == row
@@ -177,14 +211,16 @@ class Bank:
         elif kind in (CommandKind.RD, CommandKind.RDA):
             self.state = BankState.READING
             self._state_until = now + t.tCL + t.burst_ns
-            self.next_pre = max(self.next_pre, now + t.tRTP)
+            self.next_pre = max(self.next_pre,
+                                column_precharge_ready(t, True, now))
             self.counters.reads += 1
             if kind is CommandKind.RDA:
                 self._auto_precharge_at = max(self.next_pre, now + t.tRTP)
         elif kind in (CommandKind.WR, CommandKind.WRA):
             self.state = BankState.WRITING
             self._state_until = now + t.tCWL + t.burst_ns
-            self.next_pre = max(self.next_pre, now + t.tCWL + t.burst_ns + t.tWR)
+            self.next_pre = max(self.next_pre,
+                                column_precharge_ready(t, False, now))
             self.counters.writes += 1
             if kind is CommandKind.WRA:
                 self._auto_precharge_at = now + t.tCWL + t.burst_ns + t.tWR

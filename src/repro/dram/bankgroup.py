@@ -46,6 +46,11 @@ class BankGroup:
         """True if the BK-BUS can accept a new transfer at ``now``."""
         return now >= self._bus_busy_until
 
+    @property
+    def bus_busy_until(self) -> int:
+        """Current BK-BUS occupancy horizon (read-only planner snapshot)."""
+        return self._bus_busy_until
+
     def reserve_bus(self, start: int) -> None:
         """Occupy the BK-BUS for one core-frequency beat starting at ``start``."""
         self._bus_busy_until = max(self._bus_busy_until, start + self.timing.tCCDL)

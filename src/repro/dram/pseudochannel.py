@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.dram.bank import Bank
 from repro.dram.bankgroup import BankGroup
@@ -19,6 +19,28 @@ from repro.dram.commands import Command, CommandKind
 from repro.dram.timing import TimingParameters
 
 _NEG_INF = -(10**9)
+
+
+@dataclass(frozen=True)
+class CasStateSnapshot:
+    """Read-only snapshot of a pseudo channel's command-timing state.
+
+    Used by the burst-train planner (:mod:`repro.controller.scheduler`) to
+    model column- and row-command readiness without mutating the live
+    objects.  The fields mirror, one for one, the private state
+    ``_cas_ready_time``/``_act_ready_time`` and the data-bus check in
+    :meth:`PseudoChannel.can_issue` read.
+    """
+
+    last_cas_time: int
+    last_cas_bank_group: Optional[int]
+    last_cas_stack: Optional[int]
+    last_cas_was_read: Optional[bool]
+    last_write_data_end: int
+    data_bus_busy_until: int
+    last_act_time: int
+    last_act_bank_group: Optional[int]
+    act_window: Tuple[int, ...]
 
 
 @dataclass
@@ -35,6 +57,63 @@ class PseudoChannelCounters:
 
     def count(self, kind: CommandKind) -> int:
         return self.commands.get(kind.value, 0)
+
+
+def cas_ready_time(
+    timing: TimingParameters,
+    last_cas_time: int,
+    last_cas_bank_group: Optional[int],
+    last_cas_stack: Optional[int],
+    last_cas_was_read: Optional[bool],
+    last_write_data_end: int,
+    bank_group: int,
+    stack_id: int,
+    is_read: bool,
+) -> int:
+    """Earliest instant the next CAS may issue given the previous CAS.
+
+    Pure function over explicit state so :class:`PseudoChannel` (live
+    state) and the burst-train planner (modeled state) share one copy of
+    the CAS-spacing/turnaround rules and cannot drift.
+    """
+    if last_cas_time == _NEG_INF:
+        return 0
+    if last_cas_stack is not None and stack_id != last_cas_stack:
+        gap = timing.tCCDR
+    elif bank_group == last_cas_bank_group:
+        gap = timing.tCCDL
+    else:
+        gap = timing.tCCDS
+    ready = last_cas_time + gap
+    if last_cas_was_read is True and not is_read:
+        ready = max(ready, last_cas_time + timing.tRTW)
+    if last_cas_was_read is False and is_read:
+        wtr = timing.tWTRL if bank_group == last_cas_bank_group \
+            else timing.tWTRS
+        ready = max(ready, last_write_data_end + wtr)
+    return ready
+
+
+def act_ready_time(
+    timing: TimingParameters,
+    last_act_time: int,
+    last_act_bank_group: Optional[int],
+    act_window: Sequence[int],
+    bank_group: int,
+) -> int:
+    """Earliest instant the next ACT may issue under tRRD/tFAW.
+
+    Pure function shared by :class:`PseudoChannel` and the burst-train
+    planner (see :func:`cas_ready_time`).
+    """
+    ready = 0
+    if last_act_time != _NEG_INF:
+        gap = timing.tRRDL if bank_group == last_act_bank_group \
+            else timing.tRRDS
+        ready = last_act_time + gap
+    if len(act_window) >= 4:
+        ready = max(ready, act_window[0] + timing.tFAW)
+    return ready
 
 
 class PseudoChannel:
@@ -99,38 +178,32 @@ class PseudoChannel:
 
     def _cas_ready_time(self, bank_group: int, stack_id: int, is_read: bool) -> int:
         """Earliest time the next CAS may issue given the previous CAS."""
-        t = self.timing
-        if self._last_cas_time == _NEG_INF:
-            return 0
-        if self._last_cas_stack is not None and stack_id != self._last_cas_stack:
-            gap = t.tCCDR
-        elif bank_group == self._last_cas_bank_group:
-            gap = t.tCCDL
-        else:
-            gap = t.tCCDS
-        ready = self._last_cas_time + gap
-        # Bus turnaround penalties.
-        if self._last_cas_was_read is True and not is_read:
-            ready = max(ready, self._last_cas_time + t.tRTW)
-        if self._last_cas_was_read is False and is_read:
-            wtr = t.tWTRL if bank_group == self._last_cas_bank_group else t.tWTRS
-            ready = max(ready, self._last_write_data_end + wtr)
-        return ready
+        return cas_ready_time(
+            self.timing, self._last_cas_time, self._last_cas_bank_group,
+            self._last_cas_stack, self._last_cas_was_read,
+            self._last_write_data_end, bank_group, stack_id, is_read,
+        )
 
     def _act_ready_time(self, bank_group: int) -> int:
         """Earliest time the next ACT may issue given ACT spacing rules."""
-        t = self.timing
-        ready = 0
-        if self._last_act_time != _NEG_INF:
-            gap = (
-                t.tRRDL
-                if bank_group == self._last_act_bank_group
-                else t.tRRDS
-            )
-            ready = self._last_act_time + gap
-        if len(self._act_window) >= 4:
-            ready = max(ready, self._act_window[0] + t.tFAW)
-        return ready
+        return act_ready_time(
+            self.timing, self._last_act_time, self._last_act_bank_group,
+            self._act_window, bank_group,
+        )
+
+    def cas_state_snapshot(self) -> CasStateSnapshot:
+        """Snapshot the command-timing state for read-only planning."""
+        return CasStateSnapshot(
+            last_cas_time=self._last_cas_time,
+            last_cas_bank_group=self._last_cas_bank_group,
+            last_cas_stack=self._last_cas_stack,
+            last_cas_was_read=self._last_cas_was_read,
+            last_write_data_end=self._last_write_data_end,
+            data_bus_busy_until=self._data_bus_busy_until,
+            last_act_time=self._last_act_time,
+            last_act_bank_group=self._last_act_bank_group,
+            act_window=tuple(self._act_window),
+        )
 
     def command_ready_time(self, command: Command) -> int:
         """Earliest time ``command`` satisfies the PC-level constraints."""

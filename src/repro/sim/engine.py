@@ -109,6 +109,18 @@ class Simulation:
             _, _, callback = heapq.heappop(self._schedule)
             callback(self.now)
 
+    def next_arrival_ns(self) -> Optional[int]:
+        """Earliest scheduled arrival still pending, or ``None``.
+
+        This is the *train horizon* the engine hands to the controllers:
+        event-driven advances never cross it, and the controllers' burst
+        trains truncate at the ``advance_to`` target, so a request injected
+        via :meth:`at` is enqueued before any controller evaluates its
+        arrival instant -- even when a controller was mid-burst when the
+        arrival came due.
+        """
+        return self._schedule[0][0] if self._schedule else None
+
     # ------------------------------------------------------------- stepping
 
     def _lockstep_required(self) -> bool:
@@ -141,7 +153,13 @@ class Simulation:
     # ----------------------------------------------------------------- runs
 
     def run_for(self, duration_ns: int) -> int:
-        """Advance all controllers by ``duration_ns``; returns the end time."""
+        """Advance all controllers by ``duration_ns``; returns the end time.
+
+        Event-driven advances are bounded by :meth:`next_arrival_ns` (the
+        train horizon): a controller may jump -- or burst-train -- freely up
+        to the next scheduled arrival but never across it, so arrivals land
+        cycle-exactly before any controller evaluates that instant.
+        """
         end = self.now + duration_ns
         if self._lockstep_required():
             while self.now < end:
@@ -150,8 +168,9 @@ class Simulation:
         while self.now < end:
             self._fire_due()
             stop = end
-            if self._schedule and self._schedule[0][0] < stop:
-                stop = self._schedule[0][0]
+            arrival = self.next_arrival_ns()
+            if arrival is not None and arrival < stop:
+                stop = arrival
             for controller in self.controllers:
                 controller.advance_to(stop)
             self.now = stop

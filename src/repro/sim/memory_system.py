@@ -15,6 +15,7 @@ from repro.controller.mc import ControllerConfig, ConventionalMemoryController
 from repro.controller.request import MemoryRequest, RequestKind
 from repro.core.controller import RoMeControllerConfig, RoMeMemoryController
 from repro.core.interface import RowRequest, RowRequestKind
+from repro.defaults import DEFAULT_DRAIN_HORIZON_NS
 from repro.dram.address import AddressMapping, baseline_hbm4_mapping
 from repro.dram.energy import EnergyCounters
 from repro.sim.stats import BandwidthResult, LatencyResult, SimulationResult
@@ -93,7 +94,7 @@ class ConventionalMemorySystem:
         for request in requests:
             self.enqueue(request)
 
-    def run_until_idle(self, max_ns: int = 10_000_000,
+    def run_until_idle(self, max_ns: int = DEFAULT_DRAIN_HORIZON_NS,
                        event_driven: bool = True) -> int:
         return max(
             controller.run_until_idle(max_ns, event_driven=event_driven)
@@ -123,6 +124,7 @@ class ConventionalMemorySystem:
             ),
             latency=LatencyResult.from_samples(latencies),
             command_counts=commands,
+            evaluations=sum(c.stats.evaluations for c in self.controllers),
         )
 
     def energy_counters(self) -> EnergyCounters:
@@ -191,7 +193,7 @@ class RoMeMemorySystem:
                 )
             )
 
-    def run_until_idle(self, max_ns: int = 50_000_000,
+    def run_until_idle(self, max_ns: int = DEFAULT_DRAIN_HORIZON_NS,
                        event_driven: bool = True) -> int:
         return max(
             controller.run_until_idle(max_ns, event_driven=event_driven)
@@ -226,6 +228,7 @@ class RoMeMemorySystem:
                 "REF_row": sum(c.stats.refreshes_issued for c in self.controllers),
             },
             extra={"overfetch_bytes": float(overfetch)},
+            evaluations=sum(c.stats.evaluations for c in self.controllers),
         )
 
     def energy_counters(self) -> EnergyCounters:

@@ -115,13 +115,21 @@ class LatencyResult:
 
 @dataclass
 class SimulationResult:
-    """Full result bundle returned by the runner helpers."""
+    """Full result bundle returned by the runner helpers.
+
+    ``evaluations`` counts scheduler evaluations across the run's
+    controllers (one per single-step evaluation, one per applied burst
+    train).  It is excluded from equality: different execution cores reach
+    identical simulated results with different evaluation counts, and the
+    counter exists to observe the burst-train speedup mechanism.
+    """
 
     name: str
     bandwidth: BandwidthResult
     latency: LatencyResult
     command_counts: Dict[str, int] = field(default_factory=dict)
     extra: Dict[str, float] = field(default_factory=dict)
+    evaluations: int = field(default=0, compare=False)
 
     @property
     def utilization(self) -> float:

@@ -151,6 +151,10 @@ class SweepStats:
     -- it is ``False`` for ``workers=1`` and for pools that fell back to
     serial execution.  ``cache`` aggregates the trace-cache hits/misses
     accrued while running the points, summed across worker processes.
+    ``evaluations`` sums the scheduler-evaluation counters of swept values
+    that expose one (a :class:`~repro.sim.stats.SimulationResult` or a
+    mapping with an ``"evaluations"`` key); it is 0 for sweeps whose
+    points return bare numbers.
     """
 
     points: int
@@ -158,6 +162,7 @@ class SweepStats:
     parallel: bool
     wall_s: float
     cache: CacheStats = CacheStats()
+    evaluations: int = 0
 
     @property
     def points_per_s(self) -> float:
@@ -188,6 +193,17 @@ class SweepResult:
 
     def __getitem__(self, index: int) -> Any:
         return self.values[index]
+
+
+def _evaluations_of(value: Any) -> int:
+    """Scheduler evaluations carried by one swept value (0 if absent)."""
+    if isinstance(value, Mapping):
+        count = value.get("evaluations")
+    else:
+        count = getattr(value, "evaluations", None)
+    if isinstance(count, bool) or not isinstance(count, (int, float)):
+        return 0
+    return int(count)
 
 
 def _apply(fn: Callable[..., Any], point: Any) -> Any:
@@ -290,7 +306,8 @@ def run_sweep(
     return SweepResult(
         values=tuple(values),
         stats=SweepStats(points=len(points), workers=workers,
-                         parallel=parallel, wall_s=wall_s, cache=cache),
+                         parallel=parallel, wall_s=wall_s, cache=cache,
+                         evaluations=sum(_evaluations_of(v) for v in values)),
     )
 
 

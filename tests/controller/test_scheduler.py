@@ -93,3 +93,41 @@ def test_refresh_decision_when_due(timing):
     decision = mc.scheduler.pick_refresh(now=timing.tREFIpb)
     assert decision is not None
     assert decision.command.kind in (CommandKind.REFPB, CommandKind.PRE)
+
+
+def test_plan_train_reports_count_stride_and_end():
+    """The burst-train planner's (count, stride, end_ns) surface must be
+    self-consistent: a dense train over N instants with >= 1 command each."""
+    mc = ConventionalMemoryController(
+        config=ControllerConfig(num_stack_ids=1, enable_refresh=False)
+    )
+    for block in range(16):
+        mc.enqueue(MemoryRequest(kind=RequestKind.READ, address=block * 4096,
+                                 size_bytes=4096))
+    # Warm past the cold-start ACT ramp (tRRD-spaced, so not dense) into
+    # the saturated column stream the planner covers.
+    mc.run_for(64)
+    train = mc.scheduler.plan_train(
+        mc.read_queue, mc.write_queue, mc._backlog, now=mc.now,
+        target_ns=10_000, num_picks=mc.config.num_pseudo_channels,
+    )
+    assert train is not None
+    assert train.stride_ns == 1
+    assert train.end_ns == train.steps[0].time_ns + len(train.steps) - 1
+    assert train.count == sum(len(step.decisions) for step in train.steps)
+    assert train.count >= len(train.steps)  # dense: >= 1 command per instant
+
+
+def test_plan_train_refuses_when_refresh_is_due(timing):
+    mc = ConventionalMemoryController(
+        config=ControllerConfig(num_stack_ids=1, enable_refresh=True)
+    )
+    for block in range(16):
+        mc.enqueue(MemoryRequest(kind=RequestKind.READ, address=block * 4096,
+                                 size_bytes=4096))
+    mc._fill_queues()
+    assert mc.scheduler.plan_train(
+        mc.read_queue, mc.write_queue, mc._backlog,
+        now=timing.tREFIpb, target_ns=timing.tREFIpb + 10_000,
+        num_picks=mc.config.num_pseudo_channels,
+    ) is None

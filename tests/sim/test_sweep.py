@@ -204,6 +204,17 @@ class TestChannelSharding:
                 == serial_system.result().command_counts)
 
 
+def test_sweep_aggregates_evaluations_from_simulation_results():
+    from repro.sim.runner import streaming_point
+
+    sweep = run_sweep(streaming_point, [("rome", 16 * 4096)], workers=1)
+    assert sweep.stats.evaluations == sweep.values[0].evaluations
+    assert sweep.stats.evaluations > 0
+    # Points that return bare numbers simply contribute nothing.
+    plain = run_sweep(lambda x: x * 2, [1, 2], workers=1)
+    assert plain.stats.evaluations == 0
+
+
 def test_dataclasses_are_frozen():
     stats = SweepStats(points=1, workers=1, parallel=False, wall_s=1.0)
     with pytest.raises(AttributeError):

@@ -1,0 +1,53 @@
+"""Tier-1 smoke invocation of the ``bench-smoke`` CI gate.
+
+Runs the real CLI entry point with thresholds low enough for the 1-CPU CI
+container, asserting (a) the gates pass and the BENCH_<date> perf document
+is written, and (b) a gate failure really exits non-zero -- so a perf
+regression in the burst-train fast path fails the tier-1 flow rather than
+only the (optional) benchmark suite.
+"""
+
+import json
+
+from repro.cli import main
+
+
+def _argv(out_path, **overrides):
+    gates = {
+        # Small drains keep this test a few hundred ms on the CI box; the
+        # full-size 512 KiB gates run in the benchmark suite and in the CI
+        # ``rome-repro bench-smoke`` invocation with its defaults.
+        "--bytes": "65536",
+        "--conventional-bytes": "131072",
+        "--repeats": "1",
+        # Wall-clock gates are kept permissive (shared CI box); the
+        # evaluation-reduction gate is structural and deterministic, so it
+        # stays meaningful even here.
+        "--min-speedup": "2",
+        "--min-conventional-speedup": "0.5",
+        "--min-evaluation-reduction": "5",
+    }
+    gates.update(overrides)
+    argv = ["--json", "bench-smoke", "--bench-out", str(out_path)]
+    for flag, value in gates.items():
+        argv += [flag, value]
+    return argv
+
+
+def test_bench_smoke_gates_pass_and_write_perf_document(capsys, tmp_path):
+    out = tmp_path / "BENCH_test.json"
+    assert main(_argv(out)) == 0
+    capsys.readouterr()
+    report = json.loads(out.read_text())
+    assert report["gates_passed"] is True
+    streaming = report["streaming_conventional"]
+    assert streaming["evaluation_reduction"] >= 5.0
+    assert streaming["tick_evaluations"] == streaming["simulated_ns"]
+
+
+def test_bench_smoke_exits_nonzero_on_gate_failure(capsys, tmp_path):
+    out = tmp_path / "BENCH_fail.json"
+    assert main(_argv(out, **{"--min-evaluation-reduction": "1e9"})) == 1
+    captured = capsys.readouterr()
+    assert "evaluation reduction" in captured.err
+    assert json.loads(out.read_text())["gates_passed"] is False

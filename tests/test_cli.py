@@ -119,24 +119,38 @@ def test_design_space_simulate_reports_utilization(capsys):
     assert all(row["utilization"] > 0.9 for row in rows)
 
 
-def test_bench_smoke_reports_sweep_and_cache_rows(capsys):
+def test_bench_smoke_reports_sweep_and_cache_rows(capsys, tmp_path):
+    out = tmp_path / "bench.json"
     assert main(["--json", "bench-smoke", "--bytes", "65536",
-                 "--repeats", "1", "--min-speedup", "0"]) == 0
+                 "--conventional-bytes", "65536", "--repeats", "1",
+                 "--min-speedup", "0", "--min-conventional-speedup", "0",
+                 "--min-evaluation-reduction", "0",
+                 "--bench-out", str(out)]) == 0
     report = json.loads(capsys.readouterr().out)
-    assert set(report) == {"core", "sweep", "cache"}
+    assert set(report) == {"core", "streaming_conventional", "sweep", "cache"}
     assert {row["system"] for row in report["core"]} == {"rome", "hbm4"}
     assert {row["phase"] for row in report["sweep"]} == {"cold", "warm"}
     warm = next(row for row in report["sweep"] if row["phase"] == "warm")
     assert warm["cache_hits"] > 0
     assert report["cache"]["warm_hits"] > 0
     assert report["cache"]["warm_ms"] < report["cache"]["cold_ms"]
+    streaming = report["streaming_conventional"]
+    assert streaming["tick_evaluations"] > streaming["event_evaluations"] > 0
+    # The gated document is also persisted for the perf trajectory.
+    persisted = json.loads(out.read_text())
+    assert persisted["gates_passed"] is True
+    assert persisted["streaming_conventional"]["simulated_ns"] \
+        == streaming["simulated_ns"]
 
 
 def test_bench_smoke_parallel_warm_sweep_still_hits_cache(capsys):
     # Worker-derived cache entries must flow back to the parent so the
     # warm sweep hits even though each sweep builds a fresh pool.
-    assert main(["--json", "bench-smoke", "--bytes", "65536", "--repeats",
-                 "1", "--min-speedup", "0", "--workers", "4"]) == 0
+    assert main(["--json", "bench-smoke", "--bytes", "65536",
+                 "--conventional-bytes", "65536", "--repeats",
+                 "1", "--min-speedup", "0", "--min-conventional-speedup",
+                 "0", "--min-evaluation-reduction", "0", "--bench-out", "",
+                 "--workers", "4"]) == 0
     report = json.loads(capsys.readouterr().out)
     warm = next(row for row in report["sweep"] if row["phase"] == "warm")
     assert warm["cache_hits"] > 0

@@ -5,7 +5,10 @@ from __future__ import annotations
 from hypothesis import given, settings, strategies as st
 
 from repro.analysis.lbr import tensor_set_lbr
+from repro.controller.mc import ControllerConfig, ConventionalMemoryController
+from repro.controller.request import MemoryRequest, RequestKind
 from repro.core.command_generator import CommandGenerator
+from repro.core.controller import RoMeControllerConfig, RoMeMemoryController
 from repro.core.interface import RowRequest, RowRequestKind, requests_for_transfer
 from repro.core.pins import command_issue_latency_ns
 from repro.core.timing import derive_rome_timing
@@ -168,6 +171,97 @@ def test_command_generator_conserves_row_bytes(vba_index, is_read):
     column_kind = CommandKind.RD if is_read else CommandKind.WR
     data_commands = [c for c in expansion.commands if c.command.kind is column_kind]
     assert len(data_commands) == expansion.column_commands
+
+
+# --------------------------------------------------------------------------- burst trains
+
+_rome_request_specs = st.lists(
+    st.tuples(
+        st.booleans(),                      # is_read
+        st.integers(min_value=0, max_value=7),   # vba
+        st.integers(min_value=0, max_value=1),   # stack_id
+        st.integers(min_value=0, max_value=31),  # row
+        st.sampled_from([4096, 1000]),           # valid_bytes
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(specs=_rome_request_specs, enable_refresh=st.booleans())
+def test_rome_train_path_matches_single_step_for_random_mixes(
+    specs, enable_refresh
+):
+    """The burst-train fast path and the 1-ns tick core must produce
+    identical stats, energy counters, and per-request timestamps for any
+    request mix -- the train planner may only engage when provably exact."""
+    fingerprints = []
+    for event_driven in (False, True):
+        controller = RoMeMemoryController(
+            config=RoMeControllerConfig(num_stack_ids=2,
+                                        enable_refresh=enable_refresh)
+        )
+        requests = [
+            RowRequest(
+                kind=RowRequestKind.RD_ROW if is_read else RowRequestKind.WR_ROW,
+                vba=vba, stack_id=stack, row=row, valid_bytes=valid,
+            )
+            for is_read, vba, stack, row, valid in specs
+        ]
+        for request in requests:
+            controller.enqueue(request)
+        end = controller.run_until_idle(event_driven=event_driven)
+        fingerprints.append((
+            end,
+            controller.stats,
+            controller.energy_counters(),
+            [(r.issue_ns, r.completion_ns) for r in requests],
+        ))
+    assert fingerprints[0] == fingerprints[1]
+
+
+_conventional_request_specs = st.lists(
+    st.tuples(
+        st.booleans(),                            # is_write
+        st.integers(min_value=0, max_value=255),  # address block (x 1 KiB)
+        st.sampled_from([256, 1024, 2048]),       # size_bytes
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+@settings(max_examples=10, deadline=None)
+@given(specs=_conventional_request_specs, enable_refresh=st.booleans())
+def test_conventional_train_path_matches_single_step_for_random_mixes(
+    specs, enable_refresh
+):
+    fingerprints = []
+    for event_driven in (False, True):
+        controller = ConventionalMemoryController(
+            config=ControllerConfig(num_stack_ids=1,
+                                    enable_refresh=enable_refresh)
+        )
+        requests = [
+            MemoryRequest(
+                kind=RequestKind.WRITE if is_write else RequestKind.READ,
+                address=block * 1024,
+                size_bytes=size,
+            )
+            for is_write, block, size in specs
+        ]
+        for request in requests:
+            controller.enqueue(request)
+        end = controller.run_until_idle(event_driven=event_driven)
+        fingerprints.append((
+            end,
+            controller.stats,
+            controller.channel.command_counts(),
+            controller.energy_counters(),
+            [r.completion_ns for r in requests],
+        ))
+    assert fingerprints[0] == fingerprints[1]
 
 
 # --------------------------------------------------------------------------- model configs
