@@ -14,7 +14,9 @@ evaluations than one-per-nanosecond ticking, and be faster in wall-clock.
 """
 
 from repro.sim.bench import (
+    rome_refresh_comparison,
     streaming_conventional_comparison,
+    streaming_conventional_refresh_comparison,
     throughput_comparison,
 )
 
@@ -44,3 +46,22 @@ def test_conventional_burst_trains_cut_evaluations_10x(table_printer):
     # Wall-clock must improve too (kept permissive for shared CI boxes;
     # typical is ~2x).
     assert row["speedup"] >= 1.0
+
+
+def test_refresh_enabled_burst_trains_stay_engaged(table_printer):
+    """The tentpole acceptance scenario: per-bank refresh *on* (the paper's
+    steady state) must no longer disengage the fast path -- >= 5x fewer
+    scheduler evaluations than 1-ns ticking on the saturated conventional
+    drain (typical ~8-9x), with the RoMe controller far above that."""
+    conventional = streaming_conventional_refresh_comparison(
+        total_bytes=512 * 1024)
+    rome = rome_refresh_comparison(total_bytes=512 * 1024)
+    table_printer("Refresh-enabled burst-train gates (512 KiB streaming)",
+                  [conventional, rome])
+    assert conventional["refreshes"] > 0
+    assert conventional["evaluation_reduction"] >= 5.0, (
+        f"refresh-enabled trains only cut scheduler evaluations by "
+        f"{conventional['evaluation_reduction']:.1f}x"
+    )
+    assert conventional["speedup"] >= 1.0
+    assert rome["evaluation_reduction"] >= 10.0

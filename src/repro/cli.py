@@ -172,10 +172,14 @@ def cmd_trends(args: argparse.Namespace) -> int:
 
 def cmd_bench_smoke(args: argparse.Namespace) -> int:
     import datetime
+    import os
     import pathlib
 
+    from repro import __version__
     from repro.sim.bench import (
+        rome_refresh_comparison,
         streaming_conventional_comparison,
+        streaming_conventional_refresh_comparison,
         sweep_throughput,
         throughput_comparison,
         trace_cache_comparison,
@@ -193,10 +197,18 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
         hbm4_bytes=min(args.bytes, 64 * 1024),
         repeats=args.repeats,
     )
-    # Burst-train gate: the conventional controller on the paper's headline
-    # saturation scenario (512 KiB streaming drain by default).
+    # Burst-train gates: the conventional controller on the paper's
+    # headline saturation scenario (512 KiB streaming drain by default),
+    # refresh off and -- the configuration the paper actually evaluates --
+    # refresh on.
     streaming = streaming_conventional_comparison(
         total_bytes=args.conventional_bytes, repeats=args.repeats,
+    )
+    streaming_refresh = streaming_conventional_refresh_comparison(
+        total_bytes=args.conventional_bytes, repeats=args.repeats,
+    )
+    rome_refresh = rome_refresh_comparison(
+        total_bytes=args.bytes, repeats=args.repeats,
     )
     # Sweep-runner smoke: per-worker point throughput, cold vs warm cache.
     sweep_rows = sweep_throughput(workers=args.workers)
@@ -206,8 +218,24 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
                                    repeats=args.repeats)
 
     report = {
+        "meta": {
+            "schema": 2,
+            "generated_utc": datetime.datetime.now(
+                datetime.timezone.utc).isoformat(timespec="seconds"),
+            "package_version": __version__,
+            "cpu_count": os.cpu_count(),
+            "label": args.label,
+            "parameters": {
+                "bytes": args.bytes,
+                "conventional_bytes": args.conventional_bytes,
+                "repeats": args.repeats,
+                "workers": args.workers,
+            },
+        },
         "core": core_rows,
         "streaming_conventional": streaming,
+        "streaming_conventional_refresh": streaming_refresh,
+        "rome_refresh": rome_refresh,
         "sweep": sweep_rows,
         "cache": cache,
     }
@@ -216,7 +244,7 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
     else:
         _print_rows(core_rows, False)
         print()
-        _print_rows([streaming], False)
+        _print_rows([streaming, streaming_refresh, rome_refresh], False)
         print()
         _print_rows(sweep_rows, False)
         print()
@@ -243,6 +271,15 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
             f"{streaming['evaluation_reduction']:.1f}x is below the "
             f"--min-evaluation-reduction gate of "
             f"{args.min_evaluation_reduction:g}x"
+        )
+    if args.min_refresh_evaluation_reduction > 0 \
+            and streaming_refresh["evaluation_reduction"] \
+            < args.min_refresh_evaluation_reduction:
+        failures.append(
+            f"refresh-enabled evaluation reduction "
+            f"{streaming_refresh['evaluation_reduction']:.1f}x is below the "
+            f"--min-refresh-evaluation-reduction gate of "
+            f"{args.min_refresh_evaluation_reduction:g}x"
         )
     warm = next(row for row in sweep_rows if row["phase"] == "warm")
     if warm["cache_hits"] == 0:
@@ -352,8 +389,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "bench-smoke",
         help="CI perf smoke: seed-tick vs event-driven cores, the "
-             "conventional burst-train gate, sweep-runner throughput, and "
-             "the trace-cache cold/warm gate; writes BENCH_<UTC-date>.json",
+             "conventional burst-train gates (refresh off and on), the "
+             "refresh-enabled RoMe row, sweep-runner throughput, and the "
+             "trace-cache cold/warm gate; writes BENCH_<UTC-date>.json "
+             "stamped with run metadata",
     )
     add_workers_arg(p)
     p.add_argument("--bytes", type=int, default=128 * 1024,
@@ -374,10 +413,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit non-zero when burst trains cut conventional "
                         "scheduler evaluations by less than this factor on "
                         "the streaming drain (0 disables)")
-    p.add_argument("--bench-out", default=None,
+    p.add_argument("--min-refresh-evaluation-reduction", type=float,
+                   default=5.0,
+                   help="exit non-zero when refresh-aware burst trains cut "
+                        "conventional scheduler evaluations by less than "
+                        "this factor on the refresh-enabled streaming drain "
+                        "-- the configuration the paper evaluates "
+                        "(0 disables)")
+    p.add_argument("--label", default=None,
+                   help="free-form label stamped into the perf document's "
+                        "metadata (e.g. the tier-1 commit under test)")
+    p.add_argument("--output", "--bench-out", dest="bench_out", default=None,
                    help="path for the JSON perf document (default: "
                         "BENCH_<UTC-date>.json in the current directory; "
-                        "'' disables the write)")
+                        "'' disables the write; --bench-out is a deprecated "
+                        "alias)")
     p.set_defaults(func=cmd_bench_smoke)
     return parser
 

@@ -345,22 +345,40 @@ class ConventionalMemoryController:
     def _apply_column_train(self, train: ColumnTrain) -> None:
         """Bulk-apply a planned burst train (one scheduler evaluation).
 
-        Every planned command is replayed through ``Channel.issue`` at its
-        planned instant, which re-validates all timing constraints against
-        the live channel state -- a planner divergence raises instead of
-        silently corrupting statistics.  Queue retirement, backlog refills,
-        and the write-drain flag are applied in bulk from the planner's
-        model, which matched the per-step bookkeeping exactly.
+        Every planned command is replayed through ``self._issue`` at its
+        planned instant, so ``Channel.issue`` re-validates all timing
+        constraints against the live channel state and planned refreshes
+        update the live refresh engines exactly as single-step issue would
+        -- a planner divergence raises instead of silently corrupting
+        statistics.  Queue retirement, backlog refills, and the write-drain
+        flag are applied in bulk from the planner's model, which matched
+        the per-step bookkeeping exactly.
         """
-        stats = self.stats
         for step in train.steps:
             t = step.time_ns
             for decision in step.decisions:
-                self.channel.issue(decision.command, t)
-                stats.note_command(decision.command.kind)
+                target = decision.refresh_target
+                if target is not None:
+                    # The planner modeled this engine's deadline state; a
+                    # mismatch with the live engine means the model drifted.
+                    engine = self.scheduler.refresh_engines[
+                        decision.command.pseudo_channel]
+                    live = engine.most_urgent(t)
+                    if live is None or (
+                        live.due_time, live.stack_id, live.bank_group,
+                        live.bank,
+                    ) != (
+                        target.due_time, target.stack_id, target.bank_group,
+                        target.bank,
+                    ):
+                        raise RuntimeError(
+                            f"burst-train refresh plan diverged from engine "
+                            f"state at t={t}"
+                        )
+                self._issue(decision, t)
                 transaction = decision.transaction
                 if transaction is None:
-                    continue  # planned row command (ACT / policy PRE)
+                    continue  # planned row/refresh command (ACT/PRE/REFpb)
                 self._serve_column(transaction, t)
         for update in train.queue_updates:
             update.queue.apply_train(update.survivors, update.pushed,
@@ -368,7 +386,7 @@ class ConventionalMemoryController:
         for _ in range(train.backlog_consumed):
             self._backlog.popleft()
         self.scheduler.set_draining(train.final_draining)
-        stats.evaluations += 1
+        self.stats.evaluations += 1
         self.now = train.end_ns + 1
 
     def advance_to(self, target_ns: int) -> None:

@@ -11,11 +11,12 @@ Burst trains
 A saturated HBM4 channel issues a column command nearly every nanosecond, so
 the event-driven controller core degenerates to one full scheduler evaluation
 per nanosecond.  :meth:`FrFcfsScheduler.plan_train` closes that gap: when the
-upcoming decisions are provably a dense run of column commands (row hits to
-already-open rows, no refresh deadline, no actionable row work), it computes
-the whole run -- per-step picks, refill admissions, and write-drain state --
-analytically in one evaluation and returns a :class:`ColumnTrain` the
-controller bulk-applies.  The planner only *models* state (pure reads); the
+upcoming decisions are provably a dense run of commands (row hits to
+already-open rows, modeled row work, and -- under per-bank refresh -- the
+REFpb/critical-PRE issues the refresh engines force), it computes the whole
+run -- per-step picks, refresh splices, refill admissions, and write-drain
+state -- analytically in one evaluation and returns a :class:`ColumnTrain`
+the controller bulk-applies.  The planner only *models* state (pure reads); the
 controller's apply path replays the planned commands through the ordinary
 ``Channel.issue`` validation, so a planner divergence raises instead of
 silently corrupting results.  Whenever any precondition fails the planner
@@ -25,9 +26,11 @@ keeping results bit-identical to the per-nanosecond core by construction.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (Callable, Deque, Dict, Iterable, List, Optional, Sequence,
+                    Tuple)
 
 from repro.controller.page_policy import OpenPagePolicy, PagePolicy
 from repro.controller.queues import BankKey, RequestQueue, bank_key
@@ -36,7 +39,7 @@ from repro.dram.bank import Bank, column_precharge_ready
 from repro.dram.channel import Channel
 from repro.dram.commands import Command, CommandKind
 from repro.dram.pseudochannel import act_ready_time, cas_ready_time
-from repro.dram.refresh import RefreshEngine, RefreshTarget
+from repro.dram.refresh import RefreshEngine, RefreshMode, RefreshTarget
 
 
 @dataclass
@@ -143,7 +146,7 @@ class _BankModel:
     """
 
     __slots__ = ("open_row", "next_read", "next_write", "next_pre",
-                 "next_act", "idle_at")
+                 "next_act", "next_refresh", "idle_at")
 
     def __init__(self, bank: Bank) -> None:
         self.open_row = bank.open_row if bank.has_open_row else None
@@ -151,6 +154,7 @@ class _BankModel:
         self.next_write = bank.next_write
         self.next_pre = bank.next_pre
         self.next_act = bank.next_act
+        self.next_refresh = bank.next_refresh
         self.idle_at = bank.transient_until
 
 
@@ -191,6 +195,39 @@ class _QueueModel:
             self.miss_heads.add(key)
         else:
             self.miss_heads.discard(key)
+
+
+class _EngineModel:
+    """Modeled deadline state of one per-bank refresh engine during planning.
+
+    A min-heap over ``(due_time, (stack_id, bank_group, bank))`` mirrors
+    ``RefreshEngine.most_urgent`` exactly: due times are pairwise distinct
+    by construction (see :meth:`RefreshEngine.due_snapshot`), and the most
+    urgent target is the overdue one with the smallest deadline -- the heap
+    top whenever it is ``<= now``.  Issuing bumps the top's deadline by one
+    whole interval, the same update ``note_refresh_issued`` applies.
+    """
+
+    __slots__ = ("heap", "interval")
+
+    def __init__(self, engine: RefreshEngine) -> None:
+        self.heap = [(due, key) for key, due in engine.due_snapshot()]
+        heapq.heapify(self.heap)
+        self.interval = engine.interval()
+
+    def most_urgent(self, now: int) -> Optional[RefreshTarget]:
+        if not self.heap:
+            return None
+        due, key = self.heap[0]
+        if due > now:
+            return None
+        stack_id, bank_group, bank = key
+        return RefreshTarget(due_time=due, stack_id=stack_id,
+                             bank_group=bank_group, bank=bank)
+
+    def note_issued(self) -> None:
+        due, key = heapq.heappop(self.heap)
+        heapq.heappush(self.heap, (due + self.interval, key))
 
 
 class FrFcfsScheduler:
@@ -289,39 +326,96 @@ class FrFcfsScheduler:
 
     # --------------------------------------------------------------- refresh
 
-    def pick_refresh(self, now: int) -> Optional[SchedulerDecision]:
-        """Issue an overdue per-bank refresh if it is critical or convenient."""
+    def _refpb_command(self, pc_index: int, target: RefreshTarget) -> Command:
+        return Command(
+            kind=CommandKind.REFPB,
+            channel=self.channel.channel_id,
+            pseudo_channel=pc_index,
+            stack_id=target.stack_id,
+            bank_group=target.bank_group,
+            bank=target.bank,
+        )
+
+    def _refresh_sweep(
+        self,
+        now: int,
+        most_urgent: Callable[[int, RefreshEngine, int],
+                              Optional[RefreshTarget]],
+        can_issue_ref: Callable[[int, RefreshTarget, int], bool],
+        bank_has_open_row: Callable[[int, RefreshTarget], bool],
+        can_issue_pre: Callable[[int, RefreshTarget, int], bool],
+    ) -> Optional[Tuple[str, int, RefreshEngine, RefreshTarget]]:
+        """Shared refresh-decision skeleton (one evaluation at ``now``).
+
+        Both the single-step scheduler (:meth:`pick_refresh`, live state)
+        and the burst-train planner (modeled state) walk the engines in
+        pseudo-channel order and, for each engine's most urgent overdue
+        target, either issue the REFpb, or -- once postponement headroom is
+        exhausted -- force the target bank closed with a precharge.  The
+        state queries are injected so the two callers share exactly one
+        copy of the due/critical bail-out ordering and cannot drift.
+
+        Returns ``("ref" | "pre", pc_index, engine, target)`` for the first
+        actionable engine, else ``None``.
+        """
         for pc_index, engine in enumerate(self.refresh_engines):
-            target = engine.most_urgent(now)
+            target = most_urgent(pc_index, engine, now)
             if target is None:
                 continue
-            critical = engine.is_critical(target, now)
-            command = Command(
-                kind=CommandKind.REFPB,
-                channel=self.channel.channel_id,
-                pseudo_channel=pc_index,
-                stack_id=target.stack_id,
-                bank_group=target.bank_group,
-                bank=target.bank,
-            )
-            if self.channel.can_issue(command, now):
-                return SchedulerDecision(command=command, refresh_target=target)
-            if critical:
-                # The bank must be made refreshable: precharge it if needed.
-                pc = self.channel.pseudo_channel(pc_index)
-                bank = pc.bank(target.bank_group, target.bank, target.stack_id)
-                if bank.has_open_row:
-                    pre = Command(
-                        kind=CommandKind.PRE,
-                        channel=self.channel.channel_id,
-                        pseudo_channel=pc_index,
-                        stack_id=target.stack_id,
-                        bank_group=target.bank_group,
-                        bank=target.bank,
-                    )
-                    if self.channel.can_issue(pre, now):
-                        return SchedulerDecision(command=pre, refresh_target=None)
+            if can_issue_ref(pc_index, target, now):
+                return ("ref", pc_index, engine, target)
+            if now - target.due_time >= engine.slack_ns():
+                # Critical: the bank must be made refreshable -- precharge
+                # it if it still holds an open row.
+                if bank_has_open_row(pc_index, target) \
+                        and can_issue_pre(pc_index, target, now):
+                    return ("pre", pc_index, engine, target)
         return None
+
+    def _bank_for_target(self, pc_index: int, target: RefreshTarget) -> Bank:
+        pc = self.channel.pseudo_channel(pc_index)
+        return pc.bank(target.bank_group, target.bank, target.stack_id)
+
+    # Live-state callbacks for the shared refresh sweep (bound methods, not
+    # per-call closures: ``pick_refresh`` runs once per scheduler
+    # evaluation).
+
+    def _live_most_urgent(self, pc: int, engine: RefreshEngine,
+                          now: int) -> Optional[RefreshTarget]:
+        return engine.most_urgent(now)
+
+    def _live_can_issue_ref(self, pc: int, target: RefreshTarget,
+                            now: int) -> bool:
+        return self.channel.can_issue(self._refpb_command(pc, target), now)
+
+    def _live_bank_open(self, pc: int, target: RefreshTarget) -> bool:
+        return self._bank_for_target(pc, target).has_open_row
+
+    def _live_can_issue_pre(self, pc: int, target: RefreshTarget,
+                            now: int) -> bool:
+        return self.channel.can_issue(
+            self._pre_command((pc, target.stack_id, target.bank_group,
+                               target.bank)), now)
+
+    def pick_refresh(self, now: int) -> Optional[SchedulerDecision]:
+        """Issue an overdue per-bank refresh if it is critical or convenient."""
+        result = self._refresh_sweep(
+            now,
+            most_urgent=self._live_most_urgent,
+            can_issue_ref=self._live_can_issue_ref,
+            bank_has_open_row=self._live_bank_open,
+            can_issue_pre=self._live_can_issue_pre,
+        )
+        if result is None:
+            return None
+        action, pc_index, _, target = result
+        if action == "ref":
+            return SchedulerDecision(
+                command=self._refpb_command(pc_index, target),
+                refresh_target=target,
+            )
+        return SchedulerDecision(command=self._pre_command(
+            (pc_index, target.stack_id, target.bank_group, target.bank)))
 
     # --------------------------------------------------------------- picking
 
@@ -376,14 +470,24 @@ class FrFcfsScheduler:
 
         Soundness argument, mirroring ``ConventionalMemoryController._step``:
 
-        * *refresh*: nothing is due at any covered instant (the train is
-          truncated one ns before the earliest engine deadline);
+        * *refresh*: per-bank refresh is modeled exactly.  Each engine's
+          deadlines are copied into a min-heap (:class:`_EngineModel`) and
+          every covered step runs the same decision skeleton
+          (:meth:`_refresh_sweep`) the single-step ``pick_refresh`` uses,
+          against modeled bank/C-A state -- so planned trains splice in the
+          REFpb (and, once postponement headroom is exhausted, the enabling
+          PRE) at exactly the instants the per-step scheduler would issue
+          them, instead of ending at the first refresh deadline.  All-bank
+          refresh stays unmodeled: those engines fall back to the
+          conservative guard (no train while a refresh is due, truncation
+          before the next deadline);
         * *row work*: ``pick_row`` only acts on a bank whose oldest pending
           transaction is a row miss; the planner tracks a per-bank FIFO of
           pending entries.  Under the open-page policy it models the row
           decisions exactly (ACT, and the policy's PRE once a bank has no
           pending hits left); under other policies it conservatively ends
-          the train at the first step where a miss would surface;
+          the train at the first step where a miss would surface (including
+          one exposed by a critical refresh precharge);
         * *picks*: readiness is modeled with exact replicas of the
           pseudo-channel CAS/ACT spacing, turnaround, data-bus, BK-BUS,
           tFAW, bank timing-window, and C/A-reuse checks, seeded from
@@ -394,12 +498,20 @@ class FrFcfsScheduler:
           the event core would evaluate back-to-back anyway.
         """
         last_allowed = target_ns - 1
-        for engine in self.refresh_engines:
-            if engine.most_urgent(now) is not None:
-                return None
-            due = engine.next_event_ns(now)
-            if due is not None and due - 1 < last_allowed:
-                last_allowed = due - 1
+        model_refresh = all(
+            engine.mode is RefreshMode.PER_BANK
+            for engine in self.refresh_engines
+        )
+        if not model_refresh:
+            # All-bank refresh stays outside the planner's model: keep the
+            # conservative guard (no train while a refresh is due, end one
+            # ns before the earliest deadline/criticality transition).
+            for engine in self.refresh_engines:
+                if engine.most_urgent(now) is not None:
+                    return None
+                due = engine.next_event_ns(now)
+                if due is not None and due - 1 < last_allowed:
+                    last_allowed = due - 1
         if last_allowed < now + min_steps - 1:
             return None
         channel = self.channel
@@ -411,6 +523,11 @@ class FrFcfsScheduler:
         tCCDL = timing.tCCDL
         tRP, tRAS, tRC = timing.tRP, timing.tRAS, timing.tRC
         tRCDRD, tRCDWR = timing.tRCDRD, timing.tRCDWR
+        tRFCpb, tREFIpb = timing.tRFCpb, timing.tREFIpb
+        engine_models = (
+            [_EngineModel(engine) for engine in self.refresh_engines]
+            if model_refresh else []
+        )
 
         # Row work (ACT and the policy PRE) is modeled exactly for the
         # stock open-page policy only; subclasses or other policies fall
@@ -425,13 +542,46 @@ class FrFcfsScheduler:
         group_bus: Dict[Tuple[int, int, int], int] = {}
         bank_models: Dict[BankKey, _BankModel] = {}
 
-        def bank_model(txn: Transaction) -> _BankModel:
-            key = bank_key(txn)
+        def bank_model_for(key: BankKey) -> _BankModel:
             model = bank_models.get(key)
             if model is None:
-                model = _BankModel(self._bank_for(txn))
+                pc_index, stack_id, bank_group, bank = key
+                model = _BankModel(channel.pseudo_channel(pc_index).bank(
+                    bank_group, bank, stack_id))
                 bank_models[key] = model
             return model
+
+        def bank_model(txn: Transaction) -> _BankModel:
+            return bank_model_for(bank_key(txn))
+
+        # Model-view callbacks for the shared refresh sweep: the same
+        # checks ``Channel.can_issue`` performs for REFpb / PRE, applied to
+        # the modeled row-C/A and bank state.
+        def model_most_urgent(pc: int, engine: RefreshEngine,
+                              t: int) -> Optional[RefreshTarget]:
+            return engine_models[pc].most_urgent(t)
+
+        def model_can_issue_ref(pc: int, target: RefreshTarget,
+                                t: int) -> bool:
+            if t <= pc_models[pc].row_ca_last:
+                return False
+            bm = bank_model_for((pc, target.stack_id, target.bank_group,
+                                 target.bank))
+            return (bm.open_row is None and t >= bm.idle_at
+                    and t >= bm.next_act and t >= bm.next_refresh)
+
+        def model_bank_open(pc: int, target: RefreshTarget) -> bool:
+            bm = bank_model_for((pc, target.stack_id, target.bank_group,
+                                 target.bank))
+            return bm.open_row is not None
+
+        def model_can_issue_pre(pc: int, target: RefreshTarget,
+                                t: int) -> bool:
+            if t <= pc_models[pc].row_ca_last:
+                return False
+            bm = bank_model_for((pc, target.stack_id, target.bank_group,
+                                 target.bank))
+            return t >= bm.next_pre
 
         def classify(qm: _QueueModel, txn: Transaction) -> bool:
             open_row = bank_model(txn).open_row
@@ -580,6 +730,45 @@ class FrFcfsScheduler:
                 undo_step()
                 break
 
+            # -- 1.5 refresh (exact pick_refresh mirror, modeled state) ----
+            refresh_decision: Optional[SchedulerDecision] = None
+            if engine_models:
+                swept = self._refresh_sweep(
+                    t, model_most_urgent, model_can_issue_ref,
+                    model_bank_open, model_can_issue_pre)
+                if swept is not None:
+                    action, pc_index, _, target = swept
+                    if action == "pre" and not row_mode:
+                        # The forced precharge would turn pending row hits
+                        # into misses; without row-work modeling the train
+                        # must end before this step.
+                        undo_step()
+                        break
+                    key = (pc_index, target.stack_id, target.bank_group,
+                           target.bank)
+                    bm = bank_model_for(key)
+                    pcm = pc_models[pc_index]
+                    pcm.row_ca_last = t
+                    if action == "ref":
+                        bm.idle_at = t + tRFCpb
+                        if t + tRFCpb > bm.next_act:
+                            bm.next_act = t + tRFCpb
+                        if t + tREFIpb > bm.next_refresh:
+                            bm.next_refresh = t + tREFIpb
+                        engine_models[pc_index].note_issued()
+                        refresh_decision = SchedulerDecision(
+                            command=self._refpb_command(pc_index, target),
+                            refresh_target=target,
+                        )
+                    else:
+                        bm.open_row = None
+                        bm.idle_at = t + tRP
+                        if t + tRP > bm.next_act:
+                            bm.next_act = t + tRP
+                        reclassify(key, None)
+                        refresh_decision = SchedulerDecision(
+                            command=self._pre_command(key))
+
             # -- 2. write-drain hysteresis and queue priority --------------
             draining = self._drain_step(draining, wq.live, wq.capacity)
             if draining or rq.live == 0:
@@ -656,7 +845,10 @@ class FrFcfsScheduler:
                 break
 
             # -- 4. commit column effects: modeled channel-state updates ---
-            decisions = []
+            # The refresh decision leads the step: ``_step`` issues it
+            # before any column or row command, and the apply path replays
+            # decisions in list order.
+            decisions = [refresh_decision] if refresh_decision else []
             for txn in picked:
                 coord = txn.coordinate
                 is_read = txn.is_read
@@ -681,9 +873,12 @@ class FrFcfsScheduler:
                 decisions.append(SchedulerDecision(
                     command=self._column_command(txn), transaction=txn))
 
-            # -- 5. row picks (exact pick_row mirror, open-page only) ------
+            # -- 5. row picks (exact pick_row mirror, open-page only).
+            #    A refresh-path command consumed one unit of the row budget
+            #    (``_step``'s ``issued_row_command``).
+            row_budget = num_picks - (1 if refresh_decision else 0)
             if row_mode and (rq.miss_heads or wq.miss_heads):
-                for _ in range(num_picks):
+                for _ in range(row_budget):
                     row_pick = None
                     for qm, enabled in priority:
                         if not enabled or not qm.miss_heads:

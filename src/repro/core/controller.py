@@ -30,6 +30,7 @@ The controller exposes two cycle-exact execution modes:
 
 from __future__ import annotations
 
+import bisect
 import enum
 import heapq
 from collections import deque
@@ -130,25 +131,31 @@ class _VbaTracker:
 
 @dataclass
 class RowBurstTrain:
-    """An analytically planned run of same-kind row commands.
+    """An analytically planned run of row commands plus interleaved refreshes.
 
-    ``requests`` issue at ``start_ns + k * stride_ns`` (the stride is the
-    Table III same-kind command gap, which equals the channel-bus occupancy
-    of one row command, so a saturated stream issues exactly on this grid).
+    ``issues`` holds ``(issue_ns, request)`` for same-kind data commands
+    riding the ``start + k * gap`` grid (shifted one nanosecond forward
+    past every refresh-consumed evaluation); ``refreshes`` holds
+    ``(issue_ns, (stack_id, vba))`` for the paired refreshes the refresh
+    scheduler provably issues inside the covered span.  Both lists are in
+    strictly increasing time order and never share an instant: the
+    controller issues at most one command per evaluation, refresh first.
     """
 
-    requests: List[RowRequest]
-    start_ns: int
-    stride_ns: int
+    issues: List[Tuple[int, RowRequest]]
+    refreshes: List[Tuple[int, Tuple[int, int]]] = field(default_factory=list)
 
     @property
     def count(self) -> int:
-        return len(self.requests)
+        return len(self.issues) + len(self.refreshes)
 
     @property
     def end_ns(self) -> int:
         """Issue instant of the train's last command."""
-        return self.start_ns + (len(self.requests) - 1) * self.stride_ns
+        last = self.issues[-1][0] if self.issues else -1
+        if self.refreshes and self.refreshes[-1][0] > last:
+            last = self.refreshes[-1][0]
+        return last
 
 
 class RoMeMemoryController:
@@ -506,25 +513,36 @@ class RoMeMemoryController:
 
     def _plan_burst_train(self, now: int,
                           target_ns: int) -> Optional[RowBurstTrain]:
-        """Plan a run of same-kind row commands issuing every ``gap`` ns.
+        """Plan a run of same-kind row commands riding the ``gap`` grid.
 
         Preconditions (any failure returns ``None`` and the caller falls
         back to single-step evaluation, so results stay bit-identical):
 
-        * the FIFO head is issueable *now* and a data FSM is free;
+        * some command (the FIFO head, or a refresh) provably issues *now*;
         * every train member shares the head's kind and stack ID, so the
           inter-command gap is the constant same-kind spacing ``g`` -- which
           also equals the channel-bus occupancy, making the issue grid
-          exactly ``now + k*g``;
+          exactly ``now + k*g`` apart from refresh displacement;
         * no other Table III gap is smaller than ``g`` (gap domination), so
           no queued request of a different kind/stack can become feasible
           between grid points and overtake the FIFO order;
         * each member's VBA is free at its slot and a data FSM is available
           (modeled with the planned completions; in-flight commands are
-          carried in), and backlog members have queue space by their slot;
-        * no refresh is due anywhere in the covered window (the train is
-          truncated one ns before the earliest refresh deadline or
-          criticality transition).
+          carried in), and backlog members have queue space by their slot.
+
+        Refresh is modeled, not avoided: the scheduler's deadlines are
+        copied into a min-heap and the most urgent target's issue instant
+        -- the earliest time it is due, its VBA is free, and a refresh FSM
+        is available (or the postponement budget has run out, which
+        bypasses FSM saturation) -- is interleaved with the data grid in
+        time order, refresh winning ties because ``_step`` tries it first.
+        A refresh consumes its evaluation instant, so a data command
+        landing on the same nanosecond shifts one forward, exactly as the
+        per-nanosecond core behaves.  The train ends at the first instant
+        the model cannot vouch for (kind/stack change, VBA still busy --
+        possibly because a planned refresh stalled it -- FSM saturation, or
+        queue-capacity stall): past that point a younger request could
+        legally overtake, so the caller's single-step path takes over.
         """
         queue = self.queue
         unissued = [r for r in queue if r.issue_ns is None]
@@ -532,6 +550,7 @@ class RoMeMemoryController:
             return None
         head = unissued[0]
         is_read = head.kind is RowRequestKind.RD_ROW
+        kind = head.kind
         stack = head.stack_id
         gap_table = self._gap_table
         g = gap_table[(is_read, is_read, True)]
@@ -541,79 +560,160 @@ class RoMeMemoryController:
             for same_stack in (True, False)
         ):
             return None
-        vbas = self._vbas
-        if self._feasible_at(head, vbas[(stack, head.vba)]) > now:
-            return None
-        if self._busy_data_fsms >= self.config.max_data_fsms:
-            return None
         last_allowed = target_ns - 1
-        refresh = self.refresh
-        if refresh is not None:
-            if refresh.most_urgent(now) is not None:
-                return None
-            due = refresh.next_event_ns(now)
-            if due is not None and due - 1 < last_allowed:
-                last_allowed = due - 1
-        max_len = min((last_allowed - now) // g + 1, _MAX_TRAIN_COMMANDS)
-        if max_len < 2:
+        if last_allowed < now:
             return None
 
-        kind = head.kind
+        vbas = self._vbas
         duration = self._duration[is_read]
+        occupancy_ns = self._occupancy[is_read]
         capacity = self.config.request_queue_depth
         max_fsms = self.config.max_data_fsms
+
+        refresh = self.refresh
+        due_heap: List[Tuple[int, Tuple[int, int]]] = []
+        if refresh is not None:
+            due_heap = [(due, key) for key, due in refresh.due_snapshot()]
+            heapq.heapify(due_heap)
+            slack = refresh.slack_ns()
+            stall = refresh.stall_ns()
+            interval = refresh.interval()
+            max_ref_fsms = self.config.max_refresh_fsms
+            # Future release instants of VBAs currently refreshing (the
+            # modeled refresh-FSM pool; planned refreshes are merged in).
+            ref_releases = sorted(
+                busy_until for busy_until, key in self._busy_heap
+                if busy_until > now
+                and vbas[key].state is VbaState.REFRESHING
+            )
+
         inflight = sorted(
             r.completion_ns for r in queue if r.issue_ns is not None
         )
         n_inflight = len(inflight)
         occupancy = len(queue)
         backlog_iter = iter(self._backlog)
-        plan: List[RowRequest] = []
+
+        issues: List[Tuple[int, RowRequest]] = []
+        refreshes: List[Tuple[int, Tuple[int, int]]] = []
         vba_busy: Dict[Tuple[int, int], int] = {}
         completions: Deque[int] = deque()
         retired_inflight = 0
         next_unissued = 0
-        for k in range(max_len):
-            t_k = now + k * g
+        last_action = now - 1
+        # Every instant < ``safe_until`` is provably free of unmodeled data
+        # issues: it is history (< now), within a committed issue's gap
+        # shadow (gap domination bounds *any* next data command, so a
+        # younger request of a different kind cannot overtake there), or an
+        # evaluation a planned refresh consumes.  Committing any action on
+        # or past ``safe_until`` would leave an instant where the per-step
+        # scheduler might act unmodeled, so the train ends instead.
+        safe_until = now
+        # Modeled channel-gap state, seeded live, advanced per planned issue
+        # with the same fields ``_feasible_at`` / ``_issue`` read and write.
+        last_issue_ns = self._last_issue_ns
+        last_was_read = self._last_was_read
+        last_stack = self._last_stack
+        bus_free = self._bus_free_at
+        pending: Optional[RowRequest] = None
+        pending_from_backlog = False
+
+        def vba_free_at(key: Tuple[int, int]) -> int:
+            busy = vba_busy.get(key)
+            if busy is None:
+                busy = vbas[key].busy_until
+            return busy
+
+        while len(issues) + len(refreshes) < _MAX_TRAIN_COMMANDS:
+            # -- next data instant (strict FIFO: queue order, then backlog)
+            if pending is None:
+                if next_unissued < len(unissued):
+                    pending = unissued[next_unissued]
+                    pending_from_backlog = False
+                else:
+                    pending = next(backlog_iter, None)
+                    pending_from_backlog = True
+            if pending is None or pending.kind is not kind \
+                    or pending.stack_id != stack:
+                # Data side exhausted or no longer same-kind: the FIFO
+                # continuation is no longer provable, so the train (data
+                # and refresh alike) ends here.
+                break
+            if last_issue_ns is None or last_was_read is None:
+                start = 0
+            else:
+                start = last_issue_ns + gap_table[(
+                    last_was_read, is_read, last_stack == pending.stack_id,
+                )]
+            d_t = max(start, bus_free, last_action + 1, now)
+
+            # -- next refresh instant (most-urgent target evolution) ------
+            r_t = None
+            if due_heap:
+                due, rkey = due_heap[0]
+                base = max(due, last_action + 1, now, vba_free_at(rkey))
+                # ``ref_releases`` is kept sorted, so the number of refresh
+                # FSMs still busy after ``base`` is a bisection away.
+                active = len(ref_releases) - bisect.bisect_right(ref_releases,
+                                                                 base)
+                if active < max_ref_fsms:
+                    fsm_t = base
+                else:
+                    fsm_t = ref_releases[-max_ref_fsms]
+                # Criticality (postponement budget exhausted) bypasses
+                # refresh-FSM saturation, mirroring ``_refresh_block``.
+                r_t = min(fsm_t, max(base, due + slack))
+
+            if r_t is not None and r_t <= d_t:
+                if r_t > last_allowed or r_t > safe_until:
+                    break
+                heapq.heapreplace(due_heap, (due + interval, rkey))
+                refreshes.append((r_t, rkey))
+                vba_busy[rkey] = r_t + stall
+                bisect.insort(ref_releases, r_t + stall)
+                # The refresh consumes this evaluation (``_step`` tries it
+                # first and issues at most one command per instant).
+                safe_until = max(safe_until, r_t + 1)
+                last_action = r_t
+                continue
+
+            if d_t > last_allowed or d_t > safe_until:
+                break
             while (retired_inflight < n_inflight
-                   and inflight[retired_inflight] <= t_k):
+                   and inflight[retired_inflight] <= d_t):
                 retired_inflight += 1
                 occupancy -= 1
-            while completions and completions[0] <= t_k:
+            while completions and completions[0] <= d_t:
                 completions.popleft()
                 occupancy -= 1
-            from_backlog = False
-            if next_unissued < len(unissued):
-                request = unissued[next_unissued]
-            else:
-                if occupancy >= capacity:
-                    break
-                request = next(backlog_iter, None)
-                if request is None:
-                    break
-                from_backlog = True
-            if k > 0:
-                if request.kind is not kind or request.stack_id != stack:
-                    break
-                key = (request.stack_id, request.vba)
-                busy = vba_busy.get(key)
-                if busy is None:
-                    busy = vbas[key].busy_until
-                if busy > t_k:
-                    break
-                if (n_inflight - retired_inflight) + len(completions) \
-                        >= max_fsms:
-                    break
-            plan.append(request)
-            if from_backlog:
+            if pending_from_backlog and occupancy >= capacity:
+                break
+            dkey = (pending.stack_id, pending.vba)
+            if vba_free_at(dkey) > d_t:
+                break
+            if (n_inflight - retired_inflight) + len(completions) \
+                    >= max_fsms:
+                break
+            issues.append((d_t, pending))
+            if pending_from_backlog:
                 occupancy += 1
             else:
                 next_unissued += 1
-            completions.append(t_k + duration)
-            vba_busy[(request.stack_id, request.vba)] = t_k + duration
-        if len(plan) < 2:
+            completions.append(d_t + duration)
+            vba_busy[dkey] = d_t + duration
+            last_issue_ns = d_t
+            last_was_read = is_read
+            last_stack = pending.stack_id
+            bus_free = d_t + occupancy_ns
+            # Gap domination: no data command of any kind can issue before
+            # ``d_t + g``, so the shadow extends the proven-safe span.
+            safe_until = max(safe_until, d_t + g)
+            last_action = d_t
+            pending = None
+
+        if len(issues) < 2:
             return None
-        return RowBurstTrain(requests=plan, start_ns=now, stride_ns=g)
+        return RowBurstTrain(issues=issues, refreshes=refreshes)
 
     def _apply_burst_train(self, train: RowBurstTrain) -> None:
         """Apply a planned train in one scheduler evaluation.
@@ -621,13 +721,37 @@ class RoMeMemoryController:
         Each command replays the ordinary release/retire/fill/issue sequence
         at its planned instant (so statistics, energy counters, the latency
         accumulator, and FSM peaks come out of the very same code paths the
-        per-step core uses); feasibility is re-validated per command and a
-        planner divergence raises instead of corrupting results.
+        per-step core uses); data feasibility is re-validated per command,
+        refreshes replay through :meth:`_try_issue_refresh` against the
+        live refresh scheduler, and any planner divergence raises instead
+        of corrupting results.
         """
         vbas = self._vbas
         max_fsms = self.config.max_data_fsms
-        for index, request in enumerate(train.requests):
-            t_k = train.start_ns + index * train.stride_ns
+        issues, refreshes = train.issues, train.refreshes
+        di = ri = 0
+        while di < len(issues) or ri < len(refreshes):
+            take_refresh = ri < len(refreshes) and (
+                di >= len(issues) or refreshes[ri][0] <= issues[di][0]
+            )
+            if take_refresh:
+                t_k, key = refreshes[ri]
+                ri += 1
+                self._release_finished(t_k)
+                self._retire_completed(t_k)
+                self._fill_queue()
+                issued = False
+                if self.refresh is not None \
+                        and self.refresh.most_urgent(t_k) == key:
+                    issued, _ = self._try_issue_refresh(t_k)
+                if not issued:
+                    raise RuntimeError(
+                        f"burst-train refresh plan diverged from scheduler "
+                        f"state at t={t_k}"
+                    )
+                continue
+            t_k, request = issues[di]
+            di += 1
             self._release_finished(t_k)
             self._retire_completed(t_k)
             self._fill_queue()
@@ -646,11 +770,12 @@ class RoMeMemoryController:
         """Event-driven advance to ``target_ns`` (or until drained).
 
         Saturated spans take the burst-train fast path: when the next run
-        of decisions is provably a same-kind column/row-command train with
-        no intervening event (see :meth:`_plan_burst_train`), the whole run
-        is planned and applied in one scheduler evaluation and time jumps
-        past it.  Trains are truncated at ``target_ns`` so externally
-        scheduled arrivals still land cycle-exactly.
+        of decisions is provably a same-kind row-command train -- including
+        the paired refreshes the refresh scheduler would interleave with it
+        (see :meth:`_plan_burst_train`) -- the whole run is planned and
+        applied in one scheduler evaluation and time jumps past it.  Trains
+        are truncated at ``target_ns`` so externally scheduled arrivals
+        still land cycle-exactly.
         """
         while self.now < target_ns:
             now = self.now

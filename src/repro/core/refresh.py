@@ -10,7 +10,7 @@ reduces the stall per VBA from ``2 x tRFCpb`` to ``tRFCpb + tRREFD``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.dram.timing import TimingParameters
 
@@ -111,8 +111,24 @@ class RomeRefreshScheduler:
         pairs = self.due(now)
         return pairs[0] if pairs else None
 
+    def slack_ns(self) -> int:
+        """Postponement headroom before a due refresh becomes critical.
+
+        Shared by :meth:`is_critical`, :meth:`next_event_ns`, and the
+        burst-train planner's refresh model so the three cannot drift.
+        """
+        return self.max_postponed * self.interval()
+
+    def due_snapshot(self) -> List[Tuple[tuple, int]]:
+        """Read-only ``((stack_id, vba), due_time)`` pairs for planning.
+
+        Due times are pairwise distinct by construction (staggered offsets,
+        bumps in whole intervals), so ordering by due time is total.
+        """
+        return list(self._next_due.items())
+
     def is_critical(self, key: tuple, now: int) -> bool:
-        return now - self._next_due[key] >= self.max_postponed * self.interval()
+        return now - self._next_due[key] >= self.slack_ns()
 
     def next_event_ns(self, now: int) -> Optional[int]:
         """Earliest future time a refresh decision can change.
@@ -124,7 +140,7 @@ class RomeRefreshScheduler:
         future event: they are issueable now and only wait on VBA busy time,
         which the controller tracks separately.
         """
-        slack = self.max_postponed * self.interval()
+        slack = self.slack_ns()
         best: Optional[int] = None
         for due in self._next_due.values():
             candidate = due if due > now else due + slack

@@ -139,10 +139,27 @@ class RefreshEngine:
         due = self.due_targets(now)
         return due[0] if due else None
 
+    def slack_ns(self) -> int:
+        """Postponement headroom: how long past its deadline a target may
+        slip before it becomes *critical* (the criticality threshold).
+
+        Shared by :meth:`is_critical`, :meth:`next_event_ns`, and the
+        burst-train planner's refresh model so the three cannot drift.
+        """
+        return self.max_postponed * self.interval()
+
+    def due_snapshot(self) -> List[Tuple[Tuple[int, int, int], int]]:
+        """Read-only ``((stack_id, bank_group, bank), due_time)`` pairs.
+
+        Seeds the burst-train planner's modeled copy of this engine.  Due
+        times are pairwise distinct by construction (staggered offsets,
+        bumps in whole intervals), so ordering by due time is total.
+        """
+        return list(self._next_due.items())
+
     def is_critical(self, target: RefreshTarget, now: int) -> bool:
         """True when the refresh can no longer be postponed."""
-        slack = self.max_postponed * self.interval()
-        return now - target.due_time >= slack
+        return now - target.due_time >= self.slack_ns()
 
     def next_event_ns(self, now: int) -> Optional[int]:
         """Earliest future time a refresh decision can change.
@@ -152,7 +169,7 @@ class RefreshEngine:
         instant the scheduler must force it through).  Already-critical
         targets generate no future event of their own.
         """
-        slack = self.max_postponed * self.interval()
+        slack = self.slack_ns()
         if self.mode is RefreshMode.ALL_BANK:
             deadlines = (self._next_all_bank,)
         else:

@@ -74,13 +74,15 @@ def measure_rome_core(core: str, total_bytes: int = 512 * 1024,
         "sim_ns_per_wall_s": end_ns / wall_s,
         # The frozen seed reference predates the counter and reports 0.
         "evaluations": getattr(controller.stats, "evaluations", 0),
+        "refreshes": controller.stats.refreshes_issued,
     }
 
 
-def measure_hbm4_core(core: str, total_bytes: int = 96 * 1024) -> Dict[str, Any]:
+def measure_hbm4_core(core: str, total_bytes: int = 96 * 1024,
+                      enable_refresh: bool = False) -> Dict[str, Any]:
     """Drain a streaming read trace on the conventional controller."""
     controller = ConventionalMemoryController(
-        config=ControllerConfig(num_stack_ids=1, enable_refresh=False)
+        config=ControllerConfig(num_stack_ids=1, enable_refresh=enable_refresh)
     )
     for request in streaming_trace(total_bytes, request_bytes=4096,
                                    kind=RequestKind.READ):
@@ -96,22 +98,26 @@ def measure_hbm4_core(core: str, total_bytes: int = 96 * 1024) -> Dict[str, Any]
         "wall_ms": wall_s * 1e3,
         "sim_ns_per_wall_s": end_ns / wall_s,
         "evaluations": controller.stats.evaluations,
+        "refreshes": controller.stats.refreshes_issued,
     }
 
 
-def _hbm4_tick_vs_event(total_bytes: int, repeats: int) -> Dict[str, Any]:
-    """Tick-vs-event comparison fields for one conventional streaming drain.
+def _tick_vs_event(measure, total_bytes: int, repeats: int,
+                   **kwargs) -> Dict[str, Any]:
+    """Tick-vs-event comparison fields for one streaming drain.
 
-    Shared by :func:`throughput_comparison` and
-    :func:`streaming_conventional_comparison` so the two rows can never
-    diverge on the cycle-exactness assertion or the speedup arithmetic.
+    Shared by every comparison row (conventional and RoMe, refresh on and
+    off) so they can never diverge on the cycle-exactness assertions or
+    the speedup arithmetic.
     """
-    tick = _best_rate(measure_hbm4_core, "tick", repeats,
-                      total_bytes=total_bytes)
-    event = _best_rate(measure_hbm4_core, "event", repeats,
-                       total_bytes=total_bytes)
+    tick = _best_rate(measure, "tick", repeats,
+                      total_bytes=total_bytes, **kwargs)
+    event = _best_rate(measure, "event", repeats,
+                       total_bytes=total_bytes, **kwargs)
     if tick["simulated_ns"] != event["simulated_ns"]:
         raise AssertionError("cores disagree on simulated time")
+    if tick["refreshes"] != event["refreshes"]:
+        raise AssertionError("cores disagree on refreshes issued")
     return {
         "total_bytes": total_bytes,
         "simulated_ns": event["simulated_ns"],
@@ -121,7 +127,15 @@ def _hbm4_tick_vs_event(total_bytes: int, repeats: int) -> Dict[str, Any]:
                     / max(tick["sim_ns_per_wall_s"], 1e-9)),
         "tick_evaluations": tick["evaluations"],
         "event_evaluations": event["evaluations"],
+        "refreshes": event["refreshes"],
     }
+
+
+def _hbm4_tick_vs_event(total_bytes: int, repeats: int,
+                        enable_refresh: bool = False) -> Dict[str, Any]:
+    """Conventional-controller specialization of :func:`_tick_vs_event`."""
+    return _tick_vs_event(measure_hbm4_core, total_bytes, repeats,
+                          enable_refresh=enable_refresh)
 
 
 def streaming_conventional_comparison(total_bytes: int = 512 * 1024,
@@ -138,6 +152,44 @@ def streaming_conventional_comparison(total_bytes: int = 512 * 1024,
     """
     row = {"scenario": "streaming_conventional"}
     row.update(_hbm4_tick_vs_event(total_bytes, repeats))
+    row["evaluation_reduction"] = (
+        row["tick_evaluations"] / max(row["event_evaluations"], 1)
+    )
+    return row
+
+
+def streaming_conventional_refresh_comparison(
+    total_bytes: int = 512 * 1024,
+    repeats: int = 2,
+) -> Dict[str, Any]:
+    """Refresh-enabled burst-train gate row.
+
+    Same saturated streaming drain as
+    :func:`streaming_conventional_comparison` but with per-bank refresh
+    *on* -- the configuration the paper actually evaluates.  Refresh-aware
+    planning must keep trains engaged across REFpb issue points, so
+    ``evaluation_reduction`` here is gated by ``bench-smoke``'s
+    ``--min-refresh-evaluation-reduction``.
+    """
+    row = {"scenario": "streaming_conventional_refresh"}
+    row.update(_hbm4_tick_vs_event(total_bytes, repeats, enable_refresh=True))
+    row["evaluation_reduction"] = (
+        row["tick_evaluations"] / max(row["event_evaluations"], 1)
+    )
+    return row
+
+
+def rome_refresh_comparison(total_bytes: int = 128 * 1024,
+                            repeats: int = 2) -> Dict[str, Any]:
+    """Refresh-enabled RoMe row: tick vs event core on a streaming drain.
+
+    Exercises :func:`measure_rome_core` with ``enable_refresh=True`` so the
+    perf trajectory tracks the paper's steady state (paired per-VBA
+    refreshes interleaved with the stream) on the RoMe controller too.
+    """
+    row = {"scenario": "rome_refresh"}
+    row.update(_tick_vs_event(measure_rome_core, total_bytes, repeats,
+                              enable_refresh=True))
     row["evaluation_reduction"] = (
         row["tick_evaluations"] / max(row["event_evaluations"], 1)
     )

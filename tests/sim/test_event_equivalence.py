@@ -241,12 +241,16 @@ def test_conventional_burst_train_drain_is_bit_identical(name, enable_refresh):
     event_controller, event = _drain_conventional(make(), True, enable_refresh)
     tick_controller, tick = _drain_conventional(make(), False, enable_refresh)
     assert event == tick
-    if name == "streaming" and not enable_refresh:
-        # The fast path must actually engage on saturated streaming: >= 5x
-        # fewer scheduler evaluations than one-per-nanosecond (the full
-        # 512 KiB drain exceeds 10x; this smaller one keeps CI fast).
+    if name == "streaming":
+        # The fast path must actually engage on saturated streaming -- with
+        # refresh *on* as well, since refresh-aware planning splices REFpb
+        # into trains instead of disengaging: >= 5x fewer scheduler
+        # evaluations than one-per-nanosecond (the full 512 KiB drain
+        # exceeds 10x; this smaller one keeps CI fast).
         assert event_controller.stats.evaluations * 5 \
             <= tick_controller.stats.evaluations
+        if enable_refresh:
+            assert event_controller.stats.refreshes_issued > 0
 
 
 @pytest.mark.parametrize("page_policy", ["close", "adaptive"])
@@ -260,9 +264,9 @@ def test_conventional_non_open_policies_stay_exact(page_policy):
     assert event == tick
 
 
-def _run_conventional_with_arrivals(event_driven):
+def _run_conventional_with_arrivals(event_driven, enable_refresh=False):
     controller = ConventionalMemoryController(
-        config=ControllerConfig(num_stack_ids=1, enable_refresh=False)
+        config=ControllerConfig(num_stack_ids=1, enable_refresh=enable_refresh)
     )
     # Lockstep mode is forced with an on_cycle hook (the legacy escape
     # hatch); event mode uses arrival-bounded advance_to.
@@ -291,14 +295,16 @@ def _run_conventional_with_arrivals(event_driven):
     return controller, arrivals
 
 
-def test_arrival_mid_train_truncates_at_exact_nanosecond():
+@pytest.mark.parametrize("enable_refresh", [False, True])
+def test_arrival_mid_train_truncates_at_exact_nanosecond(enable_refresh):
     """A ``Simulation.at`` arrival due mid-train must be enqueued before
     any controller evaluates that instant: the event run (with burst
-    trains) and the forced-lockstep run must agree on every statistic and
-    on the arrivals' completion times."""
+    trains, refresh-aware when enabled) and the forced-lockstep run must
+    agree on every statistic and on the arrivals' completion times."""
     fingerprints = []
     for event_driven in (False, True):
-        controller, arrivals = _run_conventional_with_arrivals(event_driven)
+        controller, arrivals = _run_conventional_with_arrivals(
+            event_driven, enable_refresh)
         assert all(request.completion_ns is not None for request in arrivals)
         fingerprints.append((
             controller.now,
@@ -328,3 +334,180 @@ def test_rome_burst_train_engages_and_matches_seed_reference():
     # One evaluation per issued command would be ~96*4 evaluations; trains
     # collapse the whole drain into a handful.
     assert event.stats.evaluations <= event.stats.served_reads // 10
+
+
+def test_rome_refresh_enabled_burst_trains_engage_and_match_seed():
+    """Refresh-aware trains must keep the RoMe fast path engaged under
+    refresh pressure (the paper's steady state) while staying bit-identical
+    to the frozen seed oracle -- trains now ride across the interleaved
+    paired-refresh issue points instead of falling back."""
+    config = RoMeControllerConfig(num_stack_ids=1, enable_refresh=True)
+    requests = _streaming_rows(128 * 4096)
+    event = RoMeMemoryController(config=config)
+    for request in requests:
+        event.enqueue(request)
+    event.run_until_idle()
+    seed_fingerprint = _run_rome(
+        lambda: ReferenceRoMeController(config=config),
+        _streaming_rows(128 * 4096), lambda c: c.run_until_idle(),
+    )
+    assert _rome_fingerprint(event, requests) == seed_fingerprint
+    assert event.stats.refreshes_issued > 0
+    # The tick core would evaluate once per nanosecond; refresh-aware
+    # trains keep the reduction well above the 5x acceptance floor.
+    assert event.stats.evaluations * 5 <= event.now
+
+
+def test_rome_arrival_mid_train_with_refresh_is_lockstep_identical():
+    """RoMe arrivals scheduled mid-train (refresh enabled) must truncate
+    trains at the exact arrival instant: the event run and the forced
+    lockstep run agree on every statistic and completion time."""
+    fingerprints = []
+    for event_driven in (False, True):
+        controller = RoMeMemoryController(
+            config=RoMeControllerConfig(num_stack_ids=1, enable_refresh=True)
+        )
+        simulation = Simulation(
+            controllers=[controller],
+            on_cycle=None if event_driven else (lambda now: None),
+        )
+        initial = _streaming_rows(48 * 4096)
+        for request in initial:
+            controller.enqueue(request)
+        arrivals = _streaming_rows(16 * 4096)
+        for index, request in enumerate(arrivals):
+            time_ns = 53 + 97 * index
+            request.arrival_ns = time_ns
+            simulation.at(
+                time_ns,
+                lambda now, request=request: controller.enqueue(request),
+            )
+        simulation.run_for(4000)
+        controller.run_until_idle(event_driven=event_driven)
+        assert all(r.completion_ns is not None for r in initial + arrivals)
+        fingerprints.append((
+            controller.now,
+            controller.stats,
+            controller.energy_counters(),
+            [r.completion_ns for r in initial + arrivals],
+        ))
+    assert fingerprints[0] == fingerprints[1]
+
+
+# -------------------------------------------------- refresh postponement edge
+
+
+@pytest.mark.parametrize("max_postponed", [0, 1])
+@pytest.mark.parametrize("name", ["streaming", "mixed"])
+def test_conventional_postponement_edge_stays_bit_identical(
+        name, max_postponed):
+    """With the postponement budget at its edge every due refresh turns
+    critical (almost) immediately, forcing planned critical precharges into
+    trains; results must stay tick-identical."""
+    fingerprints = []
+    for event_driven in (False, True):
+        controller = ConventionalMemoryController(
+            config=ControllerConfig(num_stack_ids=1, enable_refresh=True)
+        )
+        for engine in controller.scheduler.refresh_engines:
+            engine.max_postponed = max_postponed
+        for request in _conventional_trace(name, seed=29):
+            controller.enqueue(request)
+        end = controller.run_until_idle(event_driven=event_driven)
+        fingerprints.append((
+            end,
+            controller.stats,
+            controller.channel.command_counts(),
+            controller.energy_counters(),
+        ))
+    assert fingerprints[0] == fingerprints[1]
+    assert fingerprints[0][1].refreshes_issued > 0
+
+
+@pytest.mark.parametrize("max_postponed", [0, 1])
+def test_rome_postponement_edge_stays_bit_identical(max_postponed):
+    """Critical refreshes bypass refresh-FSM saturation; at the edge of the
+    postponement budget the planner must model that transition exactly."""
+    fingerprints = []
+    for event_driven in (False, True):
+        controller = RoMeMemoryController(
+            config=RoMeControllerConfig(num_stack_ids=2, enable_refresh=True)
+        )
+        controller.refresh.max_postponed = max_postponed
+        for request in _mixed_rows(seed=17, count=160):
+            controller.enqueue(request)
+        controller.run_until_idle(event_driven=event_driven)
+        fingerprints.append((controller.now, controller.stats,
+                             controller.energy_counters()))
+    assert fingerprints[0] == fingerprints[1]
+    assert fingerprints[0][1].refreshes_issued > 0
+
+
+# ------------------------------------------------- refresh-knob property sweep
+
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+@settings(deadline=None, max_examples=12)
+@given(
+    trefipb=st.integers(min_value=40, max_value=300),
+    trfcpb=st.integers(min_value=40, max_value=400),
+    max_postponed=st.integers(min_value=0, max_value=6),
+)
+def test_conventional_refresh_knobs_property_bit_identity(
+        trefipb, trfcpb, max_postponed):
+    """Train-vs-tick bit-identity must hold across the refresh timing
+    design space: deadline cadence (tREFIpb), stall length (tRFCpb), and
+    the postponement bound / criticality threshold."""
+    from repro.dram.timing import TimingParameters
+
+    timing = TimingParameters(tREFIpb=trefipb, tRFCpb=trfcpb)
+    fingerprints = []
+    for event_driven in (False, True):
+        controller = ConventionalMemoryController(
+            config=ControllerConfig(num_stack_ids=1, enable_refresh=True,
+                                    timing=timing)
+        )
+        for engine in controller.scheduler.refresh_engines:
+            engine.max_postponed = max_postponed
+        for request in streaming_trace(16 * 1024, request_bytes=4096,
+                                       kind=RequestKind.READ):
+            controller.enqueue(request)
+        end = controller.run_until_idle(event_driven=event_driven)
+        fingerprints.append((
+            end,
+            controller.stats,
+            controller.channel.command_counts(),
+            controller.energy_counters(),
+        ))
+    assert fingerprints[0] == fingerprints[1]
+
+
+@settings(deadline=None, max_examples=12)
+@given(
+    trefipb=st.integers(min_value=40, max_value=300),
+    trfcpb=st.integers(min_value=40, max_value=400),
+    max_postponed=st.integers(min_value=0, max_value=6),
+)
+def test_rome_refresh_knobs_property_bit_identity(
+        trefipb, trfcpb, max_postponed):
+    """Same sweep on the RoMe controller: the planner's modeled refresh
+    FSM pool, VBA stalls, and criticality transitions must stay exact for
+    any legal knob combination."""
+    from repro.dram.timing import TimingParameters
+
+    conventional = TimingParameters(tREFIpb=trefipb, tRFCpb=trfcpb)
+    fingerprints = []
+    for event_driven in (False, True):
+        controller = RoMeMemoryController(
+            config=RoMeControllerConfig(num_stack_ids=2, enable_refresh=True,
+                                        conventional_timing=conventional)
+        )
+        controller.refresh.max_postponed = max_postponed
+        for request in _mixed_rows(seed=23, count=120):
+            controller.enqueue(request)
+        controller.run_until_idle(event_driven=event_driven)
+        fingerprints.append((controller.now, controller.stats,
+                             controller.energy_counters()))
+    assert fingerprints[0] == fingerprints[1]

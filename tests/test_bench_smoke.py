@@ -1,15 +1,20 @@
 """Tier-1 smoke invocation of the ``bench-smoke`` CI gate.
 
 Runs the real CLI entry point with thresholds low enough for the 1-CPU CI
-container, asserting (a) the gates pass and the BENCH_<date> perf document
-is written, and (b) a gate failure really exits non-zero -- so a perf
+container, asserting (a) the gates pass and the perf document is written to
+the ``--output`` path, (b) a gate failure really exits non-zero -- so a perf
 regression in the burst-train fast path fails the tier-1 flow rather than
-only the (optional) benchmark suite.
+only the (optional) benchmark suite -- and (c) the perf documents, including
+the BENCH_* trajectory committed at the repo root, satisfy the report schema
+so the in-repo history stays machine-readable.
 """
 
 import json
+import pathlib
 
 from repro.cli import main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 
 
 def _argv(out_path, **overrides):
@@ -21,17 +26,44 @@ def _argv(out_path, **overrides):
         "--conventional-bytes": "131072",
         "--repeats": "1",
         # Wall-clock gates are kept permissive (shared CI box); the
-        # evaluation-reduction gate is structural and deterministic, so it
-        # stays meaningful even here.
+        # evaluation-reduction gates are structural and deterministic, so
+        # they stay meaningful even here.
         "--min-speedup": "2",
         "--min-conventional-speedup": "0.5",
         "--min-evaluation-reduction": "5",
+        "--min-refresh-evaluation-reduction": "5",
     }
     gates.update(overrides)
-    argv = ["--json", "bench-smoke", "--bench-out", str(out_path)]
+    argv = ["--json", "bench-smoke", "--output", str(out_path)]
     for flag, value in gates.items():
         argv += [flag, value]
     return argv
+
+
+def _assert_report_schema(report):
+    """The perf-document schema the in-repo trajectory must satisfy."""
+    assert isinstance(report["gates_passed"], bool)
+    meta = report["meta"]
+    assert meta["schema"] >= 2
+    assert isinstance(meta["generated_utc"], str) and meta["generated_utc"]
+    assert isinstance(meta["package_version"], str)
+    assert isinstance(meta["cpu_count"], int) and meta["cpu_count"] >= 1
+    assert meta["label"] is None or isinstance(meta["label"], str)
+    for knob in ("bytes", "conventional_bytes", "repeats", "workers"):
+        assert isinstance(meta["parameters"][knob], int)
+    assert {row["system"] for row in report["core"]} == {"rome", "hbm4"}
+    for key, scenario in (
+        ("streaming_conventional", "streaming_conventional"),
+        ("streaming_conventional_refresh", "streaming_conventional_refresh"),
+        ("rome_refresh", "rome_refresh"),
+    ):
+        row = report[key]
+        assert row["scenario"] == scenario
+        assert row["tick_evaluations"] >= row["event_evaluations"] > 0
+        assert row["evaluation_reduction"] > 0
+    assert report["streaming_conventional_refresh"]["refreshes"] > 0
+    assert {row["phase"] for row in report["sweep"]} == {"cold", "warm"}
+    assert report["cache"]["cold_ms"] > 0
 
 
 def test_bench_smoke_gates_pass_and_write_perf_document(capsys, tmp_path):
@@ -40,14 +72,37 @@ def test_bench_smoke_gates_pass_and_write_perf_document(capsys, tmp_path):
     capsys.readouterr()
     report = json.loads(out.read_text())
     assert report["gates_passed"] is True
+    _assert_report_schema(report)
     streaming = report["streaming_conventional"]
     assert streaming["evaluation_reduction"] >= 5.0
     assert streaming["tick_evaluations"] == streaming["simulated_ns"]
+    # The tentpole acceptance gate: refresh-enabled saturated streaming
+    # stays >= 5x fewer evaluations than the 1-ns tick core.
+    refresh = report["streaming_conventional_refresh"]
+    assert refresh["evaluation_reduction"] >= 5.0
+    assert refresh["tick_evaluations"] == refresh["simulated_ns"]
+
+
+def test_bench_smoke_label_is_stamped_into_metadata(capsys, tmp_path):
+    out = tmp_path / "BENCH_label.json"
+    assert main(_argv(out, **{"--label": "tier1@abc1234"})) == 0
+    capsys.readouterr()
+    assert json.loads(out.read_text())["meta"]["label"] == "tier1@abc1234"
 
 
 def test_bench_smoke_exits_nonzero_on_gate_failure(capsys, tmp_path):
     out = tmp_path / "BENCH_fail.json"
-    assert main(_argv(out, **{"--min-evaluation-reduction": "1e9"})) == 1
+    assert main(_argv(out, **{"--min-refresh-evaluation-reduction": "1e9"})) \
+        == 1
     captured = capsys.readouterr()
-    assert "evaluation reduction" in captured.err
+    assert "refresh" in captured.err
     assert json.loads(out.read_text())["gates_passed"] is False
+
+
+def test_committed_bench_trajectory_matches_schema():
+    """Every BENCH_<date>.json committed at the repo root must stay
+    machine-readable under the report schema."""
+    documents = sorted(REPO_ROOT.glob("BENCH_*.json"))
+    assert documents, "no committed BENCH_<date>.json trajectory found"
+    for document in documents:
+        _assert_report_schema(json.loads(document.read_text()))

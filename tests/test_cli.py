@@ -127,7 +127,9 @@ def test_bench_smoke_reports_sweep_and_cache_rows(capsys, tmp_path):
                  "--min-evaluation-reduction", "0",
                  "--bench-out", str(out)]) == 0
     report = json.loads(capsys.readouterr().out)
-    assert set(report) == {"core", "streaming_conventional", "sweep", "cache"}
+    assert set(report) == {"meta", "core", "streaming_conventional",
+                           "streaming_conventional_refresh", "rome_refresh",
+                           "sweep", "cache"}
     assert {row["system"] for row in report["core"]} == {"rome", "hbm4"}
     assert {row["phase"] for row in report["sweep"]} == {"cold", "warm"}
     warm = next(row for row in report["sweep"] if row["phase"] == "warm")
