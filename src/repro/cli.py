@@ -10,15 +10,19 @@ Provides quick access to the main experiments without writing code:
 * ``rome-repro pins`` -- Figure 10: C/A pin sweep and channel expansion.
 * ``rome-repro design-space`` -- the six-point VBA design space.
 * ``rome-repro trends`` -- Figure 2: HBM generation trends.
+* ``rome-repro workload`` -- arrival-driven LLM serving workloads
+  (decode serving, prefill-interleaved, mixed-tenant, antagonist) on the
+  cycle-level controllers, with per-request latency percentiles.
 * ``rome-repro bench-smoke`` -- CI perf smoke: seed-tick vs event-driven
   simulation-core throughput, with a ``--min-speedup`` gate, plus
-  sweep-runner and trace-cache checks.
+  sweep-runner, trace-cache, and serving-workload checks.
 
 Sweep-style subcommands (``tpot``, ``lbr``, ``queue-depth``,
-``design-space``, ``bandwidth``) accept ``--workers N`` to shard their
-independent points across a process pool via :mod:`repro.sim.sweep`;
-``--workers 1`` (default) is the exact serial path and ``--workers 0``
-means one worker per CPU.  Results are identical at any worker count.
+``design-space``, ``bandwidth``, ``workload``) accept ``--workers N`` to
+shard their independent points across a process pool via
+:mod:`repro.sim.sweep`; ``--workers 1`` (default) is the exact serial
+path and ``--workers 0`` means one worker per CPU.  Results are
+identical at any worker count.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import warnings
 from typing import Any, Dict, List, Optional
 
 
@@ -170,6 +175,49 @@ def cmd_trends(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_workload(args: argparse.Namespace) -> int:
+    from repro.workloads import ScenarioSpec, available_scenarios, workload_sweep
+
+    if args.scenario not in available_scenarios():
+        print(f"error: unknown scenario {args.scenario!r}; known: "
+              f"{', '.join(available_scenarios())}", file=sys.stderr)
+        return 2
+    systems = ("rome", "hbm4") if args.system == "both" else (args.system,)
+    spec = ScenarioSpec(
+        scenario=args.scenario,
+        rate_per_s=args.rate[0],
+        num_requests=args.requests,
+        seed=args.seed,
+        model_name=args.model,
+        enable_refresh=args.refresh,
+    )
+    specs = [
+        spec.with_rate(rate).with_system(system)
+        for rate in args.rate
+        for system in systems
+    ]
+    results = workload_sweep(specs, workers=args.workers)
+    rows = []
+    # run_sweep returns values in input order, so each row's labels come
+    # from the very spec that produced it (plus the result's own fields).
+    for point, result in zip(specs, results):
+        rows.append({
+            "scenario": result.scenario,
+            "system": result.system,
+            "rate_per_s": point.rate_per_s,
+            "transfers": result.transfers,
+            "p50_latency_ns": result.latency.p50,
+            "p99_latency_ns": result.latency.p99,
+            "avg_latency_ns": result.latency.average,
+            "achieved_gbps": result.bandwidth.achieved_gbps,
+            "utilization": result.utilization,
+            "saturated": result.saturated,
+            "evaluations": result.evaluations,
+        })
+    _print_rows(rows, args.json)
+    return 0
+
+
 def cmd_bench_smoke(args: argparse.Namespace) -> int:
     import datetime
     import os
@@ -183,6 +231,7 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
         sweep_throughput,
         throughput_comparison,
         trace_cache_comparison,
+        workload_decode_serving_comparison,
     )
 
     if args.bytes < 4096:
@@ -210,6 +259,10 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
     rome_refresh = rome_refresh_comparison(
         total_bytes=args.bytes, repeats=args.repeats,
     )
+    # Serving-workload smoke: the saturating open-loop decode scenario on
+    # both controllers, event core vs forced lockstep on the same
+    # compiled arrival schedule (cycle-exactness asserted inside).
+    workload_rows = workload_decode_serving_comparison(repeats=args.repeats)
     # Sweep-runner smoke: per-worker point throughput, cold vs warm cache.
     sweep_rows = sweep_throughput(workers=args.workers)
     # Trace-cache smoke: the cached second derivation of a sweep point's
@@ -219,7 +272,7 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
 
     report = {
         "meta": {
-            "schema": 2,
+            "schema": 3,
             "generated_utc": datetime.datetime.now(
                 datetime.timezone.utc).isoformat(timespec="seconds"),
             "package_version": __version__,
@@ -236,6 +289,7 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
         "streaming_conventional": streaming,
         "streaming_conventional_refresh": streaming_refresh,
         "rome_refresh": rome_refresh,
+        "workload": workload_rows,
         "sweep": sweep_rows,
         "cache": cache,
     }
@@ -245,6 +299,8 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
         _print_rows(core_rows, False)
         print()
         _print_rows([streaming, streaming_refresh, rome_refresh], False)
+        print()
+        _print_rows(workload_rows, False)
         print()
         _print_rows(sweep_rows, False)
         print()
@@ -281,6 +337,15 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
             f"--min-refresh-evaluation-reduction gate of "
             f"{args.min_refresh_evaluation_reduction:g}x"
         )
+    if args.min_workload_bandwidth_fraction > 0:
+        for row in workload_rows:
+            if row["bandwidth_fraction"] < args.min_workload_bandwidth_fraction:
+                failures.append(
+                    f"{row['system']} saturating decode-serving workload "
+                    f"delivered {row['bandwidth_fraction']:.2f} of peak "
+                    f"bandwidth, below the --min-workload-bandwidth-fraction "
+                    f"gate of {args.min_workload_bandwidth_fraction:g}"
+                )
     warm = next(row for row in sweep_rows if row["phase"] == "warm")
     if warm["cache_hits"] == 0:
         failures.append("warm sweep run recorded no trace-cache hits")
@@ -305,6 +370,26 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
             json.dumps(report, indent=2, default=str) + "\n"
         )
     return 1 if failures else 0
+
+
+class _DeprecatedAliasAction(argparse.Action):
+    """Store the value, warning when the deprecated spelling was used."""
+
+    deprecated = "--bench-out"
+    replacement = "--output"
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        if option_string == self.deprecated:
+            # FutureWarning is shown by default (DeprecationWarning is
+            # filtered outside __main__/pytest, so real CLI users would
+            # never see the migration nudge).
+            warnings.warn(
+                f"{self.deprecated} is deprecated and will be removed; "
+                f"use {self.replacement}",
+                FutureWarning,
+                stacklevel=2,
+            )
+        setattr(namespace, self.dest, values)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -387,6 +472,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_trends)
 
     p = sub.add_parser(
+        "workload",
+        help="arrival-driven LLM serving workloads (Section VI serving "
+             "traffic) on the cycle-level controllers: per-request latency "
+             "percentiles, achieved bandwidth, and a saturation flag",
+    )
+    add_workers_arg(p)
+    p.add_argument("--scenario", default="decode-serving",
+                   help="registered scenario name (streaming-drain, "
+                        "decode-serving, prefill-interleaved, mixed-tenant, "
+                        "antagonist)")
+    p.add_argument("--rate", type=float, nargs="+", default=[200.0],
+                   help="arrival rate(s) in requests per simulated second; "
+                        "several values form a sweep whose points shard "
+                        "across --workers")
+    p.add_argument("--model", default="deepseek-v3",
+                   help="LLM whose tensor populations drive the serving "
+                        "traffic (Figure 1)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="arrival-process seed; equal seeds compile "
+                        "bit-identical schedules in any process")
+    p.add_argument("--requests", type=int, default=32,
+                   help="number of serving requests per point")
+    p.add_argument("--system", choices=["both", "rome", "hbm4"],
+                   default="both",
+                   help="which controller(s) to run each point on")
+    p.add_argument("--refresh", action="store_true",
+                   help="enable per-bank refresh in the simulated "
+                        "controllers")
+    p.set_defaults(func=cmd_workload)
+
+    p = sub.add_parser(
         "bench-smoke",
         help="CI perf smoke: seed-tick vs event-driven cores, the "
              "conventional burst-train gates (refresh off and on), the "
@@ -420,14 +536,20 @@ def build_parser() -> argparse.ArgumentParser:
                         "this factor on the refresh-enabled streaming drain "
                         "-- the configuration the paper evaluates "
                         "(0 disables)")
+    p.add_argument("--min-workload-bandwidth-fraction", type=float,
+                   default=0.5,
+                   help="exit non-zero when the saturating decode-serving "
+                        "workload delivers less than this fraction of peak "
+                        "bandwidth on either controller (0 disables)")
     p.add_argument("--label", default=None,
                    help="free-form label stamped into the perf document's "
                         "metadata (e.g. the tier-1 commit under test)")
     p.add_argument("--output", "--bench-out", dest="bench_out", default=None,
+                   action=_DeprecatedAliasAction,
                    help="path for the JSON perf document (default: "
                         "BENCH_<UTC-date>.json in the current directory; "
                         "'' disables the write; --bench-out is a deprecated "
-                        "alias)")
+                        "alias that warns)")
     p.set_defaults(func=cmd_bench_smoke)
     return parser
 

@@ -664,6 +664,14 @@ class FrFcfsScheduler:
             t = now + offset
             if t > last_allowed:
                 break
+            if rq.live == 0 and wq.live == 0 and backlog_peek(bi) is None:
+                # All modeled work is exhausted, so ``_pending`` went false
+                # during the previous step and a draining per-step core
+                # stops evaluating there.  Planning further (refresh-only)
+                # steps would issue commands at instants the tick core
+                # never reaches; end the train and let single-step
+                # evaluation handle whatever tail remains.
+                break
             undo_bi, undo_draining = bi, draining
             undo_state = [
                 (qm, len(qm.entries), qm.live, qm.pushed, qm.peak, qm.cursor,

@@ -201,6 +201,89 @@ def _best_rate(measure, core: str, repeats: int, **kwargs) -> Dict[str, Any]:
     return max(rows, key=lambda row: row["sim_ns_per_wall_s"])
 
 
+# ------------------------------------------------------------- workloads
+
+
+def saturating_decode_spec(system: str):
+    """The bench workload: open-loop decode serving that offers more
+    bytes per iteration interval than the channel can move, so the run
+    saturates and achieved bandwidth approaches the streaming peak."""
+    from repro.workloads.scenarios import ScenarioSpec
+    from repro.workloads.serving import ServingConfig
+
+    serving = ServingConfig(
+        model_name="grok-1",
+        batch_capacity=4,
+        prompt_tokens=256,
+        output_tokens=3,
+        iteration_interval_ns=256,
+        traffic_scale=2.0 ** -23,
+    )
+    return ScenarioSpec(scenario="decode-serving", system=system,
+                        rate_per_s=1_000_000.0, num_requests=4, seed=0,
+                        serving=serving)
+
+
+def measure_workload_core(core: str, system: str) -> Dict[str, Any]:
+    """Run the saturating decode-serving workload on one core."""
+    from repro.workloads.driver import run_workload
+
+    start = time.perf_counter()
+    result = run_workload(saturating_decode_spec(system),
+                          event_driven=(core == "event"))
+    wall_s = max(time.perf_counter() - start, 1e-9)
+    return {
+        "system": system,
+        "core": core,
+        "total_bytes": result.bandwidth.bytes_transferred,
+        "simulated_ns": result.end_ns,
+        "wall_ms": wall_s * 1e3,
+        "sim_ns_per_wall_s": result.end_ns / wall_s,
+        "evaluations": result.evaluations,
+        "bandwidth_fraction": result.utilization,
+        "saturated": result.saturated,
+        "p99_latency_ns": result.latency.p99,
+    }
+
+
+def workload_decode_serving_comparison(repeats: int = 1) -> List[Dict[str, Any]]:
+    """Per-controller rows for the saturating decode-serving workload.
+
+    One row per system (``rome``, ``hbm4``), each comparing the event
+    core against forced per-nanosecond lockstep on the *same* compiled
+    arrival schedule; the simulated outcome must agree bit-for-bit
+    (asserted), so the row reports wall-clock, evaluations, and --
+    the ``bench-smoke`` gate -- the achieved-bandwidth fraction of the
+    saturated run (``--min-workload-bandwidth-fraction``).
+    """
+    rows: List[Dict[str, Any]] = []
+    for system in ("rome", "hbm4"):
+        tick = _best_rate(measure_workload_core, "tick", repeats,
+                          system=system)
+        event = _best_rate(measure_workload_core, "event", repeats,
+                           system=system)
+        if tick["simulated_ns"] != event["simulated_ns"]:
+            raise AssertionError("cores disagree on simulated time")
+        if tick["bandwidth_fraction"] != event["bandwidth_fraction"]:
+            raise AssertionError("cores disagree on delivered bandwidth")
+        rows.append({
+            "scenario": "workload_decode_serving",
+            "system": system,
+            "total_bytes": event["total_bytes"],
+            "simulated_ns": event["simulated_ns"],
+            "tick_ns_per_s": tick["sim_ns_per_wall_s"],
+            "event_ns_per_s": event["sim_ns_per_wall_s"],
+            "speedup": (event["sim_ns_per_wall_s"]
+                        / max(tick["sim_ns_per_wall_s"], 1e-9)),
+            "tick_evaluations": tick["evaluations"],
+            "event_evaluations": event["evaluations"],
+            "bandwidth_fraction": event["bandwidth_fraction"],
+            "saturated": event["saturated"],
+            "p99_latency_ns": event["p99_latency_ns"],
+        })
+    return rows
+
+
 def sweep_throughput(
     workers: int = 1,
     depths: Sequence[int] = (1, 2, 4, 8),

@@ -99,8 +99,22 @@ class Simulation:
 
         Callbacks run before controllers evaluate that instant, so enqueuing
         requests from one behaves exactly like the legacy per-ns ``on_cycle``
-        injection.  Callbacks scheduled in the past fire at the next advance.
+        injection.
+
+        Edge contract (the workload driver relies on both halves, in event
+        and lockstep mode alike):
+
+        * several callbacks registered for the *same* nanosecond fire in
+          registration order;
+        * a callback registered at the current instant -- or in the past --
+          fires *immediately*, synchronously, before :meth:`at` returns.
+          It can therefore never be silently deferred past its due time
+          (a schedule whose first record is at t=0 enqueues its requests
+          at registration, ahead of the first advance).
         """
+        if time_ns <= self.now:
+            callback(self.now)
+            return
         heapq.heappush(self._schedule, (time_ns, self._schedule_seq, callback))
         self._schedule_seq += 1
 

@@ -8,6 +8,13 @@ This module runs such sweeps across a ``concurrent.futures``
 process pool and reports aggregate statistics, including trace-cache
 hit/miss counters from :mod:`repro.trace_cache`.
 
+Sweep points may be load-then-drain measurements *or* arrival-driven
+workloads: a workload point is a picklable
+:class:`~repro.workloads.scenarios.ScenarioSpec` whose schedule is
+recompiled deterministically inside the worker (seeded arrival
+processes), so both families shard identically and ``workers=1`` stays
+bit-identical to any parallel run.
+
 Guarantees
 ----------
 *Deterministic ordering.*  ``run_sweep`` returns one value per input
@@ -210,7 +217,11 @@ def _apply(fn: Callable[..., Any], point: Any) -> Any:
     """Call ``fn`` on one sweep point.
 
     Mappings expand to keyword arguments, tuples to positional arguments,
-    and anything else is passed as the single positional argument.
+    and anything else is passed as the single positional argument -- which
+    is how spec-object points travel: an arrival-driven workload point is
+    a frozen :class:`~repro.workloads.scenarios.ScenarioSpec` (not a
+    closure), handed whole to ``fn`` so the worker process recompiles the
+    schedule from the spec's seed.
     """
     if isinstance(point, Mapping):
         return fn(**point)

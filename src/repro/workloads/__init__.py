@@ -1,0 +1,64 @@
+"""Arrival-driven LLM serving workloads.
+
+The paper's evaluation is about *serving traffic* -- decode-stage KV and
+weight streams arriving continuously at the memory system -- while the
+simulators historically only ran load-then-drain points.  This package
+turns the event core into a scenario machine:
+
+* :mod:`repro.workloads.arrivals` -- deterministic, seed-driven arrival
+  processes compiled into explicit :class:`ArrivalSchedule` objects;
+* :mod:`repro.workloads.serving` -- a continuous-batching decode-serving
+  model composing the per-token tensor populations of
+  :mod:`repro.llm.traffic` into per-iteration memory-transfer batches;
+* :mod:`repro.workloads.scenarios` -- a named scenario registry
+  (:data:`SCENARIOS`) keyed by a small picklable :class:`ScenarioSpec`;
+* :mod:`repro.workloads.driver` -- compiles a schedule onto
+  ``Simulation.at()`` callbacks, runs either controller, and returns a
+  :class:`WorkloadResult` (per-request latency percentiles, achieved
+  bandwidth, evaluations, saturation flag).
+"""
+
+from repro.workloads.arrivals import (
+    ArrivalSchedule,
+    BurstyArrivals,
+    FixedRateArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+    Transfer,
+    compile_schedule,
+)
+from repro.workloads.driver import (
+    WorkloadResult,
+    rate_sweep,
+    run_workload,
+    run_workload_point,
+    workload_sweep,
+)
+from repro.workloads.scenarios import (
+    SCENARIOS,
+    ScenarioSpec,
+    available_scenarios,
+    build_schedule,
+)
+from repro.workloads.serving import DecodeServingModel, ServingConfig
+
+__all__ = [
+    "ArrivalSchedule",
+    "BurstyArrivals",
+    "DecodeServingModel",
+    "FixedRateArrivals",
+    "PoissonArrivals",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "ServingConfig",
+    "TraceArrivals",
+    "Transfer",
+    "WorkloadResult",
+    "available_scenarios",
+    "build_schedule",
+    "compile_schedule",
+    "rate_sweep",
+    "run_workload",
+    "run_workload_point",
+    "workload_sweep",
+]

@@ -1,0 +1,290 @@
+"""Run compiled workload schedules on the cycle-level controllers.
+
+The driver is the bridge between a scenario's
+:class:`~repro.workloads.arrivals.ArrivalSchedule` and the event core:
+every ``(time_ns, transfer)`` record becomes a
+:meth:`repro.sim.engine.Simulation.at` callback that materializes the
+transfer as controller requests at its exact arrival instant, the engine
+advances arrival-to-arrival (trains truncate at the horizon), and the run
+drains to idle after the last arrival.
+
+Contracts the driver relies on (tested in ``tests/sim/test_engine.py``):
+
+* records sharing a nanosecond are registered in schedule order and
+  ``Simulation.at`` fires same-instant callbacks in registration order;
+* a record at the current instant (time 0 before the first advance)
+  fires immediately at registration, so no arrival can be lost ahead of
+  the first ``run_for``.
+
+Determinism: given the same :class:`ScenarioSpec`, every run -- serial,
+pool worker, fork or spawn start method, event or lockstep core --
+simulates the same cycles and returns an equal :class:`WorkloadResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.controller.mc import ControllerConfig, ConventionalMemoryController
+from repro.controller.request import MemoryRequest, RequestKind
+from repro.core.controller import RoMeControllerConfig, RoMeMemoryController
+from repro.core.interface import RowRequestKind, requests_for_transfer
+from repro.core.virtual_bank import paper_vba_config
+from repro.defaults import DEFAULT_DRAIN_HORIZON_NS
+from repro.latency import LatencyAccumulator
+from repro.sim.engine import Simulation
+from repro.sim.stats import BandwidthResult, LatencyResult
+from repro.sim.sweep import SweepResult, run_sweep
+from repro.workloads.arrivals import ArrivalSchedule, Transfer
+from repro.workloads.scenarios import ScenarioSpec, build_schedule
+
+__all__ = [
+    "WorkloadResult",
+    "rate_sweep",
+    "run_workload",
+    "run_workload_point",
+    "workload_sweep",
+]
+
+#: A drain tail longer than this fraction of the arrival horizon means the
+#: channel could not keep up with the offered load.
+_SATURATION_TAIL_FRACTION = 0.1
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of one arrival-driven workload run.
+
+    ``latency`` holds per-request statistics -- one sample per scheduled
+    transfer, from its arrival instant to the completion of its last
+    memory request -- accumulated through the bounded deterministic
+    :class:`~repro.latency.LatencyAccumulator`, so percentiles stay
+    available for million-request runs without unbounded memory.
+    ``latency_by_tag`` breaks the same samples out per traffic class
+    (``"decode"``, ``"prefill"``, ``"foreground"``, ...).
+
+    ``saturated`` is set when the post-horizon drain tail exceeds 10 % of
+    the arrival horizon (or when every arrival was due at t=0): the
+    channel fell behind the open-loop offered load.  ``evaluations`` is
+    the scheduler-evaluation counter (excluded from equality, like every
+    other result object in this tree).
+    """
+
+    scenario: str
+    system: str
+    bandwidth: BandwidthResult
+    latency: LatencyResult
+    latency_by_tag: Dict[str, LatencyResult]
+    transfers: int
+    horizon_ns: int
+    end_ns: int
+    saturated: bool
+    evaluations: int = field(default=0, compare=False)
+
+    @property
+    def utilization(self) -> float:
+        return self.bandwidth.utilization
+
+    def summary(self) -> str:
+        state = "saturated" if self.saturated else "keeping up"
+        return (
+            f"{self.scenario}/{self.system}: "
+            f"{self.bandwidth.achieved_gbps:.1f} GB/s "
+            f"({self.utilization:.1%} of peak, {state}), "
+            f"p50 {self.latency.p50:.0f} ns / p99 {self.latency.p99:.0f} ns "
+            f"over {self.transfers} transfers"
+        )
+
+
+class _RomeMaterializer:
+    """Turn transfers into row requests on one RoMe channel."""
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.vba = paper_vba_config()
+        self.controller = RoMeMemoryController(
+            config=RoMeControllerConfig(num_stack_ids=1,
+                                        enable_refresh=spec.enable_refresh)
+        )
+        self._row_cursor = 0
+
+    def enqueue(self, transfer: Transfer, now: int) -> List:
+        requests = []
+        for nbytes, kind in ((transfer.read_bytes, RowRequestKind.RD_ROW),
+                             (transfer.write_bytes, RowRequestKind.WR_ROW)):
+            if not nbytes:
+                continue
+            batch = requests_for_transfer(
+                nbytes,
+                kind=kind,
+                effective_row_bytes=self.vba.effective_row_bytes,
+                num_channels=1,
+                vbas_per_channel=self.vba.vbas_per_channel_per_sid,
+                start_row=self._row_cursor,
+                arrival_ns=now,
+            )
+            self._row_cursor += -(-len(batch) // self.vba.vbas_per_channel_per_sid)
+            requests.extend(batch)
+        for request in requests:
+            self.controller.enqueue(request)
+        return requests
+
+    def peak_bytes_per_ns(self) -> float:
+        timing = self.controller.config.conventional_timing
+        return (self.vba.base_access_granularity_bytes
+                * self.vba.num_pseudo_channels / timing.tCCDS)
+
+    def bytes_moved(self) -> int:
+        stats = self.controller.stats
+        return stats.bytes_read + stats.bytes_written
+
+
+class _ConventionalMaterializer:
+    """Turn transfers into 32 B-block host requests on one HBM4 channel."""
+
+    #: Requests are cut at the RoMe effective-row size so both systems see
+    #: the same request stream shape (only the interface granularity
+    #: differs), and addresses stay block-aligned for the trace cache.
+    request_bytes = 4096
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.controller = ConventionalMemoryController(
+            config=ControllerConfig(num_stack_ids=1,
+                                    enable_refresh=spec.enable_refresh)
+        )
+        self._address_cursor = 0
+
+    def enqueue(self, transfer: Transfer, now: int) -> List:
+        requests = []
+        for nbytes, kind in ((transfer.read_bytes, RequestKind.READ),
+                             (transfer.write_bytes, RequestKind.WRITE)):
+            remaining = nbytes
+            while remaining > 0:
+                size = min(self.request_bytes, remaining)
+                requests.append(MemoryRequest(kind=kind,
+                                              address=self._address_cursor,
+                                              size_bytes=size,
+                                              arrival_ns=now))
+                self._address_cursor += self.request_bytes
+                remaining -= size
+        for request in requests:
+            self.controller.enqueue(request)
+        return requests
+
+    def peak_bytes_per_ns(self) -> float:
+        return self.controller.channel.config.peak_bandwidth_bytes_per_ns
+
+    def bytes_moved(self) -> int:
+        stats = self.controller.stats
+        return stats.bytes_read + stats.bytes_written
+
+
+def _materializer(spec: ScenarioSpec):
+    if spec.system == "rome":
+        return _RomeMaterializer(spec)
+    return _ConventionalMaterializer(spec)
+
+
+def run_workload(spec: ScenarioSpec,
+                 schedule: Optional[ArrivalSchedule] = None,
+                 event_driven: bool = True,
+                 max_drain_ns: int = DEFAULT_DRAIN_HORIZON_NS) -> WorkloadResult:
+    """Compile ``spec`` (unless a ``schedule`` is given) and simulate it.
+
+    ``event_driven=False`` forces per-nanosecond lockstep through the
+    legacy ``on_cycle`` escape hatch -- only useful to *prove* the event
+    core bit-identical (the equivalence suite does); it is orders of
+    magnitude slower on serving-scale horizons.
+    """
+    if schedule is None:
+        schedule = build_schedule(spec)
+    materializer = _materializer(spec)
+    controller = materializer.controller
+    simulation = Simulation(
+        controllers=[controller],
+        on_cycle=None if event_driven else (lambda now: None),
+    )
+    issued: List[Tuple[int, Transfer, List]] = []
+
+    def make_arrival(time_ns: int, transfer: Transfer):
+        def arrive(now: int) -> None:
+            issued.append((time_ns, transfer, materializer.enqueue(transfer, now)))
+        return arrive
+
+    for time_ns, transfer in schedule:
+        simulation.at(time_ns, make_arrival(time_ns, transfer))
+    horizon = schedule.horizon_ns
+    if simulation.now <= horizon:
+        simulation.run_for(horizon - simulation.now + 1)
+    end_ns = controller.run_until_idle(horizon + max_drain_ns,
+                                       event_driven=event_driven)
+
+    overall = LatencyAccumulator()
+    by_tag: Dict[str, LatencyAccumulator] = {}
+    for time_ns, transfer, requests in issued:
+        completions = [request.completion_ns for request in requests]
+        if any(completion is None for completion in completions):
+            raise RuntimeError("workload drain left requests incomplete")
+        sample = max(completions) - time_ns
+        overall.record(sample)
+        by_tag.setdefault(transfer.tag, LatencyAccumulator()).record(sample)
+
+    tail = end_ns - horizon
+    saturated = horizon == 0 or tail > _SATURATION_TAIL_FRACTION * horizon
+    return WorkloadResult(
+        scenario=spec.scenario,
+        system=spec.system,
+        bandwidth=BandwidthResult(
+            bytes_transferred=materializer.bytes_moved(),
+            elapsed_ns=float(end_ns),
+            peak_bytes_per_ns=materializer.peak_bytes_per_ns(),
+        ),
+        latency=LatencyResult.from_accumulators([overall]),
+        latency_by_tag={
+            tag: LatencyResult.from_accumulators([acc])
+            for tag, acc in sorted(by_tag.items())
+        },
+        transfers=len(schedule),
+        horizon_ns=horizon,
+        end_ns=end_ns,
+        saturated=saturated,
+        evaluations=controller.stats.evaluations,
+    )
+
+
+def run_workload_point(spec: ScenarioSpec) -> WorkloadResult:
+    """One arrival-driven sweep point (picklable: takes only the spec).
+
+    This is to workloads what ``queue_depth_point`` is to drain sweeps --
+    the unit :func:`repro.sim.sweep.run_sweep` shards across the process
+    pool.  The schedule is recompiled inside the worker from the spec's
+    seed, so results are identical at any worker count.
+    """
+    return run_workload(spec)
+
+
+def workload_sweep(specs: Sequence[ScenarioSpec],
+                   workers: int = 1) -> SweepResult:
+    """Shard independent workload points across a process pool.
+
+    ``workers=1`` runs the exact serial loop; results come back in
+    ``specs`` order at any worker count, with scheduler evaluations
+    aggregated into the :class:`~repro.sim.sweep.SweepStats`.
+    """
+    return run_sweep(run_workload_point, list(specs), workers=workers)
+
+
+def rate_sweep(spec: ScenarioSpec, rates_per_s: Sequence[float],
+               systems: Sequence[str] = ("rome", "hbm4"),
+               workers: int = 1) -> List[WorkloadResult]:
+    """Sweep ``spec`` over arrival rates for one or both controllers.
+
+    Points are ordered rate-major, system-minor and shard across the pool
+    exactly like drain points (the CLI ``workload`` command's backend).
+    """
+    points = [
+        spec.with_rate(rate).with_system(system)
+        for rate in rates_per_s
+        for system in systems
+    ]
+    return list(workload_sweep(points, workers=workers))

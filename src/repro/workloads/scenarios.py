@@ -1,0 +1,178 @@
+"""Named workload scenarios.
+
+A scenario is a *recipe* that turns a small, picklable
+:class:`ScenarioSpec` into a compiled
+:class:`~repro.workloads.arrivals.ArrivalSchedule`.  Recipes live in the
+:data:`SCENARIOS` registry; adding one is ~10 lines:
+
+.. code-block:: python
+
+    @scenario("my-scenario")
+    def _my_scenario(spec: ScenarioSpec) -> ArrivalSchedule:
+        times = PoissonArrivals(spec.rate_per_s, seed=spec.seed)
+        model = DecodeServingModel(spec.serving_config())
+        return model.compile(times.times_ns(spec.num_requests))
+
+The spec deliberately carries *names and numbers only* (model by name,
+serving overrides as a frozen dataclass), so arrival-driven sweep points
+ship across process pools exactly like drain points do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.workloads.arrivals import (
+    ArrivalSchedule,
+    BurstyArrivals,
+    FixedRateArrivals,
+    PoissonArrivals,
+    Transfer,
+    compile_schedule,
+)
+from repro.workloads.serving import DecodeServingModel, ServingConfig
+
+__all__ = [
+    "SCENARIOS",
+    "ScenarioSpec",
+    "available_scenarios",
+    "build_schedule",
+    "scenario",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Everything needed to rebuild one workload point anywhere.
+
+    ``system`` selects the controller the driver runs (``"rome"`` or
+    ``"hbm4"``); every other field parameterizes the schedule.  The spec
+    is frozen and built from plain values, so it pickles cleanly into
+    :func:`repro.sim.sweep.run_sweep` worker processes.
+    """
+
+    scenario: str = "decode-serving"
+    system: str = "rome"
+    rate_per_s: float = 200.0
+    num_requests: int = 32
+    seed: int = 0
+    model_name: str = "deepseek-v3"
+    enable_refresh: bool = False
+    #: Optional :class:`ServingConfig` override; ``None`` derives one from
+    #: ``model_name`` (see :meth:`serving_config`).
+    serving: Optional[ServingConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.system not in ("rome", "hbm4"):
+            raise ValueError("system must be 'rome' or 'hbm4'")
+        if self.num_requests < 1:
+            raise ValueError("num_requests must be at least 1")
+
+    def serving_config(self) -> ServingConfig:
+        if self.serving is not None:
+            return self.serving
+        return ServingConfig(model_name=self.model_name)
+
+    def with_system(self, system: str) -> "ScenarioSpec":
+        return replace(self, system=system)
+
+    def with_rate(self, rate_per_s: float) -> "ScenarioSpec":
+        return replace(self, rate_per_s=rate_per_s)
+
+
+ScenarioBuilder = Callable[[ScenarioSpec], ArrivalSchedule]
+
+#: Registry of named scenarios (name -> schedule builder).
+SCENARIOS: Dict[str, ScenarioBuilder] = {}
+
+
+def scenario(name: str) -> Callable[[ScenarioBuilder], ScenarioBuilder]:
+    """Register a schedule builder under ``name``."""
+
+    def register(builder: ScenarioBuilder) -> ScenarioBuilder:
+        if name in SCENARIOS:
+            raise ValueError(f"scenario {name!r} already registered")
+        SCENARIOS[name] = builder
+        return builder
+
+    return register
+
+
+def available_scenarios() -> List[str]:
+    return sorted(SCENARIOS)
+
+
+def build_schedule(spec: ScenarioSpec) -> ArrivalSchedule:
+    """Compile ``spec`` through its registered scenario recipe."""
+    try:
+        builder = SCENARIOS[spec.scenario]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {spec.scenario!r}; "
+            f"known: {available_scenarios()}"
+        ) from None
+    return builder(spec)
+
+
+# ---------------------------------------------------------------- scenarios
+
+
+@scenario("streaming-drain")
+def _streaming_drain(spec: ScenarioSpec) -> ArrivalSchedule:
+    """The legacy load-then-drain point expressed as a workload: every
+    transfer is due at t=0 and the channel drains flat out."""
+    transfer = Transfer(read_bytes=64 * 1024, tag="drain")
+    return compile_schedule([0] * spec.num_requests,
+                            [transfer] * spec.num_requests)
+
+
+@scenario("decode-serving")
+def _decode_serving(spec: ScenarioSpec) -> ArrivalSchedule:
+    """Open-loop decode serving at ``rate_per_s`` Poisson arrivals."""
+    times = PoissonArrivals(spec.rate_per_s, seed=spec.seed)
+    model = DecodeServingModel(spec.serving_config())
+    return model.compile(times.times_ns(spec.num_requests))
+
+
+@scenario("prefill-interleaved")
+def _prefill_interleaved(spec: ScenarioSpec) -> ArrivalSchedule:
+    """Grouped arrivals: requests land in bursts, so large prefill sweeps
+    interleave with the decode steady state (Section III's two stages)."""
+    serving = spec.serving_config()
+    serving = replace(serving, prompt_tokens=4 * serving.prompt_tokens,
+                      batch_capacity=2 * serving.batch_capacity)
+    times = BurstyArrivals(spec.rate_per_s, burst_size=4, seed=spec.seed)
+    return DecodeServingModel(serving).compile(
+        times.times_ns(spec.num_requests))
+
+
+@scenario("mixed-tenant")
+def _mixed_tenant(spec: ScenarioSpec) -> ArrivalSchedule:
+    """Two tenants share the channel: Poisson decode serving plus a
+    fixed-rate bulk tenant (checkpoint and weight-reload traffic) at one
+    quarter of the request rate."""
+    decode = DecodeServingModel(spec.serving_config()).compile(
+        PoissonArrivals(spec.rate_per_s, seed=spec.seed)
+        .times_ns(spec.num_requests))
+    bulk_count = max(1, spec.num_requests // 4)
+    bulk = compile_schedule(
+        FixedRateArrivals(spec.rate_per_s / 4).times_ns(bulk_count),
+        [Transfer(read_bytes=256 * 1024, tag="bulk")] * bulk_count)
+    return decode.merged(bulk)
+
+
+@scenario("antagonist")
+def _antagonist(spec: ScenarioSpec) -> ArrivalSchedule:
+    """A latency-sensitive foreground (small fixed-rate reads) sharing the
+    channel with a bursty bandwidth antagonist; per-tag latencies show the
+    interference the foreground absorbs."""
+    foreground = compile_schedule(
+        FixedRateArrivals(4 * spec.rate_per_s).times_ns(spec.num_requests),
+        [Transfer(read_bytes=8 * 1024, tag="foreground")] * spec.num_requests)
+    bursts = max(1, spec.num_requests // 2)
+    antagonist = compile_schedule(
+        BurstyArrivals(spec.rate_per_s, burst_size=4,
+                       seed=spec.seed).times_ns(bursts),
+        [Transfer(read_bytes=128 * 1024, tag="antagonist")] * bursts)
+    return foreground.merged(antagonist)

@@ -1,0 +1,211 @@
+"""Continuous-batching decode-serving traffic model.
+
+This is the workload half of the paper's serving evaluation: requests
+arrive over time, join a bounded decode batch, stream weight and KV-cache
+tensors every iteration, and depart after their output tokens.  The model
+composes the per-token tensor populations of :mod:`repro.llm.traffic`
+(Figure 1) and the model shapes of :mod:`repro.llm.models` into
+per-iteration *memory transfers*, then compiles the whole episode into an
+:class:`~repro.workloads.arrivals.ArrivalSchedule` the simulation driver
+can replay.
+
+Open-loop cadence
+-----------------
+Decode iterations tick on the accelerator's compute clock
+(``iteration_interval_ns``), independent of whether the simulated memory
+channel kept up -- the workload is *open loop*.  When the channel falls
+behind, transfers queue up and the run is flagged saturated; when it
+keeps up, per-request latencies stay near the isolated service time.
+This mirrors the paper's serving experiments, where memory either
+sustains the decode stream or becomes the bottleneck.
+
+Scaling
+-------
+A real serving system streams hundreds of gigabytes per iteration across
+hundreds of channels; a cycle-level simulation drives one.
+``traffic_scale`` maps a representative slice of the full per-iteration
+traffic onto the simulated channel (default ``2**-24``, tens to hundreds
+of kilobytes per iteration for the paper's models).  Relative bandwidth,
+queueing, and latency behavior are preserved; absolute byte counts are
+the scaled slice.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Sequence, Tuple
+
+from repro.llm.models import ModelConfig, model_by_name
+from repro.workloads.arrivals import ArrivalSchedule, Transfer
+
+__all__ = [
+    "DecodeServingModel",
+    "ServingConfig",
+    "active_decode_weight_bytes",
+    "prefill_weight_bytes",
+]
+
+
+def active_decode_weight_bytes(model: ModelConfig, tokens: int) -> int:
+    """Weight bytes one decode iteration streams for ``tokens`` tokens.
+
+    Dense layers read their full projections; MoE layers read the
+    *expected* number of distinct routed experts
+    (:meth:`~repro.llm.models.ModelConfig.expected_active_experts`) plus
+    shared experts and the router.  The LM head is read once per
+    iteration; the embedding gather is negligible and ignored.
+    """
+    tokens = max(1, tokens)
+    total = model.lm_head_weight_bytes()
+    hidden, dtype = model.hidden_size, model.dtype_bytes
+    for layer in range(model.num_layers):
+        total += model.attention_weight_bytes_per_layer()
+        ffn = model.ffn
+        if ffn.is_moe_layer(layer):
+            active = model.expected_active_experts(tokens)
+            expert = ffn.expert_weight_bytes(hidden, dtype)
+            total += int(active * expert)
+            total += ffn.shared_expert_weight_bytes(hidden, dtype)
+            total += ffn.router_weight_bytes(hidden, dtype)
+        else:
+            total += ffn.dense_weight_bytes(hidden, dtype)
+    return total
+
+
+def prefill_weight_bytes(model: ModelConfig, prompt_tokens: int) -> int:
+    """Weight bytes one prefill pass streams for a ``prompt_tokens`` prompt.
+
+    Identical composition to :func:`active_decode_weight_bytes`, but the
+    expected-expert count is evaluated at the prompt length -- long
+    prompts touch essentially every expert, so prefill bursts approach a
+    full weight sweep (the Figure 1 prefill population).
+    """
+    return active_decode_weight_bytes(model, prompt_tokens)
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Shape of one continuous-batching decode-serving episode.
+
+    Parameters
+    ----------
+    model_name:
+        Key into :data:`repro.llm.models.MODELS` (kept as a name so the
+        config -- and any :class:`ScenarioSpec` embedding it -- stays
+        trivially picklable).
+    batch_capacity:
+        Maximum concurrent sequences; arrivals beyond it wait and join at
+        a later iteration boundary (continuous batching).
+    prompt_tokens / output_tokens:
+        Per-request prompt length and number of decode steps.
+    iteration_interval_ns:
+        The accelerator's decode-step cadence (the open-loop clock).
+    traffic_scale:
+        Fraction of the full system's per-iteration traffic mapped onto
+        the simulated channel (see module docstring).
+    min_transfer_bytes:
+        Floor for any scaled transfer, so every record moves at least one
+        effective row / a few interface blocks.
+    """
+
+    model_name: str = "deepseek-v3"
+    batch_capacity: int = 8
+    prompt_tokens: int = 512
+    output_tokens: int = 4
+    iteration_interval_ns: int = 8192
+    traffic_scale: float = 2.0 ** -24
+    min_transfer_bytes: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.batch_capacity < 1:
+            raise ValueError("batch_capacity must be at least 1")
+        if self.output_tokens < 1:
+            raise ValueError("output_tokens must be at least 1")
+        if self.iteration_interval_ns < 1:
+            raise ValueError("iteration_interval_ns must be at least 1 ns")
+        if not 0.0 < self.traffic_scale <= 1.0:
+            raise ValueError("traffic_scale must be in (0, 1]")
+
+
+@dataclass
+class _Sequence:
+    """One request inside the compiled batch."""
+
+    context_tokens: int
+    remaining_outputs: int
+
+
+class DecodeServingModel:
+    """Compile arrival instants into a continuous-batching schedule.
+
+    The compilation is pure: given the same config and arrival times it
+    produces the same :class:`ArrivalSchedule` in any process, which is
+    what lets arrival-driven sweep points shard across workers.
+    """
+
+    def __init__(self, config: ServingConfig) -> None:
+        self.config = config
+        self.model = model_by_name(config.model_name)
+
+    # ------------------------------------------------------------- traffic
+
+    def _scaled(self, nbytes: float) -> int:
+        scaled = int(nbytes * self.config.traffic_scale)
+        return max(self.config.min_transfer_bytes, scaled)
+
+    def prefill_transfer(self, admitted: int) -> Transfer:
+        """The burst a group of ``admitted`` requests issues on joining:
+        one shared weight pass plus each prompt's KV-cache write."""
+        model, cfg = self.model, self.config
+        read = prefill_weight_bytes(model, cfg.prompt_tokens)
+        write = admitted * model.kv_bytes_per_sequence(cfg.prompt_tokens)
+        return Transfer(read_bytes=self._scaled(read),
+                        write_bytes=self._scaled(write), tag="prefill")
+
+    def decode_transfer(self, batch: Sequence[_Sequence]) -> Transfer:
+        """One decode iteration over the current batch: the active weight
+        stream, every sequence's KV-cache read, and one KV append each."""
+        model = self.model
+        read = active_decode_weight_bytes(model, len(batch))
+        for sequence in batch:
+            read += model.kv_bytes_per_sequence(sequence.context_tokens)
+        write = len(batch) * model.kv_bytes_per_token()
+        return Transfer(read_bytes=self._scaled(read),
+                        write_bytes=self._scaled(write), tag="decode")
+
+    # ------------------------------------------------------------- compile
+
+    def compile(self, arrival_times_ns: Sequence[int]) -> ArrivalSchedule:
+        """Run the batch dynamics and emit the full transfer schedule.
+
+        Each iteration boundary first admits waiting arrivals into free
+        batch slots (emitting one prefill-burst transfer for the group),
+        then emits the decode transfer for the occupied batch; sequences
+        depart once their output tokens are generated.  When the batch
+        drains, time jumps to the next arrival.
+        """
+        cfg = self.config
+        waiting: Deque[int] = deque(sorted(arrival_times_ns))
+        active: List[_Sequence] = []
+        records: List[Tuple[int, Transfer]] = []
+        now = 0
+        while waiting or active:
+            if not active:
+                now = max(now, waiting[0])
+            admitted = 0
+            while waiting and waiting[0] <= now \
+                    and len(active) < cfg.batch_capacity:
+                waiting.popleft()
+                active.append(_Sequence(context_tokens=cfg.prompt_tokens,
+                                        remaining_outputs=cfg.output_tokens))
+                admitted += 1
+            if admitted:
+                records.append((now, self.prefill_transfer(admitted)))
+            records.append((now, self.decode_transfer(active)))
+            for sequence in active:
+                sequence.context_tokens += 1
+                sequence.remaining_outputs -= 1
+            active = [s for s in active if s.remaining_outputs > 0]
+            now += cfg.iteration_interval_ns
+        return ArrivalSchedule(records=tuple(records))

@@ -96,3 +96,64 @@ def test_event_run_until_sees_scheduled_arrivals():
     end = sim.run_until(lambda: request.completion_ns is not None)
     assert request.issue_ns == 50
     assert end >= 50
+
+
+# ------------------------------------------------------ at() edge semantics
+#
+# The workload driver (repro.workloads.driver) relies on both contracts
+# below: schedules routinely put several transfers on one nanosecond (a
+# prefill burst plus its decode iteration), and a schedule whose first
+# record is at t=0 registers at the current instant before any advance.
+
+
+@pytest.mark.parametrize("event_driven", [False, True])
+def test_same_nanosecond_arrivals_fire_in_registration_order(event_driven):
+    fired = []
+    sim = Simulation(
+        controllers=[_controller()],
+        on_cycle=None if event_driven else (lambda now: None),
+    )
+    for label in ("first", "second", "third"):
+        sim.at(25, lambda now, label=label: fired.append((label, now)))
+    sim.run_for(100)
+    assert fired == [("first", 25), ("second", 25), ("third", 25)]
+
+
+def test_arrival_at_current_instant_fires_immediately():
+    fired = []
+    sim = Simulation(controllers=[_controller()])
+    sim.at(0, lambda now: fired.append(now))
+    # Fired synchronously at registration -- before any advance.
+    assert fired == [0]
+    assert sim.next_arrival_ns() is None
+
+
+def test_arrival_in_the_past_fires_immediately_at_current_time():
+    fired = []
+    sim = Simulation(controllers=[_controller()])
+    sim.run_for(40)
+    sim.at(10, lambda now: fired.append(now))
+    assert fired == [40]  # callback sees the *current* time, not the past
+
+
+def test_arrival_registered_from_a_callback_at_the_same_instant_fires():
+    fired = []
+    sim = Simulation(controllers=[_controller()])
+
+    def outer(now):
+        fired.append(("outer", now))
+        sim.at(now, lambda inner_now: fired.append(("inner", inner_now)))
+
+    sim.at(30, outer)
+    sim.run_for(100)
+    assert fired == [("outer", 30), ("inner", 30)]
+
+
+def test_time_zero_schedule_enqueues_before_first_advance():
+    controller = _controller()
+    request = RowRequest(kind=RowRequestKind.RD_ROW, vba=0, row=0)
+    sim = Simulation(controllers=[controller])
+    sim.at(0, lambda now: controller.enqueue(request))
+    assert controller.outstanding_requests == 1  # already enqueued
+    sim.run_for(500)
+    assert request.issue_ns == 0

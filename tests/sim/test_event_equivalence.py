@@ -394,7 +394,128 @@ def test_rome_arrival_mid_train_with_refresh_is_lockstep_identical():
     assert fingerprints[0] == fingerprints[1]
 
 
+# ------------------------------------------------- workload-generated schedules
+#
+# Arrival-driven workloads from repro.workloads compile seeded schedules
+# (prefill bursts, shared decode iterations, multi-tenant merges) onto
+# Simulation.at; the driver's event runs must stay bit-identical to the
+# forced-lockstep runs on both controllers.
+
+
+from repro.workloads.driver import run_workload  # noqa: E402
+from repro.workloads.scenarios import ScenarioSpec  # noqa: E402
+from repro.workloads.serving import ServingConfig  # noqa: E402
+
+#: Small, dense shapes so the lockstep reference stays affordable while
+#: arrivals still land inside saturated (train-planned) spans.
+_WORKLOAD_SERVING = ServingConfig(
+    model_name="grok-1",
+    batch_capacity=2,
+    prompt_tokens=128,
+    output_tokens=2,
+    iteration_interval_ns=512,
+    traffic_scale=2.0 ** -26,
+)
+
+WORKLOAD_SCENARIOS = {
+    "decode-serving": dict(rate_per_s=400_000.0, num_requests=4, seed=3),
+    "prefill-interleaved": dict(rate_per_s=300_000.0, num_requests=4, seed=5),
+    "mixed-tenant": dict(rate_per_s=400_000.0, num_requests=4, seed=7),
+    "antagonist": dict(rate_per_s=100_000.0, num_requests=6, seed=9),
+}
+
+
+@pytest.mark.parametrize("system", ["rome", "hbm4"])
+@pytest.mark.parametrize("name", sorted(WORKLOAD_SCENARIOS))
+def test_workload_event_run_is_lockstep_identical(name, system):
+    """>= 3 workload-generated scenarios per controller: the event core
+    (burst trains, arrival truncation) must reproduce the forced 1-ns
+    lockstep run bit-for-bit, WorkloadResult-for-WorkloadResult."""
+    spec = ScenarioSpec(scenario=name, system=system,
+                        serving=_WORKLOAD_SERVING,
+                        **WORKLOAD_SCENARIOS[name])
+    event = run_workload(spec, event_driven=True)
+    lockstep = run_workload(spec, event_driven=False)
+    assert event == lockstep
+    # The flag and percentiles derive from identical samples.
+    assert event.saturated == lockstep.saturated
+    assert event.latency.p99 == lockstep.latency.p99
+
+
+@pytest.mark.parametrize("system", ["rome", "hbm4"])
+def test_workload_arrival_on_train_boundary_truncates_identically(system):
+    """run_for/next_arrival_ns interplay: a saturating drain transfer at
+    t=0 keeps the planners in burst-train mode while a dense fixed-rate
+    foreground lands arrivals throughout the drain -- including instants
+    that coincide with planned train boundaries.  Event and tick cores
+    must truncate identically (extends the arrival-mid-train tests with a
+    workload-generated schedule)."""
+    from repro.workloads.arrivals import Transfer, compile_schedule
+
+    drain = compile_schedule([0], [Transfer(read_bytes=48 * 1024, tag="drain")])
+    # 97 ns spacing sweeps arrival instants across every phase of the
+    # CAS-grid trains the planners emit during the saturated drain.
+    foreground = compile_schedule(
+        [97 * (index + 1) for index in range(30)],
+        [Transfer(read_bytes=4096, tag="fg")] * 30)
+    schedule = drain.merged(foreground)
+    spec = ScenarioSpec(scenario="streaming-drain", system=system,
+                        num_requests=1, serving=_WORKLOAD_SERVING)
+    event = run_workload(spec, schedule=schedule, event_driven=True)
+    lockstep = run_workload(spec, schedule=schedule, event_driven=False)
+    assert event == lockstep
+    # The merged load keeps the channel near peak through the horizon, so
+    # trains are planned while arrivals land.
+    assert event.utilization > 0.5
+    # Trains must actually have engaged for the truncation to matter.
+    assert event.evaluations < lockstep.evaluations
+
+
+@pytest.mark.parametrize("system", ["rome", "hbm4"])
+def test_workload_refresh_enabled_stays_lockstep_identical(system):
+    """Refresh-aware trains under arrival-driven load: the refresh FSMs
+    keep firing between and during transfers, and the event run must
+    still match lockstep exactly."""
+    spec = ScenarioSpec(scenario="decode-serving", system=system,
+                        rate_per_s=200_000.0, num_requests=3, seed=1,
+                        enable_refresh=True, serving=_WORKLOAD_SERVING)
+    event = run_workload(spec, event_driven=True)
+    lockstep = run_workload(spec, event_driven=False)
+    assert event == lockstep
+
+
 # -------------------------------------------------- refresh postponement edge
+
+
+def test_conventional_train_does_not_outlive_the_drain():
+    """Regression (hypothesis-found): with tREFIpb=163/tRFCpb=82 and no
+    postponement budget, the planner used to append a refresh-only step
+    (a critical PRE) *after* the step that served the final transaction
+    -- an instant a draining per-step core never evaluates, leaving the
+    event run one PRE and one nanosecond ahead.  Trains must end once
+    the modeled queues and backlog are exhausted."""
+    from repro.dram.timing import TimingParameters
+
+    timing = TimingParameters(tREFIpb=163, tRFCpb=82)
+    fingerprints = []
+    for event_driven in (False, True):
+        controller = ConventionalMemoryController(
+            config=ControllerConfig(num_stack_ids=1, enable_refresh=True,
+                                    timing=timing)
+        )
+        for engine in controller.scheduler.refresh_engines:
+            engine.max_postponed = 0
+        for request in streaming_trace(16 * 1024, request_bytes=4096,
+                                       kind=RequestKind.READ):
+            controller.enqueue(request)
+        end = controller.run_until_idle(event_driven=event_driven)
+        fingerprints.append((
+            end,
+            controller.stats,
+            controller.channel.command_counts(),
+            controller.energy_counters(),
+        ))
+    assert fingerprints[0] == fingerprints[1]
 
 
 @pytest.mark.parametrize("max_postponed", [0, 1])

@@ -41,7 +41,11 @@ def _argv(out_path, **overrides):
 
 
 def _assert_report_schema(report):
-    """The perf-document schema the in-repo trajectory must satisfy."""
+    """The perf-document schema the in-repo trajectory must satisfy.
+
+    Schema 2 documents (pre-workload) stay valid; schema 3 additionally
+    requires the ``workload`` rows (the serving-workload gate).
+    """
     assert isinstance(report["gates_passed"], bool)
     meta = report["meta"]
     assert meta["schema"] >= 2
@@ -62,6 +66,14 @@ def _assert_report_schema(report):
         assert row["tick_evaluations"] >= row["event_evaluations"] > 0
         assert row["evaluation_reduction"] > 0
     assert report["streaming_conventional_refresh"]["refreshes"] > 0
+    if meta["schema"] >= 3:
+        workload = report["workload"]
+        assert {row["system"] for row in workload} == {"rome", "hbm4"}
+        for row in workload:
+            assert row["scenario"] == "workload_decode_serving"
+            assert row["tick_evaluations"] >= row["event_evaluations"] > 0
+            assert 0.0 < row["bandwidth_fraction"] <= 1.0
+            assert isinstance(row["saturated"], bool)
     assert {row["phase"] for row in report["sweep"]} == {"cold", "warm"}
     assert report["cache"]["cold_ms"] > 0
 
@@ -73,14 +85,29 @@ def test_bench_smoke_gates_pass_and_write_perf_document(capsys, tmp_path):
     report = json.loads(out.read_text())
     assert report["gates_passed"] is True
     _assert_report_schema(report)
+    assert report["meta"]["schema"] == 3
     streaming = report["streaming_conventional"]
     assert streaming["evaluation_reduction"] >= 5.0
     assert streaming["tick_evaluations"] == streaming["simulated_ns"]
-    # The tentpole acceptance gate: refresh-enabled saturated streaming
-    # stays >= 5x fewer evaluations than the 1-ns tick core.
+    # Refresh-enabled saturated streaming stays >= 5x fewer evaluations
+    # than the 1-ns tick core.
     refresh = report["streaming_conventional_refresh"]
     assert refresh["evaluation_reduction"] >= 5.0
     assert refresh["tick_evaluations"] == refresh["simulated_ns"]
+    # The serving-workload gate: the saturating open-loop decode scenario
+    # must deliver at least half of peak bandwidth on both controllers.
+    for row in report["workload"]:
+        assert row["saturated"] is True
+        assert row["bandwidth_fraction"] >= 0.5
+
+
+def test_bench_smoke_workload_gate_fails_when_unreachable(capsys, tmp_path):
+    out = tmp_path / "BENCH_workload_fail.json"
+    assert main(_argv(out, **{"--min-workload-bandwidth-fraction": "1.0"})) \
+        == 1
+    captured = capsys.readouterr()
+    assert "decode-serving workload" in captured.err
+    assert json.loads(out.read_text())["gates_passed"] is False
 
 
 def test_bench_smoke_label_is_stamped_into_metadata(capsys, tmp_path):

@@ -125,12 +125,13 @@ def test_bench_smoke_reports_sweep_and_cache_rows(capsys, tmp_path):
                  "--conventional-bytes", "65536", "--repeats", "1",
                  "--min-speedup", "0", "--min-conventional-speedup", "0",
                  "--min-evaluation-reduction", "0",
-                 "--bench-out", str(out)]) == 0
+                 "--output", str(out)]) == 0
     report = json.loads(capsys.readouterr().out)
     assert set(report) == {"meta", "core", "streaming_conventional",
                            "streaming_conventional_refresh", "rome_refresh",
-                           "sweep", "cache"}
+                           "workload", "sweep", "cache"}
     assert {row["system"] for row in report["core"]} == {"rome", "hbm4"}
+    assert {row["system"] for row in report["workload"]} == {"rome", "hbm4"}
     assert {row["phase"] for row in report["sweep"]} == {"cold", "warm"}
     warm = next(row for row in report["sweep"] if row["phase"] == "warm")
     assert warm["cache_hits"] > 0
@@ -151,9 +152,68 @@ def test_bench_smoke_parallel_warm_sweep_still_hits_cache(capsys):
     assert main(["--json", "bench-smoke", "--bytes", "65536",
                  "--conventional-bytes", "65536", "--repeats",
                  "1", "--min-speedup", "0", "--min-conventional-speedup",
-                 "0", "--min-evaluation-reduction", "0", "--bench-out", "",
+                 "0", "--min-evaluation-reduction", "0", "--output", "",
                  "--workers", "4"]) == 0
     report = json.loads(capsys.readouterr().out)
     warm = next(row for row in report["sweep"] if row["phase"] == "warm")
     assert warm["cache_hits"] > 0
     assert warm["cache_misses"] == 0
+
+
+def test_bench_out_alias_still_works_but_warns(capsys, tmp_path):
+    # The deprecated spelling stays functional for one more release; it
+    # must warn so scripts migrate before the alias is dropped.  This is
+    # the single remaining --bench-out pathway test: every other test
+    # exercises --output only.
+    out = tmp_path / "bench_alias.json"
+    argv = ["--json", "bench-smoke", "--bytes", "65536",
+            "--conventional-bytes", "65536", "--repeats", "1",
+            "--min-speedup", "0", "--min-conventional-speedup", "0",
+            "--min-evaluation-reduction", "0", "--bench-out", str(out)]
+    # FutureWarning, not DeprecationWarning: the latter is filtered out by
+    # default outside pytest, so real CLI users would never see it.
+    with pytest.warns(FutureWarning, match="--bench-out is deprecated"):
+        assert main(argv) == 0
+    capsys.readouterr()
+    assert json.loads(out.read_text())["gates_passed"] is True
+
+
+def test_output_flag_does_not_warn(recwarn, capsys, tmp_path):
+    out = tmp_path / "bench_output.json"
+    assert main(["--json", "bench-smoke", "--bytes", "65536",
+                 "--conventional-bytes", "65536", "--repeats", "1",
+                 "--min-speedup", "0", "--min-conventional-speedup", "0",
+                 "--min-evaluation-reduction", "0",
+                 "--output", str(out)]) == 0
+    capsys.readouterr()
+    assert not [w for w in recwarn.list
+                if issubclass(w.category, (DeprecationWarning, FutureWarning))]
+
+
+def test_workload_command_runs_both_controllers(capsys):
+    assert main(["--json", "workload", "--scenario", "decode-serving",
+                 "--rate", "200", "--seed", "0", "--requests", "3"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert {row["system"] for row in rows} == {"rome", "hbm4"}
+    for row in rows:
+        assert row["p50_latency_ns"] <= row["p99_latency_ns"]
+        assert row["achieved_gbps"] > 0
+        assert row["saturated"] is False
+
+
+def test_workload_rate_sweep_workers_matches_serial(capsys):
+    argv = ["--json", "workload", "--scenario", "decode-serving",
+            "--system", "rome", "--rate", "200", "400", "--seed", "0",
+            "--requests", "3"]
+    assert main(argv) == 0
+    serial = json.loads(capsys.readouterr().out)
+    assert main(argv + ["--workers", "2"]) == 0
+    parallel = json.loads(capsys.readouterr().out)
+    assert serial == parallel
+    assert [row["rate_per_s"] for row in serial] == [200.0, 400.0]
+
+
+def test_workload_unknown_scenario_errors(capsys):
+    assert main(["workload", "--scenario", "nope"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown scenario" in err and "decode-serving" in err

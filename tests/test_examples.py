@@ -55,3 +55,8 @@ def test_vba_design_space_measure_helper():
 def test_llm_serving_example_importable():
     module = _load("llm_serving_tpot.py")
     assert callable(module.main)
+
+
+def test_llm_serving_arrivals_example_importable():
+    module = _load("llm_serving_arrivals.py")
+    assert callable(module.main)

@@ -1,0 +1,120 @@
+"""Tests for the deterministic arrival processes (:mod:`repro.workloads.arrivals`)."""
+
+import pickle
+
+import pytest
+
+from repro.workloads.arrivals import (
+    ArrivalSchedule,
+    BurstyArrivals,
+    FixedRateArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+    Transfer,
+    compile_schedule,
+)
+
+
+class TestTransfer:
+    def test_total_bytes(self):
+        assert Transfer(read_bytes=100, write_bytes=28).total_bytes == 128
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(ValueError):
+            Transfer(read_bytes=0, write_bytes=0)
+        with pytest.raises(ValueError):
+            Transfer(read_bytes=-1)
+
+    def test_frozen_and_picklable(self):
+        transfer = Transfer(read_bytes=4096, tag="decode")
+        assert pickle.loads(pickle.dumps(transfer)) == transfer
+        with pytest.raises(AttributeError):
+            transfer.read_bytes = 1
+
+
+class TestFixedRate:
+    def test_grid_spacing(self):
+        times = FixedRateArrivals(rate_per_s=1_000_000.0).times_ns(4)
+        assert times == (0, 1000, 2000, 3000)
+
+    def test_start_offset(self):
+        times = FixedRateArrivals(rate_per_s=1_000_000.0, start_ns=7).times_ns(2)
+        assert times == (7, 1007)
+
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ValueError):
+            FixedRateArrivals(rate_per_s=0.0).times_ns(1)
+
+
+class TestPoisson:
+    def test_seed_determinism(self):
+        a = PoissonArrivals(rate_per_s=10_000.0, seed=42).times_ns(50)
+        b = PoissonArrivals(rate_per_s=10_000.0, seed=42).times_ns(50)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = PoissonArrivals(rate_per_s=10_000.0, seed=1).times_ns(50)
+        b = PoissonArrivals(rate_per_s=10_000.0, seed=2).times_ns(50)
+        assert a != b
+
+    def test_times_are_non_decreasing(self):
+        times = PoissonArrivals(rate_per_s=50_000.0, seed=9).times_ns(200)
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+    def test_mean_rate_approximates_request(self):
+        times = PoissonArrivals(rate_per_s=1_000_000.0, seed=0).times_ns(2000)
+        mean_gap = times[-1] / (len(times) - 1)
+        assert 800 < mean_gap < 1250  # nominal 1000 ns
+
+
+class TestBursty:
+    def test_burst_structure(self):
+        times = BurstyArrivals(rate_per_s=1_000_000.0, burst_size=3,
+                               intra_burst_gap_ns=10, seed=0).times_ns(6)
+        assert times == (0, 10, 20, 3000, 3010, 3020)
+
+    def test_seeded_jitter_is_deterministic_and_sorted(self):
+        a = BurstyArrivals(rate_per_s=100_000.0, burst_size=4, seed=5).times_ns(16)
+        b = BurstyArrivals(rate_per_s=100_000.0, burst_size=4, seed=5).times_ns(16)
+        assert a == b
+        assert all(x <= y for x, y in zip(a, a[1:]))
+
+
+class TestTraceReplay:
+    def test_replay_takes_the_earliest_count_arrivals(self):
+        trace = TraceArrivals(arrival_times_ns=(30, 10, 20))
+        assert trace.times_ns(2) == (10, 20)  # earliest two, not file order
+
+    def test_rejects_overdraw(self):
+        with pytest.raises(ValueError):
+            TraceArrivals(arrival_times_ns=(1,)).times_ns(2)
+
+
+class TestSchedule:
+    def test_compile_pairs_times_and_transfers(self):
+        transfer = Transfer(read_bytes=4096)
+        schedule = compile_schedule([0, 5, 5], [transfer] * 3)
+        assert len(schedule) == 3
+        assert schedule.horizon_ns == 5
+        assert schedule.total_bytes == 3 * 4096
+
+    def test_compile_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            compile_schedule([0, 1], [Transfer(read_bytes=1)])
+
+    def test_rejects_decreasing_times(self):
+        with pytest.raises(ValueError):
+            ArrivalSchedule(records=((5, Transfer(read_bytes=1)),
+                                     (4, Transfer(read_bytes=1))))
+
+    def test_merge_is_stable_on_ties(self):
+        left = compile_schedule([0, 10], [Transfer(read_bytes=1, tag="a")] * 2)
+        right = compile_schedule([10, 20], [Transfer(read_bytes=1, tag="b")] * 2)
+        merged = left.merged(right)
+        assert [t for _, t in merged][1].tag == "a"  # tie at 10: left first
+        assert merged.times_ns() == (0, 10, 10, 20)
+
+    def test_schedule_pickles_bit_identically(self):
+        times = PoissonArrivals(rate_per_s=10_000.0, seed=3).times_ns(8)
+        schedule = compile_schedule(times, [Transfer(read_bytes=4096)] * 8)
+        assert pickle.loads(pickle.dumps(schedule)) == schedule

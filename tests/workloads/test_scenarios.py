@@ -1,0 +1,120 @@
+"""Tests for the scenario registry (:mod:`repro.workloads.scenarios`)."""
+
+import pickle
+
+import pytest
+
+from repro.workloads.arrivals import ArrivalSchedule
+from repro.workloads.scenarios import (
+    SCENARIOS,
+    ScenarioSpec,
+    available_scenarios,
+    build_schedule,
+    scenario,
+)
+from repro.workloads.serving import ServingConfig
+
+
+class TestRegistry:
+    def test_expected_scenarios_registered(self):
+        assert {"streaming-drain", "decode-serving", "prefill-interleaved",
+                "mixed-tenant", "antagonist"} <= set(available_scenarios())
+
+    def test_unknown_scenario_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="decode-serving"):
+            build_schedule(ScenarioSpec(scenario="nope"))
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            scenario("decode-serving")(lambda spec: None)
+
+    def test_every_scenario_compiles_for_both_systems(self):
+        for name in available_scenarios():
+            for system in ("rome", "hbm4"):
+                spec = ScenarioSpec(scenario=name, system=system,
+                                    num_requests=4, seed=1)
+                schedule = build_schedule(spec)
+                assert isinstance(schedule, ArrivalSchedule)
+                assert len(schedule) >= 1
+                assert schedule.total_bytes > 0
+
+
+class TestScenarioSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(system="cxl")
+        with pytest.raises(ValueError):
+            ScenarioSpec(num_requests=0)
+
+    def test_spec_is_picklable_with_serving_override(self):
+        spec = ScenarioSpec(scenario="decode-serving",
+                            serving=ServingConfig(model_name="grok-1"))
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_with_helpers_replace_fields(self):
+        spec = ScenarioSpec()
+        assert spec.with_system("hbm4").system == "hbm4"
+        assert spec.with_rate(50.0).rate_per_s == 50.0
+        assert spec.system == "rome"  # original untouched
+
+    def test_serving_config_derives_from_model_name(self):
+        spec = ScenarioSpec(model_name="grok-1")
+        assert spec.serving_config().model_name == "grok-1"
+        override = ServingConfig(model_name="llama-3-405b", batch_capacity=2)
+        assert ScenarioSpec(serving=override).serving_config() is override
+
+
+class TestSeedDeterminism:
+    @pytest.mark.parametrize("name", sorted(
+        {"decode-serving", "prefill-interleaved", "mixed-tenant",
+         "antagonist"}))
+    def test_same_seed_same_schedule(self, name):
+        a = build_schedule(ScenarioSpec(scenario=name, seed=7, num_requests=6))
+        b = build_schedule(ScenarioSpec(scenario=name, seed=7, num_requests=6))
+        assert a == b
+
+    def test_different_seed_different_schedule(self):
+        a = build_schedule(ScenarioSpec(scenario="decode-serving", seed=1))
+        b = build_schedule(ScenarioSpec(scenario="decode-serving", seed=2))
+        assert a != b
+
+
+class TestScenarioShapes:
+    def test_streaming_drain_is_all_at_time_zero(self):
+        schedule = build_schedule(ScenarioSpec(scenario="streaming-drain",
+                                               num_requests=5))
+        assert schedule.times_ns() == (0,) * 5
+        assert schedule.horizon_ns == 0
+
+    def test_decode_serving_emits_prefill_and_decode(self):
+        schedule = build_schedule(ScenarioSpec(scenario="decode-serving",
+                                               num_requests=4))
+        tags = {transfer.tag for _, transfer in schedule}
+        assert tags == {"prefill", "decode"}
+
+    def test_prefill_interleaved_has_larger_prefills(self):
+        # A coarser traffic scale keeps the KV-write term above the
+        # min-transfer floor, so the 4x prompt actually shows up.
+        serving = ServingConfig(model_name="deepseek-v3",
+                                traffic_scale=2.0 ** -12)
+        base = build_schedule(ScenarioSpec(scenario="decode-serving",
+                                           num_requests=4, seed=0,
+                                           serving=serving))
+        interleaved = build_schedule(ScenarioSpec(
+            scenario="prefill-interleaved", num_requests=4, seed=0,
+            serving=serving))
+        prefill = lambda s: max(t.write_bytes for _, t in s
+                                if t.tag == "prefill")
+        assert prefill(interleaved) > prefill(base)
+
+    def test_mixed_tenant_carries_both_tags(self):
+        schedule = build_schedule(ScenarioSpec(scenario="mixed-tenant",
+                                               num_requests=8))
+        tags = {transfer.tag for _, transfer in schedule}
+        assert {"decode", "bulk"} <= tags
+
+    def test_antagonist_tags_foreground_and_antagonist(self):
+        schedule = build_schedule(ScenarioSpec(scenario="antagonist",
+                                               num_requests=8))
+        tags = {transfer.tag for _, transfer in schedule}
+        assert tags == {"foreground", "antagonist"}
