@@ -111,11 +111,17 @@ def cmd_bandwidth(args: argparse.Namespace) -> int:
     from repro.sim.runner import streaming_point
     from repro.sim.sweep import run_sweep
 
+    journal = _resolve_journal(args)
     sweep = run_sweep(
         streaming_point,
         [("hbm4", args.bytes), ("rome", args.bytes)],
         workers=args.workers,
+        journal=journal,
+        point_timeout_s=args.point_timeout,
+        retries=args.retries,
+        on_error=args.on_error,
     )
+    _report_sweep_stats(sweep.stats)
     rows = [
         {
             "system": result.name,
@@ -124,9 +130,10 @@ def cmd_bandwidth(args: argparse.Namespace) -> int:
             "avg_read_latency_ns": result.latency.average,
         }
         for result in sweep.values
+        if result is not None
     ]
     _print_rows(rows, args.json)
-    return 0
+    return 1 if sweep.stats.failures else 0
 
 
 def cmd_queue_depth(args: argparse.Namespace) -> int:
@@ -175,6 +182,41 @@ def cmd_trends(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_journal(args: argparse.Namespace) -> Optional[str]:
+    """Turn ``--checkpoint-dir``/``--resume`` into a sweep-journal path.
+
+    Without ``--resume`` an existing journal is discarded (the sweep runs
+    from scratch and rebuilds it); with ``--resume`` completed points in
+    the journal are skipped.  ``--resume`` without ``--checkpoint-dir``
+    is an error -- there is nothing to resume from.
+    """
+    import os
+
+    if args.checkpoint_dir is None:
+        if args.resume:
+            raise SystemExit(
+                "error: --resume requires --checkpoint-dir "
+                "(the directory holding the sweep journal)"
+            )
+        return None
+    os.makedirs(args.checkpoint_dir, exist_ok=True)
+    journal = os.path.join(args.checkpoint_dir, "sweep-journal.jsonl")
+    if not args.resume and os.path.exists(journal):
+        os.remove(journal)
+    return journal
+
+
+def _report_sweep_stats(stats) -> None:
+    """Print journal-skip and quarantine records of a hardened sweep."""
+    if stats.journal_skipped:
+        print(f"resumed: {stats.journal_skipped} of {stats.points} points "
+              f"restored from the journal", file=sys.stderr)
+    for failure in stats.failures:
+        print(f"FAIL: point {failure.index} failed after "
+              f"{failure.attempts} attempt(s): {failure.error}",
+              file=sys.stderr)
+
+
 def cmd_workload(args: argparse.Namespace) -> int:
     from repro.workloads import ScenarioSpec, available_scenarios, workload_sweep
 
@@ -182,6 +224,7 @@ def cmd_workload(args: argparse.Namespace) -> int:
         print(f"error: unknown scenario {args.scenario!r}; known: "
               f"{', '.join(available_scenarios())}", file=sys.stderr)
         return 2
+    journal = _resolve_journal(args)
     systems = ("rome", "hbm4") if args.system == "both" else (args.system,)
     spec = ScenarioSpec(
         scenario=args.scenario,
@@ -196,11 +239,17 @@ def cmd_workload(args: argparse.Namespace) -> int:
         for rate in args.rate
         for system in systems
     ]
-    results = workload_sweep(specs, workers=args.workers)
+    sweep = workload_sweep(specs, workers=args.workers, journal=journal,
+                           point_timeout_s=args.point_timeout,
+                           retries=args.retries, on_error=args.on_error)
+    _report_sweep_stats(sweep.stats)
     rows = []
     # run_sweep returns values in input order, so each row's labels come
     # from the very spec that produced it (plus the result's own fields).
-    for point, result in zip(specs, results):
+    # Quarantined points hold None and were already reported above.
+    for point, result in zip(specs, sweep.values):
+        if result is None:
+            continue
         rows.append({
             "scenario": result.scenario,
             "system": result.system,
@@ -215,7 +264,7 @@ def cmd_workload(args: argparse.Namespace) -> int:
             "evaluations": result.evaluations,
         })
     _print_rows(rows, args.json)
-    return 0
+    return 1 if sweep.stats.failures else 0
 
 
 def cmd_bench_smoke(args: argparse.Namespace) -> int:
@@ -225,6 +274,7 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
 
     from repro import __version__
     from repro.sim.bench import (
+        checkpoint_roundtrip_comparison,
         rome_refresh_comparison,
         streaming_conventional_comparison,
         streaming_conventional_refresh_comparison,
@@ -263,6 +313,13 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
     # both controllers, event core vs forced lockstep on the same
     # compiled arrival schedule (cycle-exactness asserted inside).
     workload_rows = workload_decode_serving_comparison(repeats=args.repeats)
+    # Checkpoint smoke: snapshot+restore round-trip at the halfway point
+    # of a refresh-enabled drain, gated on bit-identity and overhead.
+    checkpoint_rows = checkpoint_roundtrip_comparison(
+        rome_bytes=args.bytes,
+        hbm4_bytes=min(args.conventional_bytes, 96 * 1024),
+        repeats=args.repeats,
+    )
     # Sweep-runner smoke: per-worker point throughput, cold vs warm cache.
     sweep_rows = sweep_throughput(workers=args.workers)
     # Trace-cache smoke: the cached second derivation of a sweep point's
@@ -272,7 +329,7 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
 
     report = {
         "meta": {
-            "schema": 3,
+            "schema": 4,
             "generated_utc": datetime.datetime.now(
                 datetime.timezone.utc).isoformat(timespec="seconds"),
             "package_version": __version__,
@@ -290,6 +347,7 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
         "streaming_conventional_refresh": streaming_refresh,
         "rome_refresh": rome_refresh,
         "workload": workload_rows,
+        "checkpoint": checkpoint_rows,
         "sweep": sweep_rows,
         "cache": cache,
     }
@@ -301,6 +359,8 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
         _print_rows([streaming, streaming_refresh, rome_refresh], False)
         print()
         _print_rows(workload_rows, False)
+        print()
+        _print_rows(checkpoint_rows, False)
         print()
         _print_rows(sweep_rows, False)
         print()
@@ -346,6 +406,22 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
                     f"bandwidth, below the --min-workload-bandwidth-fraction "
                     f"gate of {args.min_workload_bandwidth_fraction:g}"
                 )
+    for row in checkpoint_rows:
+        # Bit-identity is always gated: a checkpoint that changes the
+        # simulation is a correctness bug, not a perf regression.
+        if not row["identical"]:
+            failures.append(
+                f"{row['system']} checkpoint-resume run diverged from the "
+                f"uninterrupted run (bit-identity violated)"
+            )
+        if args.max_checkpoint_overhead > 0 \
+                and row["overhead_fraction"] > args.max_checkpoint_overhead:
+            failures.append(
+                f"{row['system']} checkpoint snapshot+restore took "
+                f"{row['overhead_fraction']:.2f} of the run's wall time, "
+                f"above the --max-checkpoint-overhead gate of "
+                f"{args.max_checkpoint_overhead:g}"
+            )
     warm = next(row for row in sweep_rows if row["phase"] == "warm")
     if warm["cache_hits"] == 0:
         failures.append("warm sweep run recorded no trace-cache hits")
@@ -415,6 +491,30 @@ def build_parser() -> argparse.ArgumentParser:
                             "(1 = serial, 0 = one per CPU); results are "
                             "identical at any worker count")
 
+    def add_fault_tolerance_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--point-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock deadline per sweep point attempt; "
+                            "a point still running at the deadline is "
+                            "killed and counts as a failed attempt")
+        p.add_argument("--retries", type=int, default=0,
+                       help="failed attempts per point beyond the first "
+                            "(deterministic backoff between attempts)")
+        p.add_argument("--on-error", choices=["raise", "quarantine"],
+                       default="raise",
+                       help="'raise' aborts on the first exhausted point; "
+                            "'quarantine' keeps going and reports partial "
+                            "results plus per-point failure records "
+                            "(exit code 1 when any point failed)")
+        p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="directory for the append-only sweep journal "
+                            "of completed point values (created if "
+                            "missing)")
+        p.add_argument("--resume", action="store_true",
+                       help="skip points already completed in the "
+                            "--checkpoint-dir journal from a previous "
+                            "(killed) run instead of starting over")
+
     p = sub.add_parser("tpot", help="Figure 12: TPOT across batch sizes")
     add_model_args(p)
     add_workers_arg(p)
@@ -441,6 +541,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="Section VI-A: cycle-level streaming bandwidth, "
                             "HBM4 vs RoMe")
     add_workers_arg(p)
+    add_fault_tolerance_args(p)
     p.add_argument("--bytes", type=int, default=256 * 1024)
     p.set_defaults(func=cmd_bandwidth)
 
@@ -478,6 +579,7 @@ def build_parser() -> argparse.ArgumentParser:
              "percentiles, achieved bandwidth, and a saturation flag",
     )
     add_workers_arg(p)
+    add_fault_tolerance_args(p)
     p.add_argument("--scenario", default="decode-serving",
                    help="registered scenario name (streaming-drain, "
                         "decode-serving, prefill-interleaved, mixed-tenant, "
@@ -541,6 +643,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit non-zero when the saturating decode-serving "
                         "workload delivers less than this fraction of peak "
                         "bandwidth on either controller (0 disables)")
+    p.add_argument("--max-checkpoint-overhead", type=float, default=1.0,
+                   help="exit non-zero when a controller's checkpoint "
+                        "snapshot+restore round-trip costs more than this "
+                        "fraction of the uninterrupted run's wall time "
+                        "(0 disables; resume bit-identity is always gated)")
     p.add_argument("--label", default=None,
                    help="free-form label stamped into the perf document's "
                         "metadata (e.g. the tier-1 commit under test)")

@@ -15,12 +15,26 @@ from repro.sim.memory_system import (
     MemorySystemConfig,
 )
 from repro.sim.engine import Simulation
+from repro.sim.checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    load_checkpoint,
+    restore_controller,
+    save_checkpoint,
+    snapshot_controller,
+)
 from repro.sim.sweep import (
     CacheStats,
+    FaultInjection,
+    FaultPlan,
+    PointFailure,
+    SweepPointError,
     SweepResult,
     SweepStats,
+    SystemRunResult,
     run_sweep,
     run_system_until_idle,
+    run_system_until_idle_result,
     trace_cache_stats,
 )
 from repro.sim.runner import (
@@ -34,23 +48,35 @@ from repro.sim.runner import (
 __all__ = [
     "BandwidthResult",
     "CacheStats",
+    "Checkpoint",
+    "CheckpointError",
     "ConventionalMemorySystem",
+    "FaultInjection",
+    "FaultPlan",
     "LatencyResult",
     "MemorySystemConfig",
+    "PointFailure",
     "RoMeMemorySystem",
     "Simulation",
     "SimulationResult",
+    "SweepPointError",
     "SweepResult",
     "SweepStats",
+    "SystemRunResult",
     "TracePattern",
+    "load_checkpoint",
     "measure_conventional_streaming",
     "measure_rome_streaming",
     "mixed_trace",
     "queue_depth_sweep",
     "queue_depth_sweep_result",
     "random_trace",
+    "restore_controller",
     "run_sweep",
     "run_system_until_idle",
+    "run_system_until_idle_result",
+    "save_checkpoint",
+    "snapshot_controller",
     "streaming_trace",
     "strided_trace",
     "trace_cache_stats",

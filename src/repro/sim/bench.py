@@ -284,6 +284,92 @@ def workload_decode_serving_comparison(repeats: int = 1) -> List[Dict[str, Any]]
     return rows
 
 
+def measure_checkpoint_roundtrip(system: str, total_bytes: int,
+                                 repeats: int = 1) -> Dict[str, Any]:
+    """Snapshot+restore overhead and resume bit-identity for one system.
+
+    Runs a refresh-enabled streaming drain uninterrupted, then reruns it
+    with a cut at the halfway point: advance to ``end/2`` (a planned burst
+    train truncates at the cut through the arrival-truncation path),
+    snapshot the controller, restore from the pickled checkpoint, and
+    finish.  ``identical`` requires the resumed run to match the
+    uninterrupted one bit-for-bit (end time and full stats object);
+    ``overhead_fraction`` is the snapshot+restore wall time as a fraction
+    of the uninterrupted run's wall time (timings best-of ``repeats``,
+    identity asserted on every repeat).
+    """
+    from repro.sim.checkpoint import restore_controller, snapshot_controller
+
+    def build():
+        if system == "rome":
+            controller = _rome_controller("event", enable_refresh=True)
+            _load_rome(controller, total_bytes)
+        else:
+            controller = ConventionalMemoryController(
+                config=ControllerConfig(num_stack_ids=1, enable_refresh=True)
+            )
+            for request in streaming_trace(total_bytes, request_bytes=4096,
+                                           kind=RequestKind.READ):
+                controller.enqueue(request)
+        return controller
+
+    run_s = snapshot_s = restore_s = float("inf")
+    snapshot_bytes = 0
+    identical = True
+    end_ns = 0
+    refreshes = 0
+    for _ in range(max(1, repeats)):
+        baseline = build()
+        start = time.perf_counter()
+        end_ns = baseline.run_until_idle()
+        run_s = min(run_s, time.perf_counter() - start)
+        refreshes = baseline.stats.refreshes_issued
+
+        cut = build()
+        cut.advance_to(end_ns // 2)
+        start = time.perf_counter()
+        checkpoint = snapshot_controller(cut)
+        snapshot_s = min(snapshot_s, time.perf_counter() - start)
+        snapshot_bytes = len(checkpoint.payload)
+        start = time.perf_counter()
+        restored = restore_controller(checkpoint)
+        restore_s = min(restore_s, time.perf_counter() - start)
+        resumed_end = restored.run_until_idle()
+        identical = identical and (resumed_end == end_ns
+                                   and restored.stats == baseline.stats)
+    return {
+        "scenario": "checkpoint",
+        "system": system,
+        "total_bytes": total_bytes,
+        "simulated_ns": end_ns,
+        "run_ms": run_s * 1e3,
+        "snapshot_ms": snapshot_s * 1e3,
+        "restore_ms": restore_s * 1e3,
+        "snapshot_bytes": snapshot_bytes,
+        "overhead_fraction": (snapshot_s + restore_s) / max(run_s, 1e-9),
+        "identical": identical,
+        "refreshes": refreshes,
+    }
+
+
+def checkpoint_roundtrip_comparison(
+    rome_bytes: int = 128 * 1024,
+    hbm4_bytes: int = 96 * 1024,
+    repeats: int = 1,
+) -> List[Dict[str, Any]]:
+    """Per-system ``checkpoint`` rows for ``bench-smoke``.
+
+    One row per controller, each gated by the CLI on ``identical`` (must
+    be ``True``: a checkpoint that changes the simulation is a
+    correctness bug, not a perf regression) and on ``overhead_fraction``
+    (``--max-checkpoint-overhead``).
+    """
+    return [
+        measure_checkpoint_roundtrip("rome", rome_bytes, repeats=repeats),
+        measure_checkpoint_roundtrip("hbm4", hbm4_bytes, repeats=repeats),
+    ]
+
+
 def sweep_throughput(
     workers: int = 1,
     depths: Sequence[int] = (1, 2, 4, 8),

@@ -87,19 +87,26 @@ class Simulation:
     #: requests at known arrival times.
     on_cycle: Optional[Callable[[int], None]] = None
     now: int = 0
-    _schedule: List[Tuple[int, int, Callable[[int], None]]] = field(
+    _schedule: List[Tuple[int, int, Callable[[int], None], object]] = field(
         default_factory=list, repr=False
     )
     _schedule_seq: int = field(default=0, repr=False)
 
     # ------------------------------------------------------------- arrivals
 
-    def at(self, time_ns: int, callback: Callable[[int], None]) -> None:
+    def at(self, time_ns: int, callback: Callable[[int], None],
+           payload: object = None) -> None:
         """Schedule ``callback(now)`` at absolute time ``time_ns``.
 
         Callbacks run before controllers evaluate that instant, so enqueuing
         requests from one behaves exactly like the legacy per-ns ``on_cycle``
         injection.
+
+        ``payload`` is an optional *picklable* description of the arrival
+        (callbacks themselves are closures and cannot be pickled); a
+        checkpoint stores the ``(time_ns, payload)`` pairs returned by
+        :meth:`pending_arrivals` and the resuming side rebuilds the
+        callbacks from them.
 
         Edge contract (the workload driver relies on both halves, in event
         and lockstep mode alike):
@@ -115,12 +122,32 @@ class Simulation:
         if time_ns <= self.now:
             callback(self.now)
             return
-        heapq.heappush(self._schedule, (time_ns, self._schedule_seq, callback))
+        heapq.heappush(
+            self._schedule, (time_ns, self._schedule_seq, callback, payload)
+        )
         self._schedule_seq += 1
+
+    def pending_arrivals(self) -> Tuple[Tuple[int, object], ...]:
+        """``(time_ns, payload)`` of every not-yet-fired arrival, in fire
+        order -- the checkpointable view of the schedule.
+
+        Raises ``ValueError`` if any pending arrival was registered without
+        a payload: such an arrival could not be rebuilt on restore, and
+        silently dropping it would break bit-identity.
+        """
+        ordered = sorted(self._schedule)
+        for time_ns, _, _, payload in ordered:
+            if payload is None:
+                raise ValueError(
+                    f"pending arrival at {time_ns} ns has no payload; "
+                    f"register arrivals with Simulation.at(..., payload=...) "
+                    f"to make the schedule checkpointable"
+                )
+        return tuple((time_ns, payload) for time_ns, _, _, payload in ordered)
 
     def _fire_due(self) -> None:
         while self._schedule and self._schedule[0][0] <= self.now:
-            _, _, callback = heapq.heappop(self._schedule)
+            _, _, callback, _ = heapq.heappop(self._schedule)
             callback(self.now)
 
     def next_arrival_ns(self) -> Optional[int]:

@@ -1,12 +1,12 @@
-"""Process-parallel sweep runner for independent simulation points.
+"""Process-parallel, fault-tolerant sweep runner for independent points.
 
 Every headline experiment in the paper -- TPOT (Figure 12), LBR
 (Figure 13), queue-depth sensitivity (Section V-A), the VBA design space
 (Section IV-B) -- is a *sweep*: many independent simulation or model
 evaluations over batch sizes, queue depths, or controller configurations.
-This module runs such sweeps across a ``concurrent.futures``
-process pool and reports aggregate statistics, including trace-cache
-hit/miss counters from :mod:`repro.trace_cache`.
+This module runs such sweeps across worker processes and reports
+aggregate statistics, including trace-cache hit/miss counters from
+:mod:`repro.trace_cache`.
 
 Sweep points may be load-then-drain measurements *or* arrival-driven
 workloads: a workload point is a picklable
@@ -26,16 +26,30 @@ hand-written loop, so single-worker results are bit-identical to the
 pre-sweep serial helpers.
 
 *Graceful fallback.*  If the pool cannot run the sweep -- the callable
-or a point fails an upfront pickling probe, process creation fails, a
-result will not pickle back, or a worker dies -- the sweep transparently
-runs serially in-process and the stats record ``parallel=False``.
-Exceptions raised by the swept function itself are *not* swallowed; they
-propagate to the caller.
+or the representative point fails an upfront pickling probe, process
+creation fails, a result will not pickle back, or a worker dies -- the
+sweep transparently runs serially in-process and the stats record
+``parallel=False`` plus the ``fallback_reason``.  Exceptions raised by
+the swept function itself are *not* swallowed; they propagate to the
+caller (unless quarantined, below).
+
+*Fault tolerance.*  The hardened execution mode (engaged by any of
+``point_timeout_s``, ``retries``, ``fault_plan``, or
+``on_error="quarantine"``) runs each point in a dedicated child process
+with a wall-clock deadline, retries failed attempts with a deterministic
+linear backoff, and -- under ``on_error="quarantine"`` -- returns
+partial results with structured :class:`PointFailure` records instead of
+aborting the whole sweep.  :class:`FaultPlan` injects deterministic
+worker kills, delays, and exceptions so every failure path is testable.
+
+*Resumability.*  Passing ``journal=<path>`` keeps an append-only on-disk
+journal of completed point values keyed by a content hash of
+``(fn, point)``; a re-run of a killed sweep skips finished points.
 
 *Cache warmth survives the pool.*  Trace-cache entries derived inside
 workers are journaled, shipped back, and installed into the parent's
 cache, so a repeated sweep hits the cache even though each ``run_sweep``
-call builds (and tears down) a fresh pool of forked workers.
+call builds (and tears down) fresh worker processes.
 
 Two levels of parallelism are offered:
 
@@ -49,13 +63,31 @@ Two levels of parallelism are offered:
 
 from __future__ import annotations
 
+import base64
+import hashlib
+import json
+import multiprocessing
+import multiprocessing.connection
 import os
 import pickle
+import random
 import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
-from typing import Any, Callable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.trace_cache import (
     CacheStats,
@@ -66,13 +98,20 @@ from repro.trace_cache import (
 
 __all__ = [
     "CacheStats",
+    "FaultInjection",
+    "FaultPlan",
+    "InjectedFault",
+    "PointFailure",
+    "SweepPointError",
     "SweepResult",
     "SweepStats",
+    "SystemRunResult",
     "global_trace_cache",
     "reset_trace_cache",
     "resolve_workers",
     "run_sweep",
     "run_system_until_idle",
+    "run_system_until_idle_result",
     "trace_cache_stats",
 ]
 
@@ -83,6 +122,11 @@ __all__ = [
 #: :func:`_picklable`, and ``OSError`` is only treated as a pool failure
 #: around process creation/submission (see :func:`_run_pool`).
 _POOL_FAILURES = (pickle.PicklingError, BrokenProcessPool)
+
+#: Exit code a :class:`FaultPlan` ``"kill"`` injection dies with (the
+#: conventional SIGKILL-style code, chosen so failure records are
+#: deterministic across platforms and worker counts).
+_KILL_EXIT_CODE = 137
 
 
 def _picklable(*objects: Any) -> bool:
@@ -106,13 +150,14 @@ def _seed_worker_cache(entries: list) -> None:
 
 
 def _run_pool(tasks: List[Tuple[Any, ...]], workers: int,
-              seed_cache: bool) -> Optional[List[Any]]:
-    """Run ``(fn, *args)`` tasks on a process pool; ``None`` on pool failure.
+              seed_cache: bool) -> Tuple[Optional[List[Any]], Optional[str]]:
+    """Run ``(fn, *args)`` tasks on a process pool.
 
-    Exceptions raised by the tasks themselves propagate unchanged; only
-    pool-infrastructure failures (process creation forbidden, worker
-    death, unpicklable results) return ``None`` so the caller can fall
-    back to serial execution.
+    Returns ``(results, None)`` on success and ``(None, reason)`` on a
+    pool-infrastructure failure (process creation forbidden, worker
+    death, unpicklable results) so the caller can fall back to serial
+    execution and record *why*.  Exceptions raised by the tasks
+    themselves propagate unchanged.
     """
     initializer = initargs = None
     if seed_cache:
@@ -123,7 +168,7 @@ def _run_pool(tasks: List[Tuple[Any, ...]], workers: int,
                                    initializer=initializer,
                                    initargs=initargs or ())
     except OSError:
-        return None
+        return None, "process pool unavailable (OSError at pool creation)"
     with pool:
         # Submission may spawn processes, so OSError here is a pool
         # failure; once the futures exist, an OSError can only come from
@@ -131,11 +176,13 @@ def _run_pool(tasks: List[Tuple[Any, ...]], workers: int,
         try:
             futures = [pool.submit(*task) for task in tasks]
         except OSError:
-            return None
+            return None, "process pool unavailable (OSError at submission)"
         try:
-            return [future.result() for future in futures]
-        except _POOL_FAILURES:
-            return None
+            return [future.result() for future in futures], None
+        except pickle.PicklingError:
+            return None, "pool transport failed (unpicklable task or result)"
+        except BrokenProcessPool:
+            return None, "worker process died (BrokenProcessPool)"
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -149,19 +196,140 @@ def resolve_workers(workers: Optional[int]) -> int:
     return workers
 
 
+# ----------------------------------------------------------- fault injection
+
+
+class InjectedFault(RuntimeError):
+    """The exception a :class:`FaultPlan` ``"raise"`` injection raises."""
+
+
+class SweepPointError(RuntimeError):
+    """A sweep point exhausted its retry budget under ``on_error="raise"``.
+
+    Carries the structured :class:`PointFailure` record as ``failure``.
+    """
+
+    def __init__(self, failure: "PointFailure") -> None:
+        super().__init__(
+            f"sweep point {failure.index} failed after "
+            f"{failure.attempts} attempt(s): {failure.error}"
+        )
+        self.failure = failure
+
+
+@dataclass(frozen=True)
+class FaultInjection:
+    """One planned fault: what happens to ``index`` on listed attempts.
+
+    ``action`` is one of ``"raise"`` (the worker raises
+    :class:`InjectedFault`), ``"kill"`` (the worker process dies with
+    ``os._exit`` before reporting anything -- the hard-crash path), or
+    ``"delay"`` (the worker sleeps ``delay_s`` before running the point,
+    which trips per-point timeouts when ``delay_s`` exceeds them).
+    ``attempts`` holds 1-based attempt numbers; an injection listing only
+    attempt 1 makes the first try fail and every retry succeed.
+    """
+
+    index: int
+    action: str = "raise"
+    attempts: Tuple[int, ...] = (1,)
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.action not in ("raise", "kill", "delay"):
+            raise ValueError(
+                f"unknown fault action {self.action!r}; "
+                f"expected 'raise', 'kill', or 'delay'"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic set of faults to inject into a hardened sweep.
+
+    Plans are plain frozen data, so they pickle into worker processes and
+    two runs with the same plan fail identically -- the tests use this to
+    exercise every failure path of :func:`run_sweep` deterministically.
+    Build one explicitly from :class:`FaultInjection` records or
+    seed-driven via :meth:`seeded`.
+    """
+
+    injections: Tuple[FaultInjection, ...] = ()
+
+    def for_attempt(self, index: int,
+                    attempt: int) -> Optional[FaultInjection]:
+        """The injection hitting ``(point index, 1-based attempt)``."""
+        for injection in self.injections:
+            if injection.index == index and attempt in injection.attempts:
+                return injection
+        return None
+
+    @classmethod
+    def seeded(cls, seed: int, num_points: int,
+               kill_fraction: float = 0.0,
+               raise_fraction: float = 0.0,
+               delay_fraction: float = 0.0,
+               delay_s: float = 0.0,
+               attempts: Tuple[int, ...] = (1,)) -> "FaultPlan":
+        """Draw a plan from ``random.Random(seed)``: each point is killed,
+        raised on, or delayed with the given probabilities (at most one
+        action per point; equal seeds build equal plans anywhere)."""
+        rng = random.Random(seed)
+        injections: List[FaultInjection] = []
+        for index in range(num_points):
+            draw = rng.random()
+            if draw < kill_fraction:
+                action = "kill"
+            elif draw < kill_fraction + raise_fraction:
+                action = "raise"
+            elif draw < kill_fraction + raise_fraction + delay_fraction:
+                action = "delay"
+            else:
+                continue
+            injections.append(FaultInjection(index=index, action=action,
+                                             attempts=attempts,
+                                             delay_s=delay_s))
+        return cls(injections=tuple(injections))
+
+
+@dataclass(frozen=True)
+class PointFailure:
+    """One sweep point that exhausted its retry budget.
+
+    ``error`` is the exception repr (or a normalized description for
+    kills/timeouts/transport failures), chosen to be deterministic across
+    worker counts and start methods; ``wall_s`` is the wall-clock spent
+    across all attempts and is excluded from equality for the same reason
+    ``evaluations`` is everywhere else in this tree.
+    """
+
+    index: int
+    attempts: int
+    error: str
+    wall_s: float = field(default=0.0, compare=False)
+
+
+# ------------------------------------------------------------------- results
+
+
 @dataclass(frozen=True)
 class SweepStats:
     """Aggregate statistics of one :func:`run_sweep` call.
 
     ``workers`` is the worker count actually used (after clamping to the
-    point count); ``parallel`` records whether a process pool really ran
-    -- it is ``False`` for ``workers=1`` and for pools that fell back to
-    serial execution.  ``cache`` aggregates the trace-cache hits/misses
-    accrued while running the points, summed across worker processes.
-    ``evaluations`` sums the scheduler-evaluation counters of swept values
-    that expose one (a :class:`~repro.sim.stats.SimulationResult` or a
-    mapping with an ``"evaluations"`` key); it is 0 for sweeps whose
-    points return bare numbers.
+    point count); ``parallel`` records whether points really ran
+    concurrently in worker processes -- it is ``False`` for ``workers=1``
+    and for pools that fell back to serial execution, in which case
+    ``fallback_reason`` says why.  ``cache`` aggregates the trace-cache
+    hits/misses accrued while running the points, summed across worker
+    processes.  ``evaluations`` sums the scheduler-evaluation counters of
+    swept values that expose one (a
+    :class:`~repro.sim.stats.SimulationResult` or a mapping with an
+    ``"evaluations"`` key); it is 0 for sweeps whose points return bare
+    numbers.  ``failures`` holds one :class:`PointFailure` per quarantined
+    point (empty unless ``on_error="quarantine"`` saw failures), and
+    ``journal_skipped`` counts points restored from the on-disk journal
+    instead of being re-run.
     """
 
     points: int
@@ -170,6 +338,9 @@ class SweepStats:
     wall_s: float
     cache: CacheStats = CacheStats()
     evaluations: int = 0
+    failures: Tuple[PointFailure, ...] = ()
+    fallback_reason: Optional[str] = None
+    journal_skipped: int = 0
 
     @property
     def points_per_s(self) -> float:
@@ -187,7 +358,11 @@ class SweepStats:
 
 @dataclass(frozen=True)
 class SweepResult:
-    """Values of a sweep, in input-point order, plus run statistics."""
+    """Values of a sweep, in input-point order, plus run statistics.
+
+    Under ``on_error="quarantine"`` a failed point's slot holds ``None``
+    and its :class:`PointFailure` record sits in ``stats.failures``.
+    """
 
     values: Tuple[Any, ...]
     stats: SweepStats
@@ -261,10 +436,275 @@ def _run_serial(fn: Callable[..., Any],
     return values, cache
 
 
+# ------------------------------------------------------------- sweep journal
+
+
+class _SweepJournal:
+    """Append-only on-disk journal of completed sweep-point values.
+
+    One JSON line per completed point: ``{"key": <hex>, "value": <b64>}``
+    where ``key`` is a SHA-256 content hash of the swept function's
+    identity (module + qualname) and the pickled point, and ``value`` is
+    the base64-pickled result.  Appends are flushed per point, so a sweep
+    killed mid-run leaves every completed point recoverable; a torn final
+    line (the kill landed mid-write) is skipped on load rather than
+    poisoning the resume.  Values that refuse to pickle are simply not
+    journaled (the point re-runs on resume).
+    """
+
+    def __init__(self, path: Union[str, os.PathLike],
+                 fn: Callable[..., Any]) -> None:
+        self.path = os.fspath(path)
+        self._fn_token = (
+            getattr(fn, "__module__", "") or "",
+            getattr(fn, "__qualname__", None) or repr(fn),
+        )
+
+    def key(self, point: Any) -> str:
+        payload = pickle.dumps((self._fn_token, point),
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        return hashlib.sha256(payload).hexdigest()
+
+    def load(self) -> Dict[str, Any]:
+        """Completed values keyed by content hash (empty if no journal)."""
+        completed: Dict[str, Any] = {}
+        try:
+            with open(self.path, "r", encoding="utf-8") as stream:
+                for line in stream:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                        value = pickle.loads(
+                            base64.b64decode(record["value"]))
+                    except Exception:
+                        continue  # torn or corrupt line: re-run that point
+                    completed[record["key"]] = value
+        except FileNotFoundError:
+            pass
+        return completed
+
+    def record(self, key: str, value: Any) -> None:
+        try:
+            blob = base64.b64encode(
+                pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            ).decode("ascii")
+        except Exception:
+            return  # unpicklable value: resume will recompute it
+        with open(self.path, "a", encoding="utf-8") as stream:
+            stream.write(json.dumps({"key": key, "value": blob}) + "\n")
+            stream.flush()
+            os.fsync(stream.fileno())
+
+
+# --------------------------------------------------------- hardened executor
+
+
+def _fault_child(conn, fn: Callable[..., Any], point: Any,
+                 injection: Optional[FaultInjection],
+                 cache_entries: list) -> None:
+    """Child-process entry point of the hardened executor.
+
+    Executes one point attempt, applying any planned fault first, and
+    reports ``("ok", value, hits, misses, entries)`` or
+    ``("error", message)`` through the pipe.  A ``"kill"`` injection
+    exits without reporting anything -- exactly what a crashed or OOM-killed
+    worker looks like to the parent.
+    """
+    global_trace_cache().install(cache_entries)
+    if injection is not None and injection.action == "kill":
+        os._exit(_KILL_EXIT_CODE)
+    if injection is not None and injection.action == "delay":
+        time.sleep(injection.delay_s)
+    try:
+        if injection is not None and injection.action == "raise":
+            raise InjectedFault(
+                f"injected fault at sweep point {injection.index}"
+            )
+        value, hits, misses, entries = _run_point(fn, point)
+    except BaseException as exc:  # noqa: BLE001 - reported, not swallowed
+        conn.send(("error", repr(exc)))
+        return
+    try:
+        conn.send(("ok", value, hits, misses, entries))
+    except Exception as exc:
+        # The value itself refused to pickle.  Connection.send pickles the
+        # whole message before writing, so the channel is still clean for
+        # the normalized error below (normalized because reprs of
+        # unpicklable objects embed memory addresses).
+        conn.send(("error", f"unpicklable result ({type(exc).__name__})"))
+
+
+@dataclass
+class _GuardedTask:
+    index: int
+    attempt: int
+    process: Any
+    conn: Any
+    started: float
+    deadline: Optional[float]
+
+
+def _finish_task(task: _GuardedTask) -> Tuple[Optional[tuple], Optional[str]]:
+    """Collect a finished child: ``(ok-message, None)`` or ``(None, error)``."""
+    message = None
+    try:
+        if task.conn.poll():
+            message = task.conn.recv()
+    except (EOFError, OSError):
+        message = None
+    task.process.join()
+    task.conn.close()
+    if message is None:
+        return None, f"worker killed (exit code {task.process.exitcode})"
+    if message[0] == "ok":
+        return message, None
+    return None, message[1]
+
+
+def _run_guarded(fn: Callable[..., Any], points: Sequence[Any],
+                 indices: Sequence[int], workers: int,
+                 point_timeout_s: Optional[float], retries: int,
+                 backoff_s: float, fault_plan: Optional[FaultPlan],
+                 start_method: Optional[str],
+                 ) -> Tuple[Dict[int, Any], CacheStats, List[PointFailure]]:
+    """Run points in dedicated child processes with deadlines and retries.
+
+    Each attempt gets a fresh process and a private pipe; a hung attempt
+    is killed at its wall-clock deadline, a dead worker (no message, any
+    exit code) is a failed attempt, and failed attempts retry after a
+    deterministic linear backoff (``backoff_s * attempt``) up to
+    ``retries`` times.  Values come back keyed by point index, so results
+    are input-ordered and independent of completion order and worker
+    count.
+    """
+    context = multiprocessing.get_context(start_method)
+    pending: deque = deque((index, 1) for index in indices)
+    active: Dict[int, _GuardedTask] = {}
+    values: Dict[int, Any] = {}
+    spent: Dict[int, float] = {}
+    failures: List[PointFailure] = []
+    cache = CacheStats()
+
+    def launch(index: int, attempt: int) -> None:
+        injection = (fault_plan.for_attempt(index, attempt)
+                     if fault_plan is not None else None)
+        parent_conn, child_conn = context.Pipe(duplex=False)
+        process = context.Process(
+            target=_fault_child,
+            args=(child_conn, fn, points[index], injection,
+                  global_trace_cache().export_entries()),
+        )
+        process.start()
+        child_conn.close()
+        started = time.monotonic()
+        deadline = (None if point_timeout_s is None
+                    else started + point_timeout_s)
+        active[index] = _GuardedTask(index=index, attempt=attempt,
+                                     process=process, conn=parent_conn,
+                                     started=started, deadline=deadline)
+
+    def settle(task: _GuardedTask, error: str) -> None:
+        spent[task.index] = (spent.get(task.index, 0.0)
+                             + (time.monotonic() - task.started))
+        if task.attempt <= retries:
+            if backoff_s > 0:
+                time.sleep(backoff_s * task.attempt)
+            pending.append((task.index, task.attempt + 1))
+        else:
+            failures.append(PointFailure(index=task.index,
+                                         attempts=task.attempt,
+                                         error=error,
+                                         wall_s=spent[task.index]))
+
+    while pending or active:
+        while pending and len(active) < workers:
+            index, attempt = pending.popleft()
+            launch(index, attempt)
+        wait_timeout: Optional[float] = None
+        if any(task.deadline is not None for task in active.values()):
+            nearest = min(task.deadline for task in active.values()
+                          if task.deadline is not None)
+            wait_timeout = max(0.0, nearest - time.monotonic())
+        ready = multiprocessing.connection.wait(
+            [task.conn for task in active.values()], timeout=wait_timeout
+        )
+        ready_set = set(ready)
+        now = time.monotonic()
+        for index in list(active):
+            task = active[index]
+            if task.conn in ready_set:
+                del active[index]
+                message, error = _finish_task(task)
+                if message is not None:
+                    _, value, hits, misses, entries = message
+                    values[index] = value
+                    spent[index] = (spent.get(index, 0.0)
+                                    + (now - task.started))
+                    cache = cache.merge(CacheStats(hits=hits, misses=misses))
+                    global_trace_cache().install(entries)
+                else:
+                    settle(task, error)
+            elif task.deadline is not None and now >= task.deadline:
+                del active[index]
+                task.process.kill()
+                task.process.join()
+                task.conn.close()
+                settle(task, f"point timed out after {point_timeout_s:g}s")
+    return values, cache, failures
+
+
+def _run_attempts_inprocess(
+    fn: Callable[..., Any], points: Sequence[Any], indices: Sequence[int],
+    retries: int, backoff_s: float,
+) -> Tuple[Dict[int, Any], CacheStats, List[PointFailure]]:
+    """In-process retry/quarantine loop for unpicklable sweeps.
+
+    Mirrors :func:`_run_guarded` minus process isolation -- the only
+    hardening features that genuinely require a child process (wall-clock
+    timeouts and kill/delay injection) are rejected upfront by
+    :func:`run_sweep` for unpicklable functions.
+    """
+    values: Dict[int, Any] = {}
+    failures: List[PointFailure] = []
+    cache = CacheStats()
+    for index in indices:
+        started = time.monotonic()
+        for attempt in range(1, retries + 2):
+            try:
+                value, hits, misses, _ = _run_point(fn, points[index])
+            except Exception as exc:  # noqa: BLE001 - recorded per point
+                if attempt <= retries:
+                    if backoff_s > 0:
+                        time.sleep(backoff_s * attempt)
+                    continue
+                failures.append(PointFailure(
+                    index=index, attempts=attempt, error=repr(exc),
+                    wall_s=time.monotonic() - started,
+                ))
+            else:
+                values[index] = value
+                cache = cache.merge(CacheStats(hits=hits, misses=misses))
+            break
+    return values, cache, failures
+
+
+# ------------------------------------------------------------------ run_sweep
+
+
 def run_sweep(
     fn: Callable[..., Any],
     points: Sequence[Any],
     workers: int = 1,
+    *,
+    point_timeout_s: Optional[float] = None,
+    retries: int = 0,
+    backoff_s: float = 0.0,
+    fault_plan: Optional[FaultPlan] = None,
+    on_error: str = "raise",
+    journal: Optional[Union[str, os.PathLike]] = None,
+    start_method: Optional[str] = None,
 ) -> SweepResult:
     """Evaluate ``fn`` on every point of a sweep, optionally in parallel.
 
@@ -280,45 +720,149 @@ def run_sweep(
     workers:
         Maximum concurrent worker processes.  ``1`` (default) runs
         serially in-process; values < 1 or ``None`` mean one worker per
-        CPU.  The effective count never exceeds ``len(points)``.
+        CPU.  The effective count never exceeds the number of points left
+        to run.
+    point_timeout_s:
+        Wall-clock deadline per point *attempt*; a worker still running at
+        its deadline is killed and the attempt fails.  Requires a
+        picklable ``fn``/point (attempts run in dedicated child
+        processes).
+    retries:
+        Failed attempts per point beyond the first; retries back off
+        deterministically (``backoff_s * attempt`` seconds, default 0).
+    fault_plan:
+        A :class:`FaultPlan` injecting deterministic kills, delays, or
+        exceptions -- how the tests exercise every failure path.
+    on_error:
+        ``"raise"`` (default) re-raises the first exhausted point as
+        :class:`SweepPointError` after the sweep finishes (completed
+        values are still journaled, so a resume skips them);
+        ``"quarantine"`` returns partial results with ``None`` in failed
+        slots and :class:`PointFailure` records in ``stats.failures``.
+    journal:
+        Path of an append-only on-disk journal of completed point values
+        keyed by a content hash of ``(fn, point)``.  Points already in
+        the journal are skipped (``stats.journal_skipped``) and newly
+        completed points are appended, so a killed sweep resumes where it
+        stopped.
+    start_method:
+        Multiprocessing start method for the hardened executor (``None``
+        uses the platform default; results are identical either way).
 
     Returns
     -------
     SweepResult
         ``values`` in input order plus :class:`SweepStats` (wall time,
-        effective workers, aggregated trace-cache counters).
+        effective workers, aggregated trace-cache counters, failure and
+        journal records).
     """
+    if on_error not in ("raise", "quarantine"):
+        raise ValueError("on_error must be 'raise' or 'quarantine'")
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
     points = list(points)
-    workers = min(resolve_workers(workers), max(1, len(points)))
-    if workers > 1 and not _picklable(fn, points):
-        # The pool cannot transport this sweep (e.g. a lambda or closure);
-        # run it serially rather than failing.
-        workers = 1
     start = time.perf_counter()
+
+    journal_store = _SweepJournal(journal, fn) if journal is not None else None
+    restored: Dict[int, Any] = {}
+    if journal_store is not None:
+        completed = journal_store.load()
+        for index, point in enumerate(points):
+            key = journal_store.key(point)
+            if key in completed:
+                restored[index] = completed[key]
+    todo = [index for index in range(len(points)) if index not in restored]
+
+    workers = min(resolve_workers(workers), max(1, len(todo)))
+    hardened = (point_timeout_s is not None or retries > 0
+                or fault_plan is not None or on_error == "quarantine")
+
     parallel = False
-    outcomes = None
-    if workers > 1 and len(points) > 1:
-        outcomes = _run_pool([(_run_point, fn, point) for point in points],
-                             workers, seed_cache=True)
-    if outcomes is None:
-        # Serial path: workers=1, a single point, or a pool-infrastructure
-        # failure (process creation forbidden, dead worker, unpicklable
-        # result) -- never an error from the swept function itself.
-        values, cache = _run_serial(fn, points)
-        workers = 1
+    fallback_reason: Optional[str] = None
+    failures: List[PointFailure] = []
+    cache = CacheStats()
+    by_index: Dict[int, Any] = {}
+
+    if not todo:
+        pass
+    elif hardened:
+        transportable = _picklable(fn) and _picklable(points[todo[0]])
+        if not transportable:
+            if point_timeout_s is not None or fault_plan is not None:
+                raise ValueError(
+                    "point timeouts and fault injection need isolated "
+                    "worker processes, which require a picklable fn and "
+                    "points"
+                )
+            fallback_reason = "unpicklable function or point"
+            by_index, cache, failures = _run_attempts_inprocess(
+                fn, points, todo, retries, backoff_s,
+            )
+            workers = 1
+        else:
+            by_index, cache, failures = _run_guarded(
+                fn, points, todo, workers, point_timeout_s, retries,
+                backoff_s, fault_plan, start_method,
+            )
+            parallel = workers > 1 and len(todo) > 1
     else:
-        parallel = True
-        values = [value for value, _, _, _ in outcomes]
-        cache = CacheStats()
-        for _, hits, misses, entries in outcomes:
-            cache = cache.merge(CacheStats(hits=hits, misses=misses))
-            global_trace_cache().install(entries)
+        run_points = [points[index] for index in todo]
+        pool_workers = workers
+        if pool_workers > 1 and not _picklable(fn):
+            fallback_reason = "unpicklable function"
+            pool_workers = 1
+        elif pool_workers > 1 and not _picklable(run_points[0]):
+            # Probe a single representative point, not the whole list --
+            # large sweeps should not pay an extra full-list pickle, and
+            # an unpicklable straggler surfaces through the pool-transport
+            # fallback below anyway.
+            fallback_reason = "unpicklable sweep point"
+            pool_workers = 1
+        outcomes = None
+        if pool_workers > 1 and len(run_points) > 1:
+            outcomes, pool_reason = _run_pool(
+                [(_run_point, fn, point) for point in run_points],
+                pool_workers, seed_cache=True,
+            )
+            if outcomes is None:
+                fallback_reason = pool_reason
+        if outcomes is None:
+            # Serial path: workers=1, a single point, or a
+            # pool-infrastructure failure (process creation forbidden,
+            # dead worker, unpicklable result) -- never an error from the
+            # swept function itself.
+            values, cache = _run_serial(fn, run_points)
+            workers = 1
+        else:
+            parallel = True
+            values = [value for value, _, _, _ in outcomes]
+            for _, hits, misses, entries in outcomes:
+                cache = cache.merge(CacheStats(hits=hits, misses=misses))
+                global_trace_cache().install(entries)
+        by_index = dict(zip(todo, values))
+
+    if journal_store is not None:
+        for index, value in sorted(by_index.items()):
+            journal_store.record(journal_store.key(points[index]), value)
+
+    if failures and on_error == "raise":
+        raise SweepPointError(failures[0])
+
+    final_values = [
+        restored[index] if index in restored else by_index.get(index)
+        for index in range(len(points))
+    ]
     wall_s = time.perf_counter() - start
     return SweepResult(
-        values=tuple(values),
-        stats=SweepStats(points=len(points), workers=workers,
-                         parallel=parallel, wall_s=wall_s, cache=cache,
-                         evaluations=sum(_evaluations_of(v) for v in values)),
+        values=tuple(final_values),
+        stats=SweepStats(
+            points=len(points), workers=workers, parallel=parallel,
+            wall_s=wall_s, cache=cache,
+            evaluations=sum(_evaluations_of(v) for v in final_values),
+            failures=tuple(sorted(failures, key=lambda f: f.index)),
+            fallback_reason=fallback_reason,
+            journal_skipped=len(restored),
+        ),
     )
 
 
@@ -334,13 +878,30 @@ def _drain_controller(controller: Any, max_ns: Optional[int],
     return controller, end
 
 
-def run_system_until_idle(
+@dataclass(frozen=True)
+class SystemRunResult:
+    """How one :func:`run_system_until_idle` call actually ran.
+
+    ``parallel`` records whether channels really drained in worker
+    processes; when the pool path was requested but did not run,
+    ``fallback_reason`` says why (single channel, unpicklable
+    controllers, or a pool-infrastructure failure) -- previously the
+    fallback was silent and indistinguishable from a parallel run.
+    """
+
+    end_ns: int
+    workers: int
+    parallel: bool
+    fallback_reason: Optional[str] = None
+
+
+def run_system_until_idle_result(
     system: Any,
     workers: int = 1,
     max_ns: Optional[int] = None,
     event_driven: bool = True,
-) -> int:
-    """Drain a multi-channel memory system, optionally sharding channels.
+) -> SystemRunResult:
+    """Drain a multi-channel memory system, reporting which path ran.
 
     ``system`` is a :class:`~repro.sim.memory_system.ConventionalMemorySystem`
     or :class:`~repro.sim.memory_system.RoMeMemorySystem` (anything with a
@@ -351,21 +912,46 @@ def run_system_until_idle(
 
     ``workers=1`` calls ``system.run_until_idle`` directly and is
     bit-identical to the serial path; ``max_ns=None`` keeps each system's
-    own drain deadline.  Pool failures fall back to the serial path.
-    Returns the simulation end time (max over channels).
+    own drain deadline.  Pool failures fall back to the serial path with
+    the reason recorded in the returned :class:`SystemRunResult`.
     """
-    workers = min(resolve_workers(workers), max(1, len(system.controllers)))
+    requested = resolve_workers(workers)
+    workers = min(requested, max(1, len(system.controllers)))
+    fallback_reason: Optional[str] = None
     outcomes = None
-    if workers > 1 and len(system.controllers) > 1 \
-            and _picklable(system.controllers):
-        outcomes = _run_pool(
-            [(_drain_controller, controller, max_ns, event_driven)
-             for controller in system.controllers],
-            workers, seed_cache=False,
-        )
+    if requested > 1 and len(system.controllers) <= 1:
+        fallback_reason = "single channel"
+    if workers > 1 and len(system.controllers) > 1:
+        if _picklable(system.controllers):
+            outcomes, fallback_reason = _run_pool(
+                [(_drain_controller, controller, max_ns, event_driven)
+                 for controller in system.controllers],
+                workers, seed_cache=False,
+            )
+        else:
+            fallback_reason = "unpicklable controllers"
     if outcomes is None:
         if max_ns is None:
-            return system.run_until_idle(event_driven=event_driven)
-        return system.run_until_idle(max_ns, event_driven=event_driven)
+            end = system.run_until_idle(event_driven=event_driven)
+        else:
+            end = system.run_until_idle(max_ns, event_driven=event_driven)
+        return SystemRunResult(end_ns=end, workers=1, parallel=False,
+                               fallback_reason=fallback_reason)
     system.controllers = [controller for controller, _ in outcomes]
-    return max(end for _, end in outcomes)
+    return SystemRunResult(
+        end_ns=max(end for _, end in outcomes),
+        workers=workers, parallel=True,
+    )
+
+
+def run_system_until_idle(
+    system: Any,
+    workers: int = 1,
+    max_ns: Optional[int] = None,
+    event_driven: bool = True,
+) -> int:
+    """Compatibility wrapper for :func:`run_system_until_idle_result`
+    returning only the simulation end time (max over channels)."""
+    return run_system_until_idle_result(
+        system, workers=workers, max_ns=max_ns, event_driven=event_driven,
+    ).end_ns

@@ -29,7 +29,9 @@ from repro.workloads.arrivals import (
 )
 from repro.workloads.driver import (
     WorkloadResult,
+    checkpoint_workload,
     rate_sweep,
+    resume_workload,
     run_workload,
     run_workload_point,
     workload_sweep,
@@ -56,8 +58,10 @@ __all__ = [
     "WorkloadResult",
     "available_scenarios",
     "build_schedule",
+    "checkpoint_workload",
     "compile_schedule",
     "rate_sweep",
+    "resume_workload",
     "run_workload",
     "run_workload_point",
     "workload_sweep",

@@ -19,12 +19,24 @@ Contracts the driver relies on (tested in ``tests/sim/test_engine.py``):
 Determinism: given the same :class:`ScenarioSpec`, every run -- serial,
 pool worker, fork or spawn start method, event or lockstep core --
 simulates the same cycles and returns an equal :class:`WorkloadResult`.
+
+Checkpointing
+-------------
+:func:`checkpoint_workload` cuts a run mid-flight and captures the whole
+in-flight state -- controller, issued-transfer records (request identity
+intact), and the not-yet-fired arrivals -- as one
+:class:`~repro.sim.checkpoint.Checkpoint`; :func:`resume_workload`
+finishes it.  The resumed :class:`WorkloadResult` is bit-identical to the
+uninterrupted run: the cut is just one more ``advance_to`` target, so a
+planned burst train truncates at it through the same arrival-truncation
+path a scheduled arrival uses, and the controllers are cycle-exact under
+any advance granularity.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.controller.mc import ControllerConfig, ConventionalMemoryController
 from repro.controller.request import MemoryRequest, RequestKind
@@ -33,15 +45,23 @@ from repro.core.interface import RowRequestKind, requests_for_transfer
 from repro.core.virtual_bank import paper_vba_config
 from repro.defaults import DEFAULT_DRAIN_HORIZON_NS
 from repro.latency import LatencyAccumulator
+from repro.sim.checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointError,
+    make_checkpoint,
+)
 from repro.sim.engine import Simulation
 from repro.sim.stats import BandwidthResult, LatencyResult
-from repro.sim.sweep import SweepResult, run_sweep
+from repro.sim.sweep import FaultPlan, SweepResult, run_sweep
 from repro.workloads.arrivals import ArrivalSchedule, Transfer
 from repro.workloads.scenarios import ScenarioSpec, build_schedule
 
 __all__ = [
     "WorkloadResult",
+    "checkpoint_workload",
     "rate_sweep",
+    "resume_workload",
     "run_workload",
     "run_workload_point",
     "workload_sweep",
@@ -50,6 +70,12 @@ __all__ = [
 #: A drain tail longer than this fraction of the arrival horizon means the
 #: channel could not keep up with the offered load.
 _SATURATION_TAIL_FRACTION = 0.1
+
+#: ``Checkpoint.kind`` of a mid-flight workload cut.
+_WORKLOAD_CHECKPOINT_KIND = "workload"
+
+#: ``Checkpoint.kind`` of a warm-start carry between rate steps.
+_WARM_CHECKPOINT_KIND = "workload-warm"
 
 
 @dataclass
@@ -185,6 +211,93 @@ def _materializer(spec: ScenarioSpec):
     return _ConventionalMaterializer(spec)
 
 
+# ------------------------------------------------------------ run plumbing
+
+
+def _make_simulation(controller: Any, event_driven: bool,
+                     now: int = 0) -> Simulation:
+    return Simulation(
+        controllers=[controller],
+        on_cycle=None if event_driven else (lambda now: None),
+        now=now,
+    )
+
+
+def _register_arrivals(simulation: Simulation, records, materializer,
+                       issued: List[Tuple[int, Transfer, List]]) -> None:
+    """Register ``(time_ns, transfer)`` records as engine arrivals.
+
+    Each arrival carries its ``transfer`` as the engine payload, so a
+    mid-flight checkpoint can capture the not-yet-fired tail of the
+    schedule and :func:`resume_workload` can rebuild these callbacks.
+    """
+
+    def make_arrival(time_ns: int, transfer: Transfer):
+        def arrive(now: int) -> None:
+            issued.append((time_ns, transfer,
+                           materializer.enqueue(transfer, now)))
+        return arrive
+
+    for time_ns, transfer in records:
+        simulation.at(time_ns, make_arrival(time_ns, transfer),
+                      payload=transfer)
+
+
+def _finish_run(simulation: Simulation, controller: Any, horizon: int,
+                max_drain_ns: int, event_driven: bool) -> int:
+    """Advance through the arrival horizon, then drain to idle."""
+    if simulation.now <= horizon:
+        simulation.run_for(horizon - simulation.now + 1)
+    return controller.run_until_idle(horizon + max_drain_ns,
+                                     event_driven=event_driven)
+
+
+def _collect_result(spec: ScenarioSpec, transfers: int, horizon_rel_ns: int,
+                    materializer, issued: Sequence[Tuple[int, Transfer, List]],
+                    end_ns: int, start_ns: int = 0, bytes_before: int = 0,
+                    evaluations_before: int = 0) -> WorkloadResult:
+    """Assemble the :class:`WorkloadResult` of a (possibly warm) run.
+
+    ``start_ns``/``bytes_before``/``evaluations_before`` are the run's
+    baseline for warm-started steps that continue on a carried
+    controller: bandwidth, saturation, and evaluations are deltas against
+    the baseline, while latency samples are durations and need no offset.
+    """
+    overall = LatencyAccumulator()
+    by_tag: Dict[str, LatencyAccumulator] = {}
+    for time_ns, transfer, requests in issued:
+        completions = [request.completion_ns for request in requests]
+        if any(completion is None for completion in completions):
+            raise RuntimeError("workload drain left requests incomplete")
+        sample = max(completions) - time_ns
+        overall.record(sample)
+        by_tag.setdefault(transfer.tag, LatencyAccumulator()).record(sample)
+
+    controller = materializer.controller
+    tail = end_ns - (start_ns + horizon_rel_ns)
+    saturated = (horizon_rel_ns == 0
+                 or tail > _SATURATION_TAIL_FRACTION * horizon_rel_ns)
+    return WorkloadResult(
+        scenario=spec.scenario,
+        system=spec.system,
+        bandwidth=BandwidthResult(
+            bytes_transferred=materializer.bytes_moved() - bytes_before,
+            elapsed_ns=float(end_ns - start_ns),
+            peak_bytes_per_ns=materializer.peak_bytes_per_ns(),
+        ),
+        latency=LatencyResult.from_accumulators([overall]),
+        latency_by_tag={
+            tag: LatencyResult.from_accumulators([acc])
+            for tag, acc in sorted(by_tag.items())
+        },
+        transfers=transfers,
+        horizon_ns=start_ns + horizon_rel_ns,
+        end_ns=end_ns,
+        saturated=saturated,
+        evaluations=controller.stats.evaluations - evaluations_before,
+    )
+
+
 def run_workload(spec: ScenarioSpec,
                  schedule: Optional[ArrivalSchedule] = None,
                  event_driven: bool = True,
@@ -200,56 +313,112 @@ def run_workload(spec: ScenarioSpec,
         schedule = build_schedule(spec)
     materializer = _materializer(spec)
     controller = materializer.controller
-    simulation = Simulation(
-        controllers=[controller],
-        on_cycle=None if event_driven else (lambda now: None),
-    )
+    simulation = _make_simulation(controller, event_driven)
     issued: List[Tuple[int, Transfer, List]] = []
-
-    def make_arrival(time_ns: int, transfer: Transfer):
-        def arrive(now: int) -> None:
-            issued.append((time_ns, transfer, materializer.enqueue(transfer, now)))
-        return arrive
-
-    for time_ns, transfer in schedule:
-        simulation.at(time_ns, make_arrival(time_ns, transfer))
+    _register_arrivals(simulation, schedule, materializer, issued)
     horizon = schedule.horizon_ns
-    if simulation.now <= horizon:
-        simulation.run_for(horizon - simulation.now + 1)
-    end_ns = controller.run_until_idle(horizon + max_drain_ns,
-                                       event_driven=event_driven)
+    end_ns = _finish_run(simulation, controller, horizon, max_drain_ns,
+                         event_driven)
+    return _collect_result(spec, len(schedule), horizon, materializer,
+                           issued, end_ns)
 
-    overall = LatencyAccumulator()
-    by_tag: Dict[str, LatencyAccumulator] = {}
-    for time_ns, transfer, requests in issued:
-        completions = [request.completion_ns for request in requests]
-        if any(completion is None for completion in completions):
-            raise RuntimeError("workload drain left requests incomplete")
-        sample = max(completions) - time_ns
-        overall.record(sample)
-        by_tag.setdefault(transfer.tag, LatencyAccumulator()).record(sample)
 
-    tail = end_ns - horizon
-    saturated = horizon == 0 or tail > _SATURATION_TAIL_FRACTION * horizon
-    return WorkloadResult(
-        scenario=spec.scenario,
-        system=spec.system,
-        bandwidth=BandwidthResult(
-            bytes_transferred=materializer.bytes_moved(),
-            elapsed_ns=float(end_ns),
-            peak_bytes_per_ns=materializer.peak_bytes_per_ns(),
-        ),
-        latency=LatencyResult.from_accumulators([overall]),
-        latency_by_tag={
-            tag: LatencyResult.from_accumulators([acc])
-            for tag, acc in sorted(by_tag.items())
-        },
+# -------------------------------------------------------- checkpoint/resume
+
+
+@dataclass
+class _WorkloadState:
+    """The complete in-flight state of a cut workload run.
+
+    Pickled as ONE object graph inside the checkpoint payload, which is
+    what keeps request-object identity intact: a request sitting in a
+    controller queue and referenced from an ``issued`` record stays a
+    single object after restore, so completions recorded by the
+    controller remain visible to the latency collection.
+    """
+
+    spec: ScenarioSpec
+    transfers: int
+    horizon_ns: int
+    materializer: Any
+    issued: List[Tuple[int, Transfer, List]]
+    pending: Tuple[Tuple[int, Transfer], ...]
+    now_ns: int
+
+
+def checkpoint_workload(spec: ScenarioSpec, at_ns: int,
+                        schedule: Optional[ArrivalSchedule] = None,
+                        event_driven: bool = True) -> Checkpoint:
+    """Run ``spec`` up to ``at_ns`` and capture the in-flight state.
+
+    The cut instant is handed to the controllers as a plain ``advance_to``
+    target: a burst train planned across ``at_ns`` truncates at it through
+    the existing arrival-truncation path, so the captured state is one the
+    uninterrupted run also passes through, and
+    :func:`resume_workload` finishes bit-identically.  Arrivals due after
+    ``at_ns`` are stored as ``(time_ns, transfer)`` payload pairs (the
+    engine's checkpointable schedule view); everything else -- controller,
+    issued records, refresh and stats state -- pickles as one graph.
+    """
+    if schedule is None:
+        schedule = build_schedule(spec)
+    materializer = _materializer(spec)
+    controller = materializer.controller
+    simulation = _make_simulation(controller, event_driven)
+    issued: List[Tuple[int, Transfer, List]] = []
+    _register_arrivals(simulation, schedule, materializer, issued)
+    if at_ns > simulation.now:
+        simulation.run_for(at_ns - simulation.now)
+    state = _WorkloadState(
+        spec=spec,
         transfers=len(schedule),
-        horizon_ns=horizon,
-        end_ns=end_ns,
-        saturated=saturated,
-        evaluations=controller.stats.evaluations,
+        horizon_ns=schedule.horizon_ns,
+        materializer=materializer,
+        issued=issued,
+        pending=simulation.pending_arrivals(),
+        now_ns=simulation.now,
     )
+    return make_checkpoint(
+        kind=_WORKLOAD_CHECKPOINT_KIND,
+        now_ns=simulation.now,
+        state=state,
+        meta={"scenario": spec.scenario, "system": spec.system,
+              "horizon_ns": schedule.horizon_ns},
+    )
+
+
+def resume_workload(checkpoint: Checkpoint, event_driven: bool = True,
+                    max_drain_ns: int = DEFAULT_DRAIN_HORIZON_NS,
+                    ) -> WorkloadResult:
+    """Finish a workload cut by :func:`checkpoint_workload`.
+
+    Restores the pickled state graph, re-registers the pending arrivals
+    (their callbacks are rebuilt from the stored payloads), and runs the
+    remaining horizon plus drain exactly as :func:`run_workload` would
+    have.  The result is bit-identical to the uninterrupted run.
+    """
+    if checkpoint.version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint version {checkpoint.version} is not supported "
+            f"(this tree reads version {CHECKPOINT_VERSION})"
+        )
+    if checkpoint.kind != _WORKLOAD_CHECKPOINT_KIND:
+        raise CheckpointError(
+            f"checkpoint kind {checkpoint.kind!r} is not a workload cut"
+        )
+    state = checkpoint.state()
+    materializer = state.materializer
+    controller = materializer.controller
+    simulation = _make_simulation(controller, event_driven,
+                                  now=state.now_ns)
+    _register_arrivals(simulation, state.pending, materializer, state.issued)
+    end_ns = _finish_run(simulation, controller, state.horizon_ns,
+                         max_drain_ns, event_driven)
+    return _collect_result(state.spec, state.transfers, state.horizon_ns,
+                           materializer, state.issued, end_ns)
+
+
+# ------------------------------------------------------------------- sweeps
 
 
 def run_workload_point(spec: ScenarioSpec) -> WorkloadResult:
@@ -264,27 +433,116 @@ def run_workload_point(spec: ScenarioSpec) -> WorkloadResult:
 
 
 def workload_sweep(specs: Sequence[ScenarioSpec],
-                   workers: int = 1) -> SweepResult:
+                   workers: int = 1,
+                   *,
+                   journal: Optional[str] = None,
+                   point_timeout_s: Optional[float] = None,
+                   retries: int = 0,
+                   backoff_s: float = 0.0,
+                   on_error: str = "raise",
+                   fault_plan: Optional[FaultPlan] = None) -> SweepResult:
     """Shard independent workload points across a process pool.
 
     ``workers=1`` runs the exact serial loop; results come back in
     ``specs`` order at any worker count, with scheduler evaluations
-    aggregated into the :class:`~repro.sim.sweep.SweepStats`.
+    aggregated into the :class:`~repro.sim.sweep.SweepStats`.  The
+    keyword-only fault-tolerance knobs pass straight through to
+    :func:`repro.sim.sweep.run_sweep`: ``journal`` makes a killed sweep
+    resumable (finished specs are skipped on re-run), and
+    ``point_timeout_s``/``retries``/``on_error``/``fault_plan`` engage the
+    hardened per-point executor.
     """
-    return run_sweep(run_workload_point, list(specs), workers=workers)
+    return run_sweep(run_workload_point, list(specs), workers=workers,
+                     journal=journal, point_timeout_s=point_timeout_s,
+                     retries=retries, backoff_s=backoff_s,
+                     on_error=on_error, fault_plan=fault_plan)
+
+
+def _warm_rate_steps(spec: ScenarioSpec, rates_per_s: Sequence[float],
+                     event_driven: bool,
+                     max_drain_ns: int) -> List[WorkloadResult]:
+    """Run one system's rate steps serially, each warm-started.
+
+    Step 0 runs cold; every later step restores the previous step's
+    steady-state checkpoint (a :data:`_WARM_CHECKPOINT_KIND` round-trip
+    through pickled bytes, proving the carried state is genuinely
+    restorable) and continues on the same controller: row cursors, open
+    state, and refresh phase carry over instead of re-ramping from cold.
+    Per-step bandwidth/saturation/evaluations are deltas against the
+    step's start, so each :class:`WorkloadResult` describes its own step.
+    """
+    results: List[WorkloadResult] = []
+    materializer = None
+    for rate in rates_per_s:
+        step_spec = spec.with_rate(rate)
+        schedule = build_schedule(step_spec)
+        if materializer is None:
+            materializer = _materializer(step_spec)
+        controller = materializer.controller
+        start_ns = controller.now
+        bytes_before = materializer.bytes_moved()
+        evaluations_before = controller.stats.evaluations
+        simulation = _make_simulation(controller, event_driven,
+                                      now=start_ns)
+        issued: List[Tuple[int, Transfer, List]] = []
+        _register_arrivals(
+            simulation,
+            [(start_ns + time_ns, transfer) for time_ns, transfer in schedule],
+            materializer, issued,
+        )
+        horizon = start_ns + schedule.horizon_ns
+        end_ns = _finish_run(simulation, controller, horizon, max_drain_ns,
+                             event_driven)
+        results.append(_collect_result(
+            step_spec, len(schedule), schedule.horizon_ns, materializer,
+            issued, end_ns, start_ns=start_ns, bytes_before=bytes_before,
+            evaluations_before=evaluations_before,
+        ))
+        carried = make_checkpoint(
+            kind=_WARM_CHECKPOINT_KIND,
+            now_ns=controller.now,
+            state=materializer,
+            meta={"system": step_spec.system, "rate_per_s": rate},
+        )
+        materializer = carried.state()
+    return results
 
 
 def rate_sweep(spec: ScenarioSpec, rates_per_s: Sequence[float],
                systems: Sequence[str] = ("rome", "hbm4"),
-               workers: int = 1) -> List[WorkloadResult]:
+               workers: int = 1,
+               *,
+               warm_start: bool = False,
+               journal: Optional[str] = None,
+               event_driven: bool = True,
+               max_drain_ns: int = DEFAULT_DRAIN_HORIZON_NS,
+               ) -> List[WorkloadResult]:
     """Sweep ``spec`` over arrival rates for one or both controllers.
 
     Points are ordered rate-major, system-minor and shard across the pool
     exactly like drain points (the CLI ``workload`` command's backend).
+
+    ``warm_start=True`` switches to serial per-system execution where
+    each rate step restores the previous step's steady-state checkpoint
+    instead of re-ramping from cold -- the closed-loop goodput-search
+    mode; results stay rate-major, system-minor.  ``journal`` (cold path
+    only; warm steps depend on execution order) makes a killed sweep
+    resumable.
     """
+    if warm_start:
+        per_system = [
+            _warm_rate_steps(spec.with_system(system), rates_per_s,
+                             event_driven, max_drain_ns)
+            for system in systems
+        ]
+        return [
+            steps[rate_index]
+            for rate_index in range(len(list(rates_per_s)))
+            for steps in per_system
+        ]
     points = [
         spec.with_rate(rate).with_system(system)
         for rate in rates_per_s
         for system in systems
     ]
-    return list(workload_sweep(points, workers=workers))
+    return list(workload_sweep(points, workers=workers, journal=journal))

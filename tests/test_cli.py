@@ -125,13 +125,16 @@ def test_bench_smoke_reports_sweep_and_cache_rows(capsys, tmp_path):
                  "--conventional-bytes", "65536", "--repeats", "1",
                  "--min-speedup", "0", "--min-conventional-speedup", "0",
                  "--min-evaluation-reduction", "0",
+                 "--max-checkpoint-overhead", "100",
                  "--output", str(out)]) == 0
     report = json.loads(capsys.readouterr().out)
     assert set(report) == {"meta", "core", "streaming_conventional",
                            "streaming_conventional_refresh", "rome_refresh",
-                           "workload", "sweep", "cache"}
+                           "workload", "checkpoint", "sweep", "cache"}
     assert {row["system"] for row in report["core"]} == {"rome", "hbm4"}
     assert {row["system"] for row in report["workload"]} == {"rome", "hbm4"}
+    assert {row["system"] for row in report["checkpoint"]} == {"rome", "hbm4"}
+    assert all(row["identical"] for row in report["checkpoint"])
     assert {row["phase"] for row in report["sweep"]} == {"cold", "warm"}
     warm = next(row for row in report["sweep"] if row["phase"] == "warm")
     assert warm["cache_hits"] > 0
@@ -152,7 +155,8 @@ def test_bench_smoke_parallel_warm_sweep_still_hits_cache(capsys):
     assert main(["--json", "bench-smoke", "--bytes", "65536",
                  "--conventional-bytes", "65536", "--repeats",
                  "1", "--min-speedup", "0", "--min-conventional-speedup",
-                 "0", "--min-evaluation-reduction", "0", "--output", "",
+                 "0", "--min-evaluation-reduction", "0",
+                 "--max-checkpoint-overhead", "100", "--output", "",
                  "--workers", "4"]) == 0
     report = json.loads(capsys.readouterr().out)
     warm = next(row for row in report["sweep"] if row["phase"] == "warm")
@@ -169,7 +173,8 @@ def test_bench_out_alias_still_works_but_warns(capsys, tmp_path):
     argv = ["--json", "bench-smoke", "--bytes", "65536",
             "--conventional-bytes", "65536", "--repeats", "1",
             "--min-speedup", "0", "--min-conventional-speedup", "0",
-            "--min-evaluation-reduction", "0", "--bench-out", str(out)]
+            "--min-evaluation-reduction", "0",
+            "--max-checkpoint-overhead", "100", "--bench-out", str(out)]
     # FutureWarning, not DeprecationWarning: the latter is filtered out by
     # default outside pytest, so real CLI users would never see it.
     with pytest.warns(FutureWarning, match="--bench-out is deprecated"):
@@ -184,6 +189,7 @@ def test_output_flag_does_not_warn(recwarn, capsys, tmp_path):
                  "--conventional-bytes", "65536", "--repeats", "1",
                  "--min-speedup", "0", "--min-conventional-speedup", "0",
                  "--min-evaluation-reduction", "0",
+                 "--max-checkpoint-overhead", "100",
                  "--output", str(out)]) == 0
     capsys.readouterr()
     assert not [w for w in recwarn.list
@@ -217,3 +223,34 @@ def test_workload_unknown_scenario_errors(capsys):
     assert main(["workload", "--scenario", "nope"]) == 2
     err = capsys.readouterr().err
     assert "unknown scenario" in err and "decode-serving" in err
+
+
+def test_workload_resume_skips_journaled_points(capsys, tmp_path):
+    argv = ["--json", "workload", "--scenario", "decode-serving",
+            "--system", "rome", "--rate", "200", "400", "--seed", "0",
+            "--requests", "3", "--checkpoint-dir", str(tmp_path)]
+    assert main(argv) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert (tmp_path / "sweep-journal.jsonl").exists()
+    # The resumed run restores every point from the journal and reports
+    # identical rows without re-simulating.
+    assert main(argv + ["--resume"]) == 0
+    captured = capsys.readouterr()
+    assert json.loads(captured.out) == first
+    assert "restored from the journal" in captured.err
+
+
+def test_workload_without_resume_discards_stale_journal(capsys, tmp_path):
+    argv = ["--json", "workload", "--scenario", "decode-serving",
+            "--system", "rome", "--rate", "200", "--seed", "0",
+            "--requests", "3", "--checkpoint-dir", str(tmp_path)]
+    assert main(argv) == 0
+    capsys.readouterr()
+    assert main(argv) == 0  # no --resume: journal rebuilt from scratch
+    captured = capsys.readouterr()
+    assert "restored from the journal" not in captured.err
+
+
+def test_workload_resume_requires_checkpoint_dir(capsys):
+    with pytest.raises(SystemExit, match="--resume requires"):
+        main(["workload", "--resume"])

@@ -60,3 +60,14 @@ def test_llm_serving_example_importable():
 def test_llm_serving_arrivals_example_importable():
     module = _load("llm_serving_arrivals.py")
     assert callable(module.main)
+
+
+def test_checkpointed_long_run_example_end_to_end(capsys, monkeypatch):
+    # The checkpoint example is small enough to execute for real: it
+    # kills and resumes a run, and asserts bit-identity itself.
+    monkeypatch.setattr(sys, "argv", ["checkpointed_long_run.py"])
+    module = _load("checkpointed_long_run.py")
+    module.main()
+    out = capsys.readouterr().out
+    assert "bit-identical" in out
+    assert "checkpointed at" in out
