@@ -41,7 +41,7 @@ def test_open_loop_rate_shapes_latency(table_printer, sweep_workers):
             "p50_ns": result.latency.p50,
             "p99_ns": result.latency.p99,
             "utilization": result.utilization,
-            "saturated": result.saturated,
+            "saturated": result.overloaded,
         }
         for rate, result in zip([200.0, 2000.0], results)
     ]

@@ -42,7 +42,7 @@ def main() -> None:
     results = rate_sweep(spec, rates, systems=("rome",),
                          workers=args.workers)
     for rate, result in zip(rates, results):
-        state = "saturated" if result.saturated else "keeping up"
+        state = "overloaded" if result.overloaded else "keeping up"
         print(f"  {rate:>8.0f} req/s: p50 {result.latency.p50:>8.0f} ns  "
               f"p99 {result.latency.p99:>8.0f} ns  "
               f"{result.utilization:>6.1%} of peak  ({state})")

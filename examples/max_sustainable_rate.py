@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Max sustainable serving rate under an SLO, RoMe vs HBM4.
+
+Runs closed-loop decode serving -- each iteration launches only when the
+previous iteration's memory traffic has completed -- and bisects the
+Poisson arrival rate for the highest goodput-sustainable point: the
+largest rate at which at least ``--threshold`` of offered requests still
+meet both the TTFT and TPOT targets.  This is the serving-capacity
+headline the paper's "millions of users" framing implies: how much
+request pressure one memory channel sustains before the SLO collapses.
+
+Usage::
+
+    python examples/max_sustainable_rate.py [--probes 8] [--journal FILE]
+
+Pass ``--journal`` to make the search resumable: probes append to a
+JSONL file and a re-run replays the recorded prefix instead of
+re-simulating it.
+"""
+
+import argparse
+
+from repro.workloads import (
+    SLOSpec,
+    ScenarioSpec,
+    ServingConfig,
+    find_max_sustainable_rate,
+    run_workload,
+)
+
+#: A scaled-down serving shape (grok-1 tensor populations, tiny batch)
+#: so the bisection finishes in seconds; the same SLO-tight shape the
+#: ``bench-smoke`` goodput gate searches.
+SERVING = ServingConfig(
+    model_name="grok-1",
+    batch_capacity=2,
+    prompt_tokens=128,
+    output_tokens=2,
+    iteration_interval_ns=512,
+    traffic_scale=2.0 ** -26,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--requests", type=int, default=8)
+    parser.add_argument("--probes", type=int, default=8)
+    parser.add_argument("--threshold", type=float, default=0.9)
+    parser.add_argument("--journal", default=None,
+                        help="JSONL probe journal (makes the search "
+                             "resumable; one file serves one system)")
+    args = parser.parse_args()
+
+    slo = SLOSpec(ttft_ms=0.002, tpot_ms=0.001)
+    spec = ScenarioSpec(scenario="decode-serving", rate_per_s=200_000.0,
+                        num_requests=args.requests, seed=args.seed,
+                        serving=SERVING, closed_loop=True, slo=slo)
+
+    print(f"SLO: TTFT <= {slo.ttft_ns:.0f} ns, TPOT <= {slo.tpot_ns:.0f} ns; "
+          f"sustainable = goodput fraction >= {args.threshold:g}")
+
+    print("\n-- one closed-loop episode at 2M req/s, both controllers --")
+    for system in ("rome", "hbm4"):
+        print(run_workload(spec.with_system(system)
+                           .with_rate(2_000_000.0)).summary())
+
+    print("\n-- bisecting the max sustainable rate --")
+    for system in ("rome", "hbm4"):
+        journal = f"{args.journal}.{system}" if args.journal else None
+        search = find_max_sustainable_rate(
+            spec.with_system(system), 50_000.0, 5_000_000.0,
+            threshold=args.threshold, probes=args.probes, journal=journal)
+        trail = " -> ".join(
+            f"{probe.rate_per_s / 1e6:.2f}M"
+            f"[{'ok' if probe.sustainable else 'x'}]"
+            for probe in search.probes)
+        print(f"  {system:>5}: {search.max_rate_per_s / 1e6:.2f}M req/s "
+              f"sustainable  ({trail})")
+
+
+if __name__ == "__main__":
+    main()

@@ -217,15 +217,63 @@ def _report_sweep_stats(stats) -> None:
               file=sys.stderr)
 
 
+def _find_max_rate(args: argparse.Namespace, spec, systems) -> int:
+    """``workload --find-max-rate``: bisect per system over the --rate
+    bracket; the probe journal (one per system) lives in
+    --checkpoint-dir, so a killed search resumes mid-bisection."""
+    import os
+
+    from repro.workloads import find_max_sustainable_rate
+
+    low, high = min(args.rate), max(args.rate)
+    if not low < high:
+        print("error: --find-max-rate needs at least two --rate values "
+              "(the bracket low and high)", file=sys.stderr)
+        return 2
+    rows = []
+    for system in systems:
+        journal = None
+        if args.checkpoint_dir is not None:
+            os.makedirs(args.checkpoint_dir, exist_ok=True)
+            journal = os.path.join(args.checkpoint_dir,
+                                   f"rate-search-{system}.jsonl")
+            if not args.resume and os.path.exists(journal):
+                os.remove(journal)
+        search = find_max_sustainable_rate(
+            spec.with_system(system), low, high,
+            threshold=args.min_goodput_fraction,
+            journal=journal,
+        )
+        if search.executed_probes < len(search.probes):
+            print(f"resumed: {len(search.probes) - search.executed_probes} "
+                  f"of {len(search.probes)} {system} probes restored from "
+                  f"the journal", file=sys.stderr)
+        rows.append({
+            "scenario": "max-sustainable-rate",
+            "system": system,
+            "max_rate_per_s": search.max_rate_per_s,
+            "threshold": search.threshold,
+            "probes": len(search.probes),
+            "probe_rates": " ".join(f"{probe.rate_per_s:g}"
+                                    for probe in search.probes),
+        })
+    _print_rows(rows, args.json)
+    return 0
+
+
 def cmd_workload(args: argparse.Namespace) -> int:
-    from repro.workloads import ScenarioSpec, available_scenarios, workload_sweep
+    from repro.workloads import (
+        ScenarioSpec,
+        SLOSpec,
+        available_scenarios,
+        workload_sweep,
+    )
 
     if args.scenario not in available_scenarios():
         print(f"error: unknown scenario {args.scenario!r}; known: "
               f"{', '.join(available_scenarios())}", file=sys.stderr)
         return 2
-    journal = _resolve_journal(args)
-    systems = ("rome", "hbm4") if args.system == "both" else (args.system,)
+    closed_loop = args.closed_loop or args.find_max_rate
     spec = ScenarioSpec(
         scenario=args.scenario,
         rate_per_s=args.rate[0],
@@ -233,7 +281,14 @@ def cmd_workload(args: argparse.Namespace) -> int:
         seed=args.seed,
         model_name=args.model,
         enable_refresh=args.refresh,
+        closed_loop=closed_loop,
+        slo=(SLOSpec(ttft_ms=args.slo_ttft_ms, tpot_ms=args.slo_tpot_ms)
+             if closed_loop else None),
     )
+    systems = ("rome", "hbm4") if args.system == "both" else (args.system,)
+    if args.find_max_rate:
+        return _find_max_rate(args, spec, systems)
+    journal = _resolve_journal(args)
     specs = [
         spec.with_rate(rate).with_system(system)
         for rate in args.rate
@@ -250,7 +305,7 @@ def cmd_workload(args: argparse.Namespace) -> int:
     for point, result in zip(specs, sweep.values):
         if result is None:
             continue
-        rows.append({
+        row = {
             "scenario": result.scenario,
             "system": result.system,
             "rate_per_s": point.rate_per_s,
@@ -260,9 +315,18 @@ def cmd_workload(args: argparse.Namespace) -> int:
             "avg_latency_ns": result.latency.average,
             "achieved_gbps": result.bandwidth.achieved_gbps,
             "utilization": result.utilization,
-            "saturated": result.saturated,
+            "saturated": result.overloaded,
             "evaluations": result.evaluations,
-        })
+        }
+        if result.slo is not None:
+            row.update({
+                "offered_per_s": result.offered_rate_per_s,
+                "goodput_per_s": result.goodput_per_s,
+                "goodput_fraction": result.goodput_fraction,
+                "slo_met": result.slo_met,
+                "rejected": result.rejected,
+            })
+        rows.append(row)
     _print_rows(rows, args.json)
     return 1 if sweep.stats.failures else 0
 
@@ -275,6 +339,7 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
     from repro import __version__
     from repro.sim.bench import (
         checkpoint_roundtrip_comparison,
+        max_sustainable_rate_comparison,
         rome_refresh_comparison,
         streaming_conventional_comparison,
         streaming_conventional_refresh_comparison,
@@ -313,6 +378,9 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
     # both controllers, event core vs forced lockstep on the same
     # compiled arrival schedule (cycle-exactness asserted inside).
     workload_rows = workload_decode_serving_comparison(repeats=args.repeats)
+    # Closed-loop smoke: bisect the max sustainable arrival rate under a
+    # tight SLO on both controllers (search determinism asserted inside).
+    rate_rows = max_sustainable_rate_comparison()
     # Checkpoint smoke: snapshot+restore round-trip at the halfway point
     # of a refresh-enabled drain, gated on bit-identity and overhead.
     checkpoint_rows = checkpoint_roundtrip_comparison(
@@ -329,7 +397,7 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
 
     report = {
         "meta": {
-            "schema": 4,
+            "schema": 5,
             "generated_utc": datetime.datetime.now(
                 datetime.timezone.utc).isoformat(timespec="seconds"),
             "package_version": __version__,
@@ -347,6 +415,7 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
         "streaming_conventional_refresh": streaming_refresh,
         "rome_refresh": rome_refresh,
         "workload": workload_rows,
+        "max_sustainable_rate": rate_rows,
         "checkpoint": checkpoint_rows,
         "sweep": sweep_rows,
         "cache": cache,
@@ -359,6 +428,8 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
         _print_rows([streaming, streaming_refresh, rome_refresh], False)
         print()
         _print_rows(workload_rows, False)
+        print()
+        _print_rows(rate_rows, False)
         print()
         _print_rows(checkpoint_rows, False)
         print()
@@ -405,6 +476,17 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
                     f"delivered {row['bandwidth_fraction']:.2f} of peak "
                     f"bandwidth, below the --min-workload-bandwidth-fraction "
                     f"gate of {args.min_workload_bandwidth_fraction:g}"
+                )
+    if args.min_goodput_fraction > 0:
+        for row in rate_rows:
+            if row["max_rate_per_s"] <= 0 \
+                    or row["goodput_fraction"] < args.min_goodput_fraction:
+                failures.append(
+                    f"{row['system']} max-sustainable-rate search found "
+                    f"{row['max_rate_per_s']:g} req/s at goodput fraction "
+                    f"{row['goodput_fraction']:.2f}, below the "
+                    f"--min-goodput-fraction gate of "
+                    f"{args.min_goodput_fraction:g}"
                 )
     for row in checkpoint_rows:
         # Bit-identity is always gated: a checkpoint that changes the
@@ -602,6 +684,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--refresh", action="store_true",
                    help="enable per-bank refresh in the simulated "
                         "controllers")
+    p.add_argument("--closed-loop", action="store_true",
+                   help="run serving scenarios closed-loop: each decode "
+                        "iteration launches only after the previous "
+                        "iteration's memory traffic completes; adds "
+                        "SLO-gated goodput columns")
+    p.add_argument("--slo-ttft-ms", type=float, default=10.0,
+                   help="closed-loop SLO: time-to-first-token target in "
+                        "milliseconds (from request arrival)")
+    p.add_argument("--slo-tpot-ms", type=float, default=1.0,
+                   help="closed-loop SLO: time-per-output-token target in "
+                        "milliseconds")
+    p.add_argument("--find-max-rate", action="store_true",
+                   help="instead of sweeping each --rate value, bisect the "
+                        "max sustainable arrival rate between the smallest "
+                        "and largest --rate (implies --closed-loop; with "
+                        "--checkpoint-dir the probe journal makes the "
+                        "search resumable)")
+    p.add_argument("--min-goodput-fraction", type=float, default=0.9,
+                   help="goodput/offered fraction a --find-max-rate probe "
+                        "must reach to count as sustainable")
     p.set_defaults(func=cmd_workload)
 
     p = sub.add_parser(
@@ -643,6 +745,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit non-zero when the saturating decode-serving "
                         "workload delivers less than this fraction of peak "
                         "bandwidth on either controller (0 disables)")
+    p.add_argument("--min-goodput-fraction", type=float, default=0.9,
+                   help="exit non-zero when the max-sustainable-rate search "
+                        "finds no rate, or the goodput fraction at the "
+                        "found rate is below this, on either controller "
+                        "(0 disables)")
     p.add_argument("--max-checkpoint-overhead", type=float, default=1.0,
                    help="exit non-zero when a controller's checkpoint "
                         "snapshot+restore round-trip costs more than this "

@@ -241,7 +241,7 @@ def measure_workload_core(core: str, system: str) -> Dict[str, Any]:
         "sim_ns_per_wall_s": result.end_ns / wall_s,
         "evaluations": result.evaluations,
         "bandwidth_fraction": result.utilization,
-        "saturated": result.saturated,
+        "saturated": result.overloaded,
         "p99_latency_ns": result.latency.p99,
     }
 
@@ -280,6 +280,75 @@ def workload_decode_serving_comparison(repeats: int = 1) -> List[Dict[str, Any]]
             "bandwidth_fraction": event["bandwidth_fraction"],
             "saturated": event["saturated"],
             "p99_latency_ns": event["p99_latency_ns"],
+        })
+    return rows
+
+
+def sustainable_rate_spec(system: str):
+    """The bench rate-search workload: tiny closed-loop decode serving
+    with an SLO tight enough that the bisection bracket actually brackets
+    (low sustainable, high overloaded), so the search exercises real
+    midpoint probes instead of collapsing to an endpoint."""
+    from repro.workloads.scenarios import ScenarioSpec
+    from repro.workloads.serving import SLOSpec, ServingConfig
+
+    serving = ServingConfig(
+        model_name="grok-1",
+        batch_capacity=2,
+        prompt_tokens=128,
+        output_tokens=2,
+        iteration_interval_ns=512,
+        traffic_scale=2.0 ** -26,
+    )
+    return ScenarioSpec(scenario="decode-serving", system=system,
+                        rate_per_s=200_000.0, num_requests=8, seed=0,
+                        serving=serving, closed_loop=True,
+                        slo=SLOSpec(ttft_ms=0.002, tpot_ms=0.001))
+
+
+def max_sustainable_rate_comparison() -> List[Dict[str, Any]]:
+    """Per-system rows for the max-sustainable-rate bisection.
+
+    One row per system (``rome``, ``hbm4``): run
+    :func:`repro.workloads.driver.find_max_sustainable_rate` over a
+    fixed bracket; for the (cheap) RoMe search, run it twice and assert
+    the two searches agree bit-for-bit (rate, probe sequence, goodput at
+    every probe) -- the determinism contract of the closed-loop driver.
+    The hbm4 search shares that contract (asserted by the tier-1
+    equivalence suite) but each conventional-scheduler probe costs ~1 s
+    of wall time, so the smoke runs it once.  The ``bench-smoke`` gate
+    (``--min-goodput-fraction``) checks the goodput fraction achieved at
+    the found rate.
+    """
+    from repro.workloads.driver import find_max_sustainable_rate
+
+    rows: List[Dict[str, Any]] = []
+    for system in ("rome", "hbm4"):
+        spec = sustainable_rate_spec(system)
+        start = time.perf_counter()
+        first = find_max_sustainable_rate(spec, 50_000.0, 5_000_000.0,
+                                          probes=8)
+        wall_s = max(time.perf_counter() - start, 1e-9)
+        if system == "rome":
+            second = find_max_sustainable_rate(spec, 50_000.0, 5_000_000.0,
+                                               probes=8)
+            if first != second:
+                raise AssertionError(
+                    "max-sustainable-rate search is not deterministic")
+        best = max(
+            (probe for probe in first.probes if probe.sustainable),
+            key=lambda probe: probe.rate_per_s,
+            default=None,
+        )
+        rows.append({
+            "scenario": "max_sustainable_rate",
+            "system": system,
+            "max_rate_per_s": first.max_rate_per_s,
+            "goodput_per_s": best.goodput_per_s if best else 0.0,
+            "goodput_fraction": best.goodput_fraction if best else 0.0,
+            "threshold": first.threshold,
+            "probes": len(first.probes),
+            "wall_ms": wall_s * 1e3,
         })
     return rows
 

@@ -15,7 +15,15 @@ turns the event core into a scenario machine:
 * :mod:`repro.workloads.driver` -- compiles a schedule onto
   ``Simulation.at()`` callbacks, runs either controller, and returns a
   :class:`WorkloadResult` (per-request latency percentiles, achieved
-  bandwidth, evaluations, saturation flag).
+  bandwidth, evaluations, overload flag).
+
+Serving scenarios also run *closed-loop*: :class:`ClosedLoopServer`
+gates each decode iteration on the previous iteration's memory
+completion, admission control bounds the batch (queue depth + KV
+budget), chunked prefill interleaves with decode, and the result carries
+SLO-gated goodput (:class:`SLOSpec` TTFT/TPOT targets).
+:func:`find_max_sustainable_rate` bisects arrival rate for the highest
+sustainable goodput -- the "millions of users" headline metric.
 """
 
 from repro.workloads.arrivals import (
@@ -28,8 +36,11 @@ from repro.workloads.arrivals import (
     compile_schedule,
 )
 from repro.workloads.driver import (
+    RateProbe,
+    RateSearchResult,
     WorkloadResult,
     checkpoint_workload,
+    find_max_sustainable_rate,
     rate_sweep,
     resume_workload,
     run_workload,
@@ -39,20 +50,34 @@ from repro.workloads.driver import (
 from repro.workloads.scenarios import (
     SCENARIOS,
     ScenarioSpec,
+    ServingPlan,
     available_scenarios,
     build_schedule,
+    serving_plan,
 )
-from repro.workloads.serving import DecodeServingModel, ServingConfig
+from repro.workloads.serving import (
+    ClosedLoopServer,
+    DecodeServingModel,
+    RequestRecord,
+    SLOSpec,
+    ServingConfig,
+)
 
 __all__ = [
     "ArrivalSchedule",
     "BurstyArrivals",
+    "ClosedLoopServer",
     "DecodeServingModel",
     "FixedRateArrivals",
     "PoissonArrivals",
+    "RateProbe",
+    "RateSearchResult",
+    "RequestRecord",
     "SCENARIOS",
+    "SLOSpec",
     "ScenarioSpec",
     "ServingConfig",
+    "ServingPlan",
     "TraceArrivals",
     "Transfer",
     "WorkloadResult",
@@ -60,9 +85,11 @@ __all__ = [
     "build_schedule",
     "checkpoint_workload",
     "compile_schedule",
+    "find_max_sustainable_rate",
     "rate_sweep",
     "resume_workload",
     "run_workload",
     "run_workload_point",
+    "serving_plan",
     "workload_sweep",
 ]

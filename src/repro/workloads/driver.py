@@ -35,7 +35,9 @@ any advance granularity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.controller.mc import ControllerConfig, ConventionalMemoryController
@@ -55,11 +57,15 @@ from repro.sim.engine import Simulation
 from repro.sim.stats import BandwidthResult, LatencyResult
 from repro.sim.sweep import FaultPlan, SweepResult, run_sweep
 from repro.workloads.arrivals import ArrivalSchedule, Transfer
-from repro.workloads.scenarios import ScenarioSpec, build_schedule
+from repro.workloads.scenarios import ScenarioSpec, build_schedule, serving_plan
+from repro.workloads.serving import ClosedLoopServer, SLOSpec
 
 __all__ = [
+    "RateProbe",
+    "RateSearchResult",
     "WorkloadResult",
     "checkpoint_workload",
+    "find_max_sustainable_rate",
     "rate_sweep",
     "resume_workload",
     "run_workload",
@@ -70,6 +76,11 @@ __all__ = [
 #: A drain tail longer than this fraction of the arrival horizon means the
 #: channel could not keep up with the offered load.
 _SATURATION_TAIL_FRACTION = 0.1
+
+#: A closed-loop run whose goodput falls below this fraction of the
+#: offered rate is flagged overloaded (the :func:`find_max_sustainable_rate`
+#: default threshold matches).
+GOODPUT_OVERLOAD_THRESHOLD = 0.9
 
 #: ``Checkpoint.kind`` of a mid-flight workload cut.
 _WORKLOAD_CHECKPOINT_KIND = "workload"
@@ -90,11 +101,18 @@ class WorkloadResult:
     ``latency_by_tag`` breaks the same samples out per traffic class
     (``"decode"``, ``"prefill"``, ``"foreground"``, ...).
 
-    ``saturated`` is set when the post-horizon drain tail exceeds 10 % of
-    the arrival horizon (or when every arrival was due at t=0): the
-    channel fell behind the open-loop offered load.  ``evaluations`` is
-    the scheduler-evaluation counter (excluded from equality, like every
-    other result object in this tree).
+    ``overloaded`` means the channel fell behind the offered load.  On a
+    closed-loop run it derives from the SLO accounting (goodput below
+    :data:`GOODPUT_OVERLOAD_THRESHOLD` of the offered rate); open-loop
+    runs keep the drain-tail proxy (tail > 10 % of the arrival horizon,
+    or every arrival due at t=0).  The former ``saturated`` field is a
+    deprecated read-only alias.
+
+    The SLO block (``requests`` .. ``peak_kv_bytes``) is populated only by
+    closed-loop runs: per-request TTFT/TPOT percentile summaries, the
+    count meeting both SLOs, and the offered/goodput rates they imply.
+    ``evaluations`` is the scheduler-evaluation counter (excluded from
+    equality, like every other result object in this tree).
     """
 
     scenario: str
@@ -105,22 +123,58 @@ class WorkloadResult:
     transfers: int
     horizon_ns: int
     end_ns: int
-    saturated: bool
+    overloaded: bool
+    requests: int = 0
+    rejected: int = 0
+    slo: Optional[SLOSpec] = None
+    slo_met: int = 0
+    offered_rate_per_s: float = 0.0
+    goodput_per_s: float = 0.0
+    ttft: Optional[LatencyResult] = None
+    tpot: Optional[LatencyResult] = None
+    peak_batch: int = 0
+    peak_kv_bytes: int = 0
     evaluations: int = field(default=0, compare=False)
+
+    @property
+    def saturated(self) -> bool:
+        """Deprecated alias of :attr:`overloaded`."""
+        warnings.warn(
+            "WorkloadResult.saturated is deprecated; read "
+            "WorkloadResult.overloaded instead",
+            FutureWarning, stacklevel=2,
+        )
+        return self.overloaded
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Goodput as a fraction of the offered rate (1.0 when nothing
+        was offered -- an empty episode breaks no SLOs)."""
+        if self.offered_rate_per_s <= 0.0:
+            return 1.0
+        return self.goodput_per_s / self.offered_rate_per_s
 
     @property
     def utilization(self) -> float:
         return self.bandwidth.utilization
 
     def summary(self) -> str:
-        state = "saturated" if self.saturated else "keeping up"
-        return (
+        state = "overloaded" if self.overloaded else "keeping up"
+        text = (
             f"{self.scenario}/{self.system}: "
             f"{self.bandwidth.achieved_gbps:.1f} GB/s "
             f"({self.utilization:.1%} of peak, {state}), "
             f"p50 {self.latency.p50:.0f} ns / p99 {self.latency.p99:.0f} ns "
             f"over {self.transfers} transfers"
         )
+        if self.slo is not None:
+            text += (
+                f"; goodput {self.goodput_per_s:.1f}/s of "
+                f"{self.offered_rate_per_s:.1f}/s offered "
+                f"({self.slo_met}/{self.requests} in SLO, "
+                f"{self.rejected} rejected)"
+            )
+        return text
 
 
 class _RomeMaterializer:
@@ -252,17 +306,11 @@ def _finish_run(simulation: Simulation, controller: Any, horizon: int,
                                      event_driven=event_driven)
 
 
-def _collect_result(spec: ScenarioSpec, transfers: int, horizon_rel_ns: int,
-                    materializer, issued: Sequence[Tuple[int, Transfer, List]],
-                    end_ns: int, start_ns: int = 0, bytes_before: int = 0,
-                    evaluations_before: int = 0) -> WorkloadResult:
-    """Assemble the :class:`WorkloadResult` of a (possibly warm) run.
-
-    ``start_ns``/``bytes_before``/``evaluations_before`` are the run's
-    baseline for warm-started steps that continue on a carried
-    controller: bandwidth, saturation, and evaluations are deltas against
-    the baseline, while latency samples are durations and need no offset.
-    """
+def _transfer_latencies(
+        issued: Sequence[Tuple[int, Transfer, List]],
+) -> Tuple[LatencyAccumulator, Dict[str, LatencyAccumulator]]:
+    """Per-transfer latency samples (arrival to last request completion),
+    overall and per traffic tag."""
     overall = LatencyAccumulator()
     by_tag: Dict[str, LatencyAccumulator] = {}
     for time_ns, transfer, requests in issued:
@@ -272,11 +320,25 @@ def _collect_result(spec: ScenarioSpec, transfers: int, horizon_rel_ns: int,
         sample = max(completions) - time_ns
         overall.record(sample)
         by_tag.setdefault(transfer.tag, LatencyAccumulator()).record(sample)
+    return overall, by_tag
 
+
+def _collect_result(spec: ScenarioSpec, transfers: int, horizon_rel_ns: int,
+                    materializer, issued: Sequence[Tuple[int, Transfer, List]],
+                    end_ns: int, start_ns: int = 0, bytes_before: int = 0,
+                    evaluations_before: int = 0) -> WorkloadResult:
+    """Assemble the :class:`WorkloadResult` of a (possibly warm) run.
+
+    ``start_ns``/``bytes_before``/``evaluations_before`` are the run's
+    baseline for warm-started steps that continue on a carried
+    controller: bandwidth, overload, and evaluations are deltas against
+    the baseline, while latency samples are durations and need no offset.
+    """
+    overall, by_tag = _transfer_latencies(issued)
     controller = materializer.controller
     tail = end_ns - (start_ns + horizon_rel_ns)
-    saturated = (horizon_rel_ns == 0
-                 or tail > _SATURATION_TAIL_FRACTION * horizon_rel_ns)
+    overloaded = (horizon_rel_ns == 0
+                  or tail > _SATURATION_TAIL_FRACTION * horizon_rel_ns)
     return WorkloadResult(
         scenario=spec.scenario,
         system=spec.system,
@@ -293,7 +355,152 @@ def _collect_result(spec: ScenarioSpec, transfers: int, horizon_rel_ns: int,
         transfers=transfers,
         horizon_ns=start_ns + horizon_rel_ns,
         end_ns=end_ns,
-        saturated=saturated,
+        overloaded=overloaded,
+        evaluations=controller.stats.evaluations - evaluations_before,
+    )
+
+
+# -------------------------------------------------------------- closed loop
+
+
+def _advance_until_complete(simulation: Simulation, controller: Any,
+                            requests: Sequence[Any],
+                            deadline_ns: int) -> int:
+    """Advance until every request of one iteration has completed; return
+    the iteration's completion instant (the closed-loop launch gate).
+
+    Advance targets come from ``controller.next_event_ns()`` -- the same
+    instants the event core picks on its own -- so the advance trajectory
+    (and with it every launch decision) is a pure function of controller
+    state.  The cycle-exact controllers reach identical states at
+    identical instants under the event and lockstep cores, which keeps
+    closed-loop results bit-identical across the two.
+    """
+    while any(request.completion_ns is None for request in requests):
+        target = controller.next_event_ns()
+        if target is None or target <= simulation.now:
+            # No stored future constraint: the controller has fresh work
+            # to evaluate (advance_to performs it), so step one instant.
+            target = simulation.now + 1
+        if target > deadline_ns:
+            raise RuntimeError(
+                f"closed-loop iteration still incomplete at the drain "
+                f"deadline ({deadline_ns} ns)")
+        simulation.run_for(target - simulation.now)
+    return max(request.completion_ns for request in requests)
+
+
+def _run_closed_loop(spec: ScenarioSpec, materializer, simulation: Simulation,
+                     *, start_ns: int = 0, bytes_before: int = 0,
+                     evaluations_before: int = 0, event_driven: bool = True,
+                     max_drain_ns: int = DEFAULT_DRAIN_HORIZON_NS,
+                     ) -> Tuple[WorkloadResult, ClosedLoopServer]:
+    """Run ``spec`` closed-loop on an existing materializer/simulation.
+
+    The loop: ask the server for the next launch instant, advance the
+    engine to it, register the launch through ``Simulation.at`` (firing
+    synchronously under the at-or-past edge contract, so the launch is an
+    ordinary engine arrival), advance until the iteration's memory
+    traffic completes, and feed the completion instant back -- the next
+    launch gates on ``max(accelerator cadence, completion)``.  Returns
+    the result plus the server, whose per-request records tests inspect.
+    """
+    controller = materializer.controller
+    plan = serving_plan(spec)
+    times = [start_ns + time_ns for time_ns in plan.arrival_times_ns]
+    server = ClosedLoopServer(plan.serving, times)
+    horizon_abs = max(times) if times else start_ns
+    deadline_ns = horizon_abs + max_drain_ns
+    issued: List[Tuple[int, Transfer, List]] = []
+    while True:
+        launch = server.next_launch_ns()
+        if launch is None:
+            break
+        launch = max(launch, simulation.now)
+        if launch > simulation.now:
+            simulation.run_for(launch - simulation.now)
+        fired: List[Tuple[int, Transfer, List]] = []
+
+        def arrive(now: int, server=server, fired=fired) -> None:
+            for transfer in server.begin_iteration(now):
+                fired.append((now, transfer,
+                              materializer.enqueue(transfer, now)))
+
+        simulation.at(launch, arrive)
+        if fired:
+            issued.extend(fired)
+            requests = [request for _, _, batch in fired
+                        for request in batch]
+            completion = _advance_until_complete(simulation, controller,
+                                                 requests, deadline_ns)
+        else:
+            completion = launch
+        server.finish_iteration(launch, completion)
+    end_ns = controller.run_until_idle(deadline_ns,
+                                       event_driven=event_driven)
+    result = _collect_closed_result(
+        spec, materializer, issued, server, horizon_abs, end_ns,
+        start_ns=start_ns, bytes_before=bytes_before,
+        evaluations_before=evaluations_before,
+    )
+    return result, server
+
+
+def _collect_closed_result(spec: ScenarioSpec, materializer,
+                           issued: Sequence[Tuple[int, Transfer, List]],
+                           server: ClosedLoopServer, horizon_abs_ns: int,
+                           end_ns: int, *, start_ns: int, bytes_before: int,
+                           evaluations_before: int) -> WorkloadResult:
+    """Assemble a closed-loop :class:`WorkloadResult` with SLO accounting.
+
+    Offered rate and goodput share one denominator -- the arrival horizon
+    -- so ``goodput <= offered`` holds by construction (``slo_met`` never
+    exceeds ``requests``); ``overloaded`` derives from their ratio.
+    """
+    overall, by_tag = _transfer_latencies(issued)
+    controller = materializer.controller
+    slo = spec.slo if spec.slo is not None else SLOSpec()
+    horizon_rel = horizon_abs_ns - start_ns
+    total = len(server.records)
+    met = sum(1 for record in server.records if record.meets(slo))
+    elapsed_s = max(horizon_rel, 1) / 1e9
+    offered = total / elapsed_s
+    goodput = met / elapsed_s
+    ttft_acc = LatencyAccumulator()
+    tpot_acc = LatencyAccumulator()
+    for record in server.records:
+        if record.ttft_ns is not None:
+            ttft_acc.record(record.ttft_ns)
+        if record.tpot_ns is not None:
+            tpot_acc.record(record.tpot_ns)
+    overloaded = goodput < GOODPUT_OVERLOAD_THRESHOLD * offered
+    return WorkloadResult(
+        scenario=spec.scenario,
+        system=spec.system,
+        bandwidth=BandwidthResult(
+            bytes_transferred=materializer.bytes_moved() - bytes_before,
+            elapsed_ns=float(end_ns - start_ns),
+            peak_bytes_per_ns=materializer.peak_bytes_per_ns(),
+        ),
+        latency=LatencyResult.from_accumulators([overall]),
+        latency_by_tag={
+            tag: LatencyResult.from_accumulators([acc])
+            for tag, acc in sorted(by_tag.items())
+        },
+        transfers=len(issued),
+        horizon_ns=horizon_abs_ns,
+        end_ns=end_ns,
+        overloaded=overloaded,
+        requests=total,
+        rejected=server.rejected,
+        slo=slo,
+        slo_met=met,
+        offered_rate_per_s=offered,
+        goodput_per_s=goodput,
+        ttft=LatencyResult.from_accumulators([ttft_acc]),
+        tpot=LatencyResult.from_accumulators([tpot_acc]),
+        peak_batch=server.peak_batch,
+        peak_kv_bytes=server.peak_kv_bytes,
         evaluations=controller.stats.evaluations - evaluations_before,
     )
 
@@ -304,11 +511,27 @@ def run_workload(spec: ScenarioSpec,
                  max_drain_ns: int = DEFAULT_DRAIN_HORIZON_NS) -> WorkloadResult:
     """Compile ``spec`` (unless a ``schedule`` is given) and simulate it.
 
+    A spec with ``closed_loop=True`` runs through the completion-gated
+    iteration loop instead of a precompiled schedule (its scenario must
+    have a registered serving plan) and fills the SLO block of the
+    result.
+
     ``event_driven=False`` forces per-nanosecond lockstep through the
     legacy ``on_cycle`` escape hatch -- only useful to *prove* the event
     core bit-identical (the equivalence suite does); it is orders of
     magnitude slower on serving-scale horizons.
     """
+    if spec.closed_loop:
+        if schedule is not None:
+            raise ValueError(
+                "closed-loop runs build their own iteration schedule; "
+                "schedule= applies to open-loop runs only")
+        materializer = _materializer(spec)
+        simulation = _make_simulation(materializer.controller, event_driven)
+        result, _ = _run_closed_loop(
+            spec, materializer, simulation, event_driven=event_driven,
+            max_drain_ns=max_drain_ns)
+        return result
     if schedule is None:
         schedule = build_schedule(spec)
     materializer = _materializer(spec)
@@ -359,7 +582,17 @@ def checkpoint_workload(spec: ScenarioSpec, at_ns: int,
     ``at_ns`` are stored as ``(time_ns, transfer)`` payload pairs (the
     engine's checkpointable schedule view); everything else -- controller,
     issued records, refresh and stats state -- pickles as one graph.
+
+    Closed-loop specs are rejected: their launch instants depend on
+    completion feedback, so a cut cannot be replayed from a schedule.
+    Use the :func:`find_max_sustainable_rate` probe journal or
+    warm-started :func:`rate_sweep` steps for resumability instead.
     """
+    if spec.closed_loop:
+        raise CheckpointError(
+            "closed-loop runs cannot be cut mid-flight (launches depend "
+            "on completion feedback); use the rate-search journal or "
+            "warm-started rate_sweep steps for resumability")
     if schedule is None:
         schedule = build_schedule(spec)
     materializer = _materializer(spec)
@@ -468,14 +701,17 @@ def _warm_rate_steps(spec: ScenarioSpec, rates_per_s: Sequence[float],
     through pickled bytes, proving the carried state is genuinely
     restorable) and continues on the same controller: row cursors, open
     state, and refresh phase carry over instead of re-ramping from cold.
-    Per-step bandwidth/saturation/evaluations are deltas against the
+    Per-step bandwidth/overload/evaluations are deltas against the
     step's start, so each :class:`WorkloadResult` describes its own step.
+
+    Closed-loop specs run their iteration loop on the carried controller
+    (arrival instants offset to the step's start), so the goodput search
+    probes a channel that is already warm.
     """
     results: List[WorkloadResult] = []
     materializer = None
     for rate in rates_per_s:
         step_spec = spec.with_rate(rate)
-        schedule = build_schedule(step_spec)
         if materializer is None:
             materializer = _materializer(step_spec)
         controller = materializer.controller
@@ -484,20 +720,31 @@ def _warm_rate_steps(spec: ScenarioSpec, rates_per_s: Sequence[float],
         evaluations_before = controller.stats.evaluations
         simulation = _make_simulation(controller, event_driven,
                                       now=start_ns)
-        issued: List[Tuple[int, Transfer, List]] = []
-        _register_arrivals(
-            simulation,
-            [(start_ns + time_ns, transfer) for time_ns, transfer in schedule],
-            materializer, issued,
-        )
-        horizon = start_ns + schedule.horizon_ns
-        end_ns = _finish_run(simulation, controller, horizon, max_drain_ns,
-                             event_driven)
-        results.append(_collect_result(
-            step_spec, len(schedule), schedule.horizon_ns, materializer,
-            issued, end_ns, start_ns=start_ns, bytes_before=bytes_before,
-            evaluations_before=evaluations_before,
-        ))
+        if step_spec.closed_loop:
+            result, _ = _run_closed_loop(
+                step_spec, materializer, simulation, start_ns=start_ns,
+                bytes_before=bytes_before,
+                evaluations_before=evaluations_before,
+                event_driven=event_driven, max_drain_ns=max_drain_ns,
+            )
+            results.append(result)
+        else:
+            schedule = build_schedule(step_spec)
+            issued: List[Tuple[int, Transfer, List]] = []
+            _register_arrivals(
+                simulation,
+                [(start_ns + time_ns, transfer)
+                 for time_ns, transfer in schedule],
+                materializer, issued,
+            )
+            horizon = start_ns + schedule.horizon_ns
+            end_ns = _finish_run(simulation, controller, horizon,
+                                 max_drain_ns, event_driven)
+            results.append(_collect_result(
+                step_spec, len(schedule), schedule.horizon_ns, materializer,
+                issued, end_ns, start_ns=start_ns, bytes_before=bytes_before,
+                evaluations_before=evaluations_before,
+            ))
         carried = make_checkpoint(
             kind=_WARM_CHECKPOINT_KIND,
             now_ns=controller.now,
@@ -546,3 +793,151 @@ def rate_sweep(spec: ScenarioSpec, rates_per_s: Sequence[float],
         for system in systems
     ]
     return list(workload_sweep(points, workers=workers, journal=journal))
+
+
+# -------------------------------------------------------------- rate search
+
+
+@dataclass(frozen=True)
+class RateProbe:
+    """One bisection probe: the rate offered and what it achieved."""
+
+    rate_per_s: float
+    goodput_per_s: float
+    goodput_fraction: float
+    sustainable: bool
+
+
+@dataclass
+class RateSearchResult:
+    """Outcome of :func:`find_max_sustainable_rate`.
+
+    ``max_rate_per_s`` is the highest *probed* rate whose goodput
+    fraction cleared the threshold (0.0 when even the bracket floor did
+    not).  ``probes`` records every probe in execution order;
+    ``executed_probes`` counts the ones actually simulated -- a resumed
+    search replays the journaled prefix without executing it, so the
+    counter is excluded from equality like every other cost counter.
+    """
+
+    scenario: str
+    system: str
+    max_rate_per_s: float
+    threshold: float
+    probes: Tuple[RateProbe, ...]
+    executed_probes: int = field(default=0, compare=False)
+
+
+def _load_rate_journal(path: str) -> List[dict]:
+    """Journaled probe entries, tolerating a torn tail from a kill."""
+    entries: List[dict] = []
+    try:
+        handle = open(path, encoding="utf-8")
+    except FileNotFoundError:
+        return entries
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError:
+                break
+    return entries
+
+
+def find_max_sustainable_rate(spec: ScenarioSpec, low_per_s: float,
+                              high_per_s: float, *,
+                              threshold: float = GOODPUT_OVERLOAD_THRESHOLD,
+                              probes: int = 8,
+                              journal: Optional[str] = None,
+                              event_driven: bool = True,
+                              max_drain_ns: int = DEFAULT_DRAIN_HORIZON_NS,
+                              ) -> RateSearchResult:
+    """Deterministic bisection for the max sustainable arrival rate.
+
+    A rate is *sustainable* when the closed-loop goodput fraction
+    (requests/s meeting both SLOs over requests/s offered) clears
+    ``threshold``.  The search probes the bracket ends, then bisects --
+    at most ``probes`` runs total.  Every probe is one warm-started
+    :func:`rate_sweep` step on ``spec.system``, so the search is a pure
+    function of ``(spec, low, high, threshold, probes)``: float midpoints
+    are exact IEEE halves and the simulation underneath is bit-identical,
+    making the final rate reproducible anywhere.
+
+    ``journal`` names an append-only JSONL file recording each probe's
+    outcome.  Re-running with the same arguments replays the journaled
+    prefix without simulating (a mid-search kill resumes where it
+    stopped); a journal written by different arguments is detected by
+    rate mismatch and rejected.
+    """
+    if not 0.0 < low_per_s <= high_per_s:
+        raise ValueError("need 0 < low_per_s <= high_per_s")
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    if probes < 2:
+        raise ValueError("probes must be at least 2 (the bracket ends)")
+    spec = replace(spec, closed_loop=True,
+                   slo=spec.slo if spec.slo is not None else SLOSpec())
+    journaled = _load_rate_journal(journal) if journal else []
+    recorded: List[RateProbe] = []
+    executed = 0
+
+    def probe_rate(rate: float) -> RateProbe:
+        nonlocal executed
+        index = len(recorded)
+        if index < len(journaled):
+            entry = journaled[index]
+            if entry.get("rate_per_s") != rate:
+                raise CheckpointError(
+                    f"rate-search journal diverges at probe {index}: "
+                    f"journaled rate {entry.get('rate_per_s')!r}, "
+                    f"search wants {rate!r} (different search arguments?)")
+            probe = RateProbe(rate_per_s=rate,
+                              goodput_per_s=entry["goodput_per_s"],
+                              goodput_fraction=entry["goodput_fraction"],
+                              sustainable=entry["sustainable"])
+        else:
+            result = rate_sweep(spec, [rate], systems=(spec.system,),
+                                warm_start=True, event_driven=event_driven,
+                                max_drain_ns=max_drain_ns)[0]
+            probe = RateProbe(rate_per_s=rate,
+                              goodput_per_s=result.goodput_per_s,
+                              goodput_fraction=result.goodput_fraction,
+                              sustainable=result.goodput_fraction
+                              >= threshold)
+            executed += 1
+            if journal:
+                with open(journal, "a", encoding="utf-8") as handle:
+                    handle.write(json.dumps(
+                        {"probe": index, "rate_per_s": rate,
+                         "goodput_per_s": probe.goodput_per_s,
+                         "goodput_fraction": probe.goodput_fraction,
+                         "sustainable": probe.sustainable},
+                        sort_keys=True) + "\n")
+        recorded.append(probe)
+        return probe
+
+    best = 0.0
+    if probe_rate(low_per_s).sustainable:
+        best = low_per_s
+        if high_per_s > low_per_s:
+            if probe_rate(high_per_s).sustainable:
+                best = high_per_s
+            else:
+                low, high = low_per_s, high_per_s
+                for _ in range(probes - 2):
+                    mid = (low + high) / 2.0
+                    if probe_rate(mid).sustainable:
+                        low = best = mid
+                    else:
+                        high = mid
+    return RateSearchResult(
+        scenario=spec.scenario,
+        system=spec.system,
+        max_rate_per_s=best,
+        threshold=threshold,
+        probes=tuple(recorded),
+        executed_probes=executed,
+    )

@@ -31,14 +31,18 @@ from repro.workloads.arrivals import (
     Transfer,
     compile_schedule,
 )
-from repro.workloads.serving import DecodeServingModel, ServingConfig
+from repro.workloads.serving import DecodeServingModel, SLOSpec, ServingConfig
 
 __all__ = [
     "SCENARIOS",
+    "SERVING_PLANS",
     "ScenarioSpec",
+    "ServingPlan",
     "available_scenarios",
     "build_schedule",
     "scenario",
+    "serving_plan",
+    "serving_plan_builder",
 ]
 
 
@@ -62,6 +66,14 @@ class ScenarioSpec:
     #: Optional :class:`ServingConfig` override; ``None`` derives one from
     #: ``model_name`` (see :meth:`serving_config`).
     serving: Optional[ServingConfig] = None
+    #: Run the scenario closed-loop: iteration launches gate on the
+    #: previous iteration's memory completion instead of the open-loop
+    #: accelerator clock.  Requires the scenario to have a registered
+    #: :class:`ServingPlan` (see :func:`serving_plan`).
+    closed_loop: bool = False
+    #: SLO targets for goodput accounting on closed-loop runs; ``None``
+    #: uses the :class:`~repro.workloads.serving.SLOSpec` defaults.
+    slo: Optional[SLOSpec] = None
 
     def __post_init__(self) -> None:
         if self.system not in ("rome", "hbm4"):
@@ -81,7 +93,53 @@ class ScenarioSpec:
         return replace(self, rate_per_s=rate_per_s)
 
 
+@dataclass(frozen=True)
+class ServingPlan:
+    """The *inputs* of a serving episode, before any loop policy.
+
+    Open-loop builders compile the plan through
+    :meth:`DecodeServingModel.compile`; the closed-loop driver feeds the
+    same arrival instants and config into a
+    :class:`~repro.workloads.serving.ClosedLoopServer`.  Sharing one plan
+    per scenario is what makes the closed-loop/open-loop equivalence
+    property testable: both modes see byte-identical arrivals.
+    """
+
+    arrival_times_ns: Tuple[int, ...]
+    serving: ServingConfig
+
+
 ScenarioBuilder = Callable[[ScenarioSpec], ArrivalSchedule]
+ServingPlanBuilder = Callable[[ScenarioSpec], ServingPlan]
+
+#: Registry of serving plans (name -> plan builder) for the scenarios
+#: that model a decode-serving episode; only these support closed-loop.
+SERVING_PLANS: Dict[str, ServingPlanBuilder] = {}
+
+
+def serving_plan_builder(
+        name: str) -> Callable[[ServingPlanBuilder], ServingPlanBuilder]:
+    """Register a serving-plan builder under ``name``."""
+
+    def register(builder: ServingPlanBuilder) -> ServingPlanBuilder:
+        if name in SERVING_PLANS:
+            raise ValueError(f"serving plan {name!r} already registered")
+        SERVING_PLANS[name] = builder
+        return builder
+
+    return register
+
+
+def serving_plan(spec: ScenarioSpec) -> ServingPlan:
+    """The serving plan of ``spec``'s scenario (closed-loop runs need one)."""
+    try:
+        builder = SERVING_PLANS[spec.scenario]
+    except KeyError:
+        raise KeyError(
+            f"scenario {spec.scenario!r} has no serving plan, so it cannot "
+            f"run closed-loop; scenarios with plans: {sorted(SERVING_PLANS)}"
+        ) from None
+    return builder(spec)
 
 #: Registry of named scenarios (name -> schedule builder).
 SCENARIOS: Dict[str, ScenarioBuilder] = {}
@@ -127,24 +185,40 @@ def _streaming_drain(spec: ScenarioSpec) -> ArrivalSchedule:
                             [transfer] * spec.num_requests)
 
 
+@serving_plan_builder("decode-serving")
+def _decode_serving_plan(spec: ScenarioSpec) -> ServingPlan:
+    times = PoissonArrivals(spec.rate_per_s, seed=spec.seed)
+    return ServingPlan(
+        arrival_times_ns=tuple(times.times_ns(spec.num_requests)),
+        serving=spec.serving_config(),
+    )
+
+
 @scenario("decode-serving")
 def _decode_serving(spec: ScenarioSpec) -> ArrivalSchedule:
     """Open-loop decode serving at ``rate_per_s`` Poisson arrivals."""
-    times = PoissonArrivals(spec.rate_per_s, seed=spec.seed)
-    model = DecodeServingModel(spec.serving_config())
-    return model.compile(times.times_ns(spec.num_requests))
+    plan = serving_plan(spec)
+    return DecodeServingModel(plan.serving).compile(plan.arrival_times_ns)
+
+
+@serving_plan_builder("prefill-interleaved")
+def _prefill_interleaved_plan(spec: ScenarioSpec) -> ServingPlan:
+    serving = spec.serving_config()
+    serving = replace(serving, prompt_tokens=4 * serving.prompt_tokens,
+                      batch_capacity=2 * serving.batch_capacity)
+    times = BurstyArrivals(spec.rate_per_s, burst_size=4, seed=spec.seed)
+    return ServingPlan(
+        arrival_times_ns=tuple(times.times_ns(spec.num_requests)),
+        serving=serving,
+    )
 
 
 @scenario("prefill-interleaved")
 def _prefill_interleaved(spec: ScenarioSpec) -> ArrivalSchedule:
     """Grouped arrivals: requests land in bursts, so large prefill sweeps
     interleave with the decode steady state (Section III's two stages)."""
-    serving = spec.serving_config()
-    serving = replace(serving, prompt_tokens=4 * serving.prompt_tokens,
-                      batch_capacity=2 * serving.batch_capacity)
-    times = BurstyArrivals(spec.rate_per_s, burst_size=4, seed=spec.seed)
-    return DecodeServingModel(serving).compile(
-        times.times_ns(spec.num_requests))
+    plan = serving_plan(spec)
+    return DecodeServingModel(plan.serving).compile(plan.arrival_times_ns)
 
 
 @scenario("mixed-tenant")

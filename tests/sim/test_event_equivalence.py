@@ -438,7 +438,7 @@ def test_workload_event_run_is_lockstep_identical(name, system):
     lockstep = run_workload(spec, event_driven=False)
     assert event == lockstep
     # The flag and percentiles derive from identical samples.
-    assert event.saturated == lockstep.saturated
+    assert event.overloaded == lockstep.overloaded
     assert event.latency.p99 == lockstep.latency.p99
 
 
@@ -482,6 +482,30 @@ def test_workload_refresh_enabled_stays_lockstep_identical(system):
     event = run_workload(spec, event_driven=True)
     lockstep = run_workload(spec, event_driven=False)
     assert event == lockstep
+
+
+@pytest.mark.parametrize("enable_refresh", [False, True],
+                         ids=["refresh-off", "refresh-on"])
+@pytest.mark.parametrize("system", ["rome", "hbm4"])
+def test_closed_loop_run_is_lockstep_identical(system, enable_refresh):
+    """Closed-loop serving feeds controller completion instants back into
+    the launch schedule, so any event/lockstep divergence would *compound*
+    across iterations; the full WorkloadResult (SLO block included) must
+    still match bit-for-bit, with and without the refresh FSMs."""
+    from repro.workloads.serving import SLOSpec
+
+    spec = ScenarioSpec(scenario="decode-serving", system=system,
+                        rate_per_s=2_000_000.0, num_requests=4, seed=3,
+                        enable_refresh=enable_refresh,
+                        serving=_WORKLOAD_SERVING, closed_loop=True,
+                        slo=SLOSpec(ttft_ms=0.002, tpot_ms=0.001))
+    event = run_workload(spec, event_driven=True)
+    lockstep = run_workload(spec, event_driven=False)
+    assert event == lockstep
+    assert event.goodput_per_s == lockstep.goodput_per_s
+    assert event.ttft == lockstep.ttft
+    assert event.tpot == lockstep.tpot
+    assert event.requests == 4
 
 
 # -------------------------------------------------- refresh postponement edge

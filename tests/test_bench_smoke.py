@@ -50,7 +50,8 @@ def _assert_report_schema(report):
     Schema 2 documents (pre-workload) stay valid; schema 3 additionally
     requires the ``workload`` rows (the serving-workload gate); schema 4
     additionally requires the ``checkpoint`` rows (the snapshot+restore
-    round-trip gate).
+    round-trip gate); schema 5 additionally requires the
+    ``max_sustainable_rate`` rows (the closed-loop goodput gate).
     """
     assert isinstance(report["gates_passed"], bool)
     meta = report["meta"]
@@ -91,6 +92,15 @@ def _assert_report_schema(report):
             assert row["overhead_fraction"] >= 0
             assert row["refreshes"] > 0
             assert row["simulated_ns"] > 0
+    if meta["schema"] >= 5:
+        rate_rows = report["max_sustainable_rate"]
+        assert {row["system"] for row in rate_rows} == {"rome", "hbm4"}
+        for row in rate_rows:
+            assert row["scenario"] == "max_sustainable_rate"
+            assert row["max_rate_per_s"] > 0
+            assert 0.0 < row["goodput_fraction"] <= 1.0
+            assert row["probes"] >= 1
+            assert 0.0 < row["threshold"] <= 1.0
     assert {row["phase"] for row in report["sweep"]} == {"cold", "warm"}
     assert report["cache"]["cold_ms"] > 0
 
@@ -102,7 +112,7 @@ def test_bench_smoke_gates_pass_and_write_perf_document(capsys, tmp_path):
     report = json.loads(out.read_text())
     assert report["gates_passed"] is True
     _assert_report_schema(report)
-    assert report["meta"]["schema"] == 4
+    assert report["meta"]["schema"] == 5
     streaming = report["streaming_conventional"]
     assert streaming["evaluation_reduction"] >= 5.0
     assert streaming["tick_evaluations"] == streaming["simulated_ns"]
@@ -124,6 +134,14 @@ def test_bench_smoke_workload_gate_fails_when_unreachable(capsys, tmp_path):
         == 1
     captured = capsys.readouterr()
     assert "decode-serving workload" in captured.err
+    assert json.loads(out.read_text())["gates_passed"] is False
+
+
+def test_bench_smoke_goodput_gate_fails_when_unreachable(capsys, tmp_path):
+    out = tmp_path / "BENCH_goodput_fail.json"
+    assert main(_argv(out, **{"--min-goodput-fraction": "2"})) == 1
+    captured = capsys.readouterr()
+    assert "max-sustainable-rate" in captured.err
     assert json.loads(out.read_text())["gates_passed"] is False
 
 

@@ -130,9 +130,14 @@ def test_bench_smoke_reports_sweep_and_cache_rows(capsys, tmp_path):
     report = json.loads(capsys.readouterr().out)
     assert set(report) == {"meta", "core", "streaming_conventional",
                            "streaming_conventional_refresh", "rome_refresh",
-                           "workload", "checkpoint", "sweep", "cache"}
+                           "workload", "max_sustainable_rate", "checkpoint",
+                           "sweep", "cache"}
     assert {row["system"] for row in report["core"]} == {"rome", "hbm4"}
     assert {row["system"] for row in report["workload"]} == {"rome", "hbm4"}
+    assert {row["system"] for row in report["max_sustainable_rate"]} \
+        == {"rome", "hbm4"}
+    assert all(row["max_rate_per_s"] > 0
+               for row in report["max_sustainable_rate"])
     assert {row["system"] for row in report["checkpoint"]} == {"rome", "hbm4"}
     assert all(row["identical"] for row in report["checkpoint"])
     assert {row["phase"] for row in report["sweep"]} == {"cold", "warm"}
@@ -254,3 +259,67 @@ def test_workload_without_resume_discards_stale_journal(capsys, tmp_path):
 def test_workload_resume_requires_checkpoint_dir(capsys):
     with pytest.raises(SystemExit, match="--resume requires"):
         main(["workload", "--resume"])
+
+
+def test_workload_closed_loop_adds_goodput_columns(capsys):
+    assert main(["--json", "workload", "--scenario", "decode-serving",
+                 "--system", "rome", "--rate", "200", "--seed", "0",
+                 "--requests", "3", "--closed-loop",
+                 "--slo-ttft-ms", "5", "--slo-tpot-ms", "1"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    for row in rows:
+        assert row["goodput_per_s"] <= row["offered_per_s"]
+        assert 0.0 <= row["goodput_fraction"] <= 1.0
+        assert row["slo_met"] + row["rejected"] <= 3
+
+
+def test_workload_open_loop_rows_keep_their_shape(capsys):
+    # No --closed-loop: the goodput columns must not appear, so existing
+    # consumers of the open-loop row schema are unaffected.
+    assert main(["--json", "workload", "--scenario", "decode-serving",
+                 "--system", "rome", "--rate", "200", "--seed", "0",
+                 "--requests", "3"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert all("goodput_per_s" not in row for row in rows)
+
+
+def test_workload_find_max_rate_bisects_the_rate_bracket(capsys):
+    argv = ["--json", "workload", "--scenario", "decode-serving",
+            "--system", "rome", "--rate", "1000", "4000", "--seed", "0",
+            "--requests", "2", "--model", "grok-1", "--find-max-rate"]
+    assert main(argv) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert [row["system"] for row in rows] == ["rome"]
+    row = rows[0]
+    assert row["scenario"] == "max-sustainable-rate"
+    assert row["max_rate_per_s"] == 4000.0  # default SLO: bracket top holds
+    assert row["probe_rates"].startswith("1000 4000")
+    # The search is a pure function of its arguments.
+    assert main(argv) == 0
+    assert json.loads(capsys.readouterr().out) == rows
+
+
+def test_workload_find_max_rate_requires_a_bracket(capsys):
+    assert main(["workload", "--system", "rome", "--rate", "1000",
+                 "--find-max-rate"]) == 2
+    assert "two --rate values" in capsys.readouterr().err
+
+
+def test_workload_find_max_rate_journal_resumes(capsys, tmp_path):
+    argv = ["--json", "workload", "--scenario", "decode-serving",
+            "--system", "rome", "--rate", "1000", "4000", "--seed", "0",
+            "--requests", "2", "--model", "grok-1", "--find-max-rate",
+            "--checkpoint-dir", str(tmp_path)]
+    assert main(argv) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert (tmp_path / "rate-search-rome.jsonl").exists()
+    # --resume replays every journaled probe without re-simulating.
+    assert main(argv + ["--resume"]) == 0
+    captured = capsys.readouterr()
+    assert json.loads(captured.out) == first
+    assert "probes restored from the journal" in captured.err
+    # Without --resume the stale journal is discarded and rebuilt.
+    assert main(argv) == 0
+    captured = capsys.readouterr()
+    assert json.loads(captured.out) == first
+    assert "restored" not in captured.err

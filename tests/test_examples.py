@@ -62,6 +62,12 @@ def test_llm_serving_arrivals_example_importable():
     assert callable(module.main)
 
 
+def test_max_sustainable_rate_example_importable():
+    module = _load("max_sustainable_rate.py")
+    assert callable(module.main)
+    assert module.SERVING.batch_capacity == 2
+
+
 def test_checkpointed_long_run_example_end_to_end(capsys, monkeypatch):
     # The checkpoint example is small enough to execute for real: it
     # kills and resumes a run, and asserts bit-identity itself.

@@ -72,11 +72,11 @@ class TestRunWorkload:
 
     def test_drain_point_is_flagged_saturated(self):
         result = run_workload(_spec(scenario="streaming-drain"))
-        assert result.saturated  # everything due at t=0: pure drain
+        assert result.overloaded  # everything due at t=0: pure drain
 
     def test_light_open_loop_load_is_not_saturated(self):
         result = run_workload(_spec(rate_per_s=200.0, num_requests=3))
-        assert not result.saturated
+        assert not result.overloaded
         assert result.utilization < 0.1
 
     def test_explicit_schedule_bypasses_the_registry(self):
