@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Device-fault campaign: goodput and silent-corruption rate vs ECC.
+
+Sweeps a grid of transient bit-error rates across the registered ECC
+schemes (SEC-DED, symbol-based RS, and the unprotected strawman) on both
+controllers, and prints what each combination costs: delivered goodput
+(achieved bandwidth after retry/scrub interference) and the silent-data-
+corruption rate the code lets through.  The Section VII argument becomes
+visible in the table: RoMe's 4 KiB codeword absorbs the same bit-error
+rate roughly two orders of magnitude harder than the 32 B baseline
+codeword, so the larger access granularity *needs* its stronger code.
+
+Every campaign is seeded and counter-based, so rerunning this script
+reproduces the table bit for bit.
+
+Usage::
+
+    python examples/fault_campaign.py [--seed 11] [--requests 2]
+"""
+
+import argparse
+
+from repro.reliability import ReliabilityConfig
+from repro.workloads import ScenarioSpec, run_workload
+
+#: Transient bit-error rates to sweep (per bit per read).  The top rate
+#: is harsh on purpose: it pushes the soft-error tail past SEC-DED's
+#: detection guarantee on the 4 KiB codeword, so the SDC column shows
+#: real mass instead of zeros.
+FAULT_RATES = (1e-6, 1e-5, 1e-4)
+
+#: Registered ECC scheme names (see ``repro.core.ecc.ECC_SCHEMES``).
+ECC_SCHEMES = ("secded", "rs", "none")
+
+
+def campaign(system: str, fault_rate: float, ecc_scheme: str,
+             seed: int, requests: int):
+    """One seeded fault campaign; returns its ``WorkloadResult``."""
+    spec = ScenarioSpec(
+        scenario="streaming-drain",
+        system=system,
+        num_requests=requests,
+        reliability=ReliabilityConfig(
+            seed=seed,
+            transient_ber=fault_rate,
+            retention_ber=fault_rate / 4,
+            hard_row_rate=0.01,
+            ecc_scheme=ecc_scheme,
+            scrub_interval_ns=1_000,
+        ),
+    )
+    return run_workload(spec)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--requests", type=int, default=2,
+                        help="64 KiB transfers per campaign point")
+    args = parser.parse_args()
+
+    header = (f"{'system':>6} {'ecc':>7} {'fault rate':>10} "
+              f"{'goodput GB/s':>12} {'corrected':>9} {'due':>5} "
+              f"{'sdc':>5} {'sdc rate':>9}")
+    print(header)
+    print("-" * len(header))
+    for system in ("rome", "hbm4"):
+        for ecc_scheme in ECC_SCHEMES:
+            for fault_rate in FAULT_RATES:
+                result = campaign(system, fault_rate, ecc_scheme,
+                                  args.seed, args.requests)
+                stats = result.reliability
+                print(f"{system:>6} {ecc_scheme:>7} {fault_rate:>10.0e} "
+                      f"{result.bandwidth.achieved_gbps:>12.1f} "
+                      f"{stats.corrected:>9} "
+                      f"{stats.detected_uncorrectable:>5} "
+                      f"{stats.silent_miscorrects:>5} "
+                      f"{stats.sdc_rate:>9.5f}")
+        print()
+    print("note: equal bit-error rates hit RoMe's 4 KiB codeword ~128x "
+          "harder than the 32 B baseline codeword -- row-granularity "
+          "access must buy a stronger code with its saved parity.")
+
+
+if __name__ == "__main__":
+    main()

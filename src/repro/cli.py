@@ -274,6 +274,18 @@ def cmd_workload(args: argparse.Namespace) -> int:
               f"{', '.join(available_scenarios())}", file=sys.stderr)
         return 2
     closed_loop = args.closed_loop or args.find_max_rate
+    reliability = None
+    if args.fault_rate > 0 or args.hard_fault_rate > 0:
+        from repro.reliability import ReliabilityConfig
+
+        reliability = ReliabilityConfig(
+            seed=args.fault_seed,
+            transient_ber=args.fault_rate,
+            retention_ber=args.fault_rate / 4,
+            hard_row_rate=args.hard_fault_rate,
+            ecc_scheme=args.ecc_scheme,
+            scrub_interval_ns=args.scrub,
+        )
     spec = ScenarioSpec(
         scenario=args.scenario,
         rate_per_s=args.rate[0],
@@ -284,6 +296,7 @@ def cmd_workload(args: argparse.Namespace) -> int:
         closed_loop=closed_loop,
         slo=(SLOSpec(ttft_ms=args.slo_ttft_ms, tpot_ms=args.slo_tpot_ms)
              if closed_loop else None),
+        reliability=reliability,
     )
     systems = ("rome", "hbm4") if args.system == "both" else (args.system,)
     if args.find_max_rate:
@@ -326,6 +339,20 @@ def cmd_workload(args: argparse.Namespace) -> int:
                 "slo_met": result.slo_met,
                 "rejected": result.rejected,
             })
+        if result.reliability is not None:
+            stats = result.reliability
+            row.update({
+                "corrected": stats.corrected,
+                "due": stats.detected_uncorrectable,
+                "sdc": stats.silent_miscorrects,
+                "retries": stats.retries_scheduled,
+                "recovered": stats.recovered_reads,
+                "unrecoverable": stats.unrecoverable_reads,
+                "spared_rows": stats.spared_rows,
+                "offlined_banks": stats.offlined_banks,
+                "scrub_passes": stats.scrub_passes,
+                "sdc_rate": stats.sdc_rate,
+            })
         rows.append(row)
     _print_rows(rows, args.json)
     return 1 if sweep.stats.failures else 0
@@ -340,6 +367,7 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
     from repro.sim.bench import (
         checkpoint_roundtrip_comparison,
         max_sustainable_rate_comparison,
+        reliability_comparison,
         rome_refresh_comparison,
         streaming_conventional_comparison,
         streaming_conventional_refresh_comparison,
@@ -388,6 +416,9 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
         hbm4_bytes=min(args.conventional_bytes, 96 * 1024),
         repeats=args.repeats,
     )
+    # Reliability smoke: the seeded fault campaign on both controllers,
+    # gated on zero-rate bit-identity and campaign determinism.
+    reliability_rows = reliability_comparison()
     # Sweep-runner smoke: per-worker point throughput, cold vs warm cache.
     sweep_rows = sweep_throughput(workers=args.workers)
     # Trace-cache smoke: the cached second derivation of a sweep point's
@@ -397,7 +428,7 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
 
     report = {
         "meta": {
-            "schema": 5,
+            "schema": 6,
             "generated_utc": datetime.datetime.now(
                 datetime.timezone.utc).isoformat(timespec="seconds"),
             "package_version": __version__,
@@ -417,6 +448,7 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
         "workload": workload_rows,
         "max_sustainable_rate": rate_rows,
         "checkpoint": checkpoint_rows,
+        "reliability": reliability_rows,
         "sweep": sweep_rows,
         "cache": cache,
     }
@@ -432,6 +464,8 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
         _print_rows(rate_rows, False)
         print()
         _print_rows(checkpoint_rows, False)
+        print()
+        _print_rows(reliability_rows, False)
         print()
         _print_rows(sweep_rows, False)
         print()
@@ -503,6 +537,22 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
                 f"{row['overhead_fraction']:.2f} of the run's wall time, "
                 f"above the --max-checkpoint-overhead gate of "
                 f"{args.max_checkpoint_overhead:g}"
+            )
+    for row in reliability_rows:
+        # Both reliability gates are structural and always enforced: a
+        # zero-rate config that perturbs the simulation, or a fault
+        # campaign that is not bit-reproducible, is a correctness bug.
+        if not row["zero_rate_identical"]:
+            failures.append(
+                f"{row['system']} zero-fault-rate run diverged from the "
+                f"no-reliability baseline (bit-identity violated)"
+            )
+        if not row["campaign_identical"]:
+            failures.append(
+                f"{row['system']} seeded fault campaign was not "
+                f"deterministic or did not exercise the RAS ladder "
+                f"(corrected={row['corrected']}, due={row['due']}, "
+                f"retries={row['retries']}, scrubs={row['scrub_passes']})"
             )
     warm = next(row for row in sweep_rows if row["phase"] == "warm")
     if warm["cache_hits"] == 0:
@@ -695,6 +745,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slo-tpot-ms", type=float, default=1.0,
                    help="closed-loop SLO: time-per-output-token target in "
                         "milliseconds")
+    p.add_argument("--fault-rate", type=float, default=0.0, metavar="BER",
+                   help="transient bit-error rate per read (retention BER "
+                        "is derived at a quarter of it); 0 keeps the ideal "
+                        "memory, bit-identical to runs without fault flags")
+    p.add_argument("--hard-fault-rate", type=float, default=0.0,
+                   metavar="RATE",
+                   help="probability a touched row is stuck-at-fault "
+                        "(sticky per (seed, bank, row); drives the "
+                        "retry/spare/offline RAS ladder)")
+    p.add_argument("--ecc-scheme", choices=["secded", "rs", "none"],
+                   default="secded",
+                   help="ECC scheme classifying faulty reads: SEC-DED, "
+                        "symbol-based RS, or no code (SDC-prone)")
+    p.add_argument("--scrub", type=int, default=0, metavar="NS",
+                   help="patrol-scrub period in simulated nanoseconds "
+                        "(0 disables scrubbing)")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="device-fault model seed; equal seeds draw "
+                        "bit-identical fault campaigns in any process")
     p.add_argument("--find-max-rate", action="store_true",
                    help="instead of sweeping each --rate value, bisect the "
                         "max sustainable arrival rate between the smallest "

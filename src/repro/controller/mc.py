@@ -8,14 +8,20 @@ command scheduler with a page policy and per-bank refresh.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional
+import heapq
+from dataclasses import dataclass, field, replace as dataclass_replace
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
 from collections import deque
 
 from repro.controller.page_policy import PagePolicy, make_page_policy
 from repro.controller.queues import RequestQueue, bank_key
-from repro.controller.request import MemoryRequest, Transaction, decompose
+from repro.controller.request import (
+    MemoryRequest,
+    RequestKind,
+    Transaction,
+    decompose,
+)
 from repro.controller.scheduler import (
     ColumnTrain,
     FrFcfsScheduler,
@@ -28,6 +34,12 @@ from repro.dram.commands import CommandKind
 from repro.dram.energy import EnergyCounters
 from repro.dram.refresh import RefreshEngine, RefreshMode
 from repro.dram.timing import TimingParameters
+
+if TYPE_CHECKING:  # runtime import is lazy: repro.reliability pulls
+    # repro.core.ecc, whose package __init__ imports the RoMe controller,
+    # which sits beside this module in several import chains.
+    from repro.reliability.faults import ReliabilityConfig
+    from repro.reliability.ras import RasEngine
 
 #: Minimum dense steps a planned burst train must cover to be applied, and
 #: the number of single-step evaluations to wait before planning again after
@@ -118,6 +130,7 @@ class ConventionalMemoryController:
         config: Optional[ControllerConfig] = None,
         mapping: Optional[AddressMapping] = None,
         channel_id: int = 0,
+        reliability: Optional[ReliabilityConfig] = None,
     ) -> None:
         self.config = config or ControllerConfig()
         self.mapping = mapping or self.config.local_mapping()
@@ -149,6 +162,27 @@ class ConventionalMemoryController:
         self._pending_transactions: Dict[int, int] = {}
         self._requests: Dict[int, MemoryRequest] = {}
         self._train_cooldown = 0
+        # RAS: per-transaction ECC classification plus the retry-replay
+        # heap.  Inactive (no config, or all-zero rates) keeps every hook
+        # short-circuited so the baseline path stays bit-identical.
+        self.ras: Optional[RasEngine] = None
+        self._ras_active = False
+        self._retries: List[Tuple[int, int, Transaction]] = []
+        self._retry_seq = 0
+        if reliability is not None:
+            from repro.reliability.ras import RasEngine as _RasEngine
+
+            cfg = self.config
+            banks = [
+                (pc, sid, bg, bank)
+                for pc in range(cfg.num_pseudo_channels)
+                for sid in range(cfg.num_stack_ids)
+                for bg in range(cfg.num_bank_groups)
+                for bank in range(cfg.banks_per_group)
+            ]
+            self.ras = _RasEngine(
+                reliability, cfg.timing.access_granularity_bytes, banks)
+            self._ras_active = self.ras.active
         self.now = 0
 
     # -------------------------------------------------------------- enqueue
@@ -161,8 +195,65 @@ class ConventionalMemoryController:
             return
         self._requests[request.request_id] = request
         self._pending_transactions[request.request_id] = len(transactions)
+        remap = self._ras_active and bool(self.ras.offline)
         for transaction in transactions:
+            if remap:
+                # Graceful degradation: re-stripe transactions aimed at
+                # an offlined bank across the healthy ones (in-flight and
+                # queued work drains where it is).
+                coord = transaction.coordinate
+                key = (coord.pseudo_channel, coord.stack_id,
+                       coord.bank_group, coord.bank)
+                target = self.ras.remap(key, coord.row)
+                if target != key:
+                    transaction.coordinate = dataclass_replace(
+                        coord, pseudo_channel=target[0], stack_id=target[1],
+                        bank_group=target[2], bank=target[3])
             self._backlog.append(transaction)
+
+    # ---------------------------------------------------------------- RAS
+
+    def _schedule_retry(self, transaction: Transaction,
+                        ready_ns: int) -> None:
+        """Queue a command replay of one 32 B read at ``ready_ns``.
+
+        The replay is a fresh single-transaction read request aimed at the
+        exact same DRAM coordinate (decompose is bypassed); it registers
+        in the completion bookkeeping immediately so drain loops keep
+        running until the replay lands.
+        """
+        source = transaction.request
+        retry_request = MemoryRequest(
+            kind=RequestKind.READ, address=source.address,
+            size_bytes=transaction.size_bytes, arrival_ns=ready_ns,
+            retry_attempt=source.retry_attempt + 1)
+        self._requests[retry_request.request_id] = retry_request
+        self._pending_transactions[retry_request.request_id] = 1
+        retry = Transaction(
+            request=retry_request, coordinate=transaction.coordinate,
+            size_bytes=transaction.size_bytes, arrival_ns=ready_ns)
+        self._retry_seq += 1
+        heapq.heappush(self._retries, (ready_ns, self._retry_seq, retry))
+
+    def _ras_step(self, now: int) -> None:
+        """Run scrub passes due by ``now`` and admit ready retries."""
+        self.ras.run_scrub(now)
+        if self._retries and self._retries[0][0] <= now:
+            ready: List[Transaction] = []
+            while self._retries and self._retries[0][0] <= now:
+                ready.append(heapq.heappop(self._retries)[2])
+            # Replays jump the backlog (they are the oldest traffic in
+            # the system); earliest-ready first.
+            self._backlog.extendleft(reversed(ready))
+
+    def _ras_wake(self, now: int) -> Optional[int]:
+        """Earliest future instant the RAS layer needs an evaluation."""
+        wake = self.ras.next_event_ns(now)
+        if self._retries:
+            ready = self._retries[0][0]
+            if wake is None or ready < wake:
+                wake = ready
+        return wake
 
     def _fill_queues(self) -> None:
         while self._backlog:
@@ -183,6 +274,19 @@ class ConventionalMemoryController:
         self._page_policy.note_access(
             bank_key(transaction), transaction.coordinate.row, was_hit=True
         )
+        if self._ras_active and transaction.is_read:
+            # Classify the read at its issue instant (the draw key); a
+            # DUE verdict schedules a command replay after the data would
+            # have returned, plus deterministic backoff.
+            coord = transaction.coordinate
+            verdict = self.ras.on_read(
+                (coord.pseudo_channel, coord.stack_id, coord.bank_group,
+                 coord.bank),
+                coord.row, now,
+                attempt=transaction.request.retry_attempt)
+            if verdict.retry_delay_ns is not None:
+                self._schedule_retry(
+                    transaction, data_ns + verdict.retry_delay_ns)
         self._complete_transaction(transaction, data_ns)
 
     def _complete_transaction(self, transaction: Transaction, data_ns: int) -> None:
@@ -209,6 +313,8 @@ class ConventionalMemoryController:
     def _step(self, now: int) -> bool:
         """One scheduling evaluation at ``now``; True if any command issued."""
         self.stats.evaluations += 1
+        if self._ras_active:
+            self._ras_step(now)
         self.channel.tick(now)
         self._fill_queues()
         timing = self.config.timing
@@ -264,9 +370,16 @@ class ConventionalMemoryController:
         self.channel.issue(decision.command, now)
         self.stats.note_command(decision.command.kind)
         if decision.refresh_target is not None:
+            target = decision.refresh_target
             engine = self.scheduler.refresh_engines[decision.command.pseudo_channel]
-            engine.note_refresh_issued(decision.refresh_target, now)
+            engine.note_refresh_issued(target, now)
             self.stats.refreshes_issued += 1
+            if self._ras_active:
+                # Reset the bank's retention clock (retention-fault means
+                # scale with time since refresh/scrub).
+                self.ras.note_refresh(
+                    (decision.command.pseudo_channel, target.stack_id,
+                     target.bank_group, target.bank), now)
 
     # ------------------------------------------------------- event-driven core
 
@@ -286,12 +399,17 @@ class ConventionalMemoryController:
             candidate = engine.next_event_ns(now)
             if candidate is not None and (best is None or candidate < best):
                 best = candidate
+        if self._ras_active:
+            candidate = self._ras_wake(now)
+            if candidate is not None and (best is None or candidate < best):
+                best = candidate
         return best
 
     def _pending(self) -> bool:
         return bool(
             self._backlog or not self.read_queue.is_empty
             or not self.write_queue.is_empty or self._pending_transactions
+            or self._retries
         )
 
     def _advance(self, target_ns: int, stop_when_idle: bool = False) -> None:
@@ -313,7 +431,10 @@ class ConventionalMemoryController:
         """
         while self.now < target_ns:
             now = self.now
-            if self._train_cooldown == 0 \
+            # Active RAS pins the event core to single-step evaluation:
+            # the train planner models only queue/refresh state, not
+            # mid-train retry admissions or scrub instants.
+            if self._train_cooldown == 0 and not self._ras_active \
                     and target_ns - now >= _MIN_TRAIN_STEPS:
                 train = self.scheduler.plan_train(
                     self.read_queue, self.write_queue, self._backlog,

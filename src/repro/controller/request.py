@@ -35,6 +35,9 @@ class MemoryRequest:
     request_id: int = field(default_factory=lambda: next(_request_ids))
     #: Completion time filled in by the controller (None while in flight).
     completion_ns: Optional[int] = None
+    #: RAS command-replay generation: 0 for demand requests, n for the
+    #: n-th retry of a detected-uncorrectable read (repro.reliability.ras).
+    retry_attempt: int = 0
 
     @property
     def is_write(self) -> bool:

@@ -34,8 +34,8 @@ import bisect
 import enum
 import heapq
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
 from repro.core.command_generator import CommandGenerator
 from repro.core.interface import RowRequest, RowRequestKind
@@ -46,6 +46,11 @@ from repro.defaults import DEFAULT_DRAIN_HORIZON_NS
 from repro.dram.energy import EnergyCounters
 from repro.dram.timing import TimingParameters
 from repro.latency import LatencyAccumulator
+
+if TYPE_CHECKING:  # runtime import is lazy: repro.reliability pulls
+    # repro.core.ecc, whose package __init__ imports this module back.
+    from repro.reliability.faults import ReliabilityConfig
+    from repro.reliability.ras import RasEngine
 
 #: Upper bound on commands per planned burst train (memory/latency bound;
 #: the planner simply stops there and a new train picks up on the next
@@ -162,7 +167,8 @@ class RoMeMemoryController:
     """Row-granularity memory controller for one RoMe channel."""
 
     def __init__(self, config: Optional[RoMeControllerConfig] = None,
-                 channel_id: int = 0) -> None:
+                 channel_id: int = 0,
+                 reliability: Optional[ReliabilityConfig] = None) -> None:
         self.config = config or RoMeControllerConfig()
         self.channel_id = channel_id
         self.timing = self.config.timing
@@ -216,6 +222,20 @@ class RoMeMemoryController:
         self._duration = {True: t.tRD_row, False: t.tWR_row}
         self._occupancy = {True: t.tR2RS, False: t.tW2WS}
         self._row_bytes = self.config.vba.effective_row_bytes
+        # RAS: fault classification plus the retry-replay heap.  With no
+        # config (or a zero-rate one) ``_ras_active`` is False and every
+        # hook below short-circuits, keeping the baseline code path (fast
+        # paths included) bit-identical.
+        self.ras: Optional[RasEngine] = None
+        self._ras_active = False
+        self._retries: List[Tuple[int, int, RowRequest]] = []
+        self._retry_seq = 0
+        if reliability is not None:
+            from repro.reliability.ras import RasEngine as _RasEngine
+
+            self.ras = _RasEngine(
+                reliability, self._row_bytes, sorted(self._vbas))
+            self._ras_active = self.ras.active
         self.now = 0
 
     # -------------------------------------------------------------- enqueue
@@ -229,7 +249,44 @@ class RoMeMemoryController:
             )
         if request.stack_id >= self.config.num_stack_ids:
             raise ValueError("stack_id out of range for this controller")
+        if self._ras_active and self.ras.offline:
+            # Graceful degradation: re-stripe traffic aimed at an
+            # offlined VBA across the healthy ones (in-flight and queued
+            # work drains where it is).
+            target = self.ras.remap(
+                (request.stack_id, request.vba), request.row)
+            request.stack_id, request.vba = target
         self._backlog.append(request)
+
+    # ---------------------------------------------------------------- RAS
+
+    def _schedule_retry(self, request: RowRequest, ready_ns: int) -> None:
+        """Queue a command replay of ``request`` at ``ready_ns``."""
+        retry = replace(request, arrival_ns=ready_ns, issue_ns=None,
+                        completion_ns=None,
+                        retry_attempt=request.retry_attempt + 1)
+        self._retry_seq += 1
+        heapq.heappush(self._retries, (ready_ns, self._retry_seq, retry))
+
+    def _ras_step(self, now: int) -> None:
+        """Run scrub passes due by ``now`` and admit ready retries."""
+        self.ras.run_scrub(now)
+        if self._retries and self._retries[0][0] <= now:
+            ready: List[RowRequest] = []
+            while self._retries and self._retries[0][0] <= now:
+                ready.append(heapq.heappop(self._retries)[2])
+            # Replays jump the backlog (retried reads are the oldest
+            # traffic in the system); earliest-ready first.
+            self._backlog.extendleft(reversed(ready))
+
+    def _ras_wake(self, now: int) -> Optional[int]:
+        """Earliest future instant the RAS layer needs an evaluation."""
+        wake = self.ras.next_event_ns(now)
+        if self._retries:
+            ready = self._retries[0][0]
+            if wake is None or ready < wake:
+                wake = ready
+        return wake
 
     def _fill_queue(self) -> None:
         while self._backlog and len(self.queue) < self.config.request_queue_depth:
@@ -292,6 +349,10 @@ class RoMeMemoryController:
         self._mark_busy(key, tracker, VbaState.REFRESHING,
                         now + self.refresh.stall_ns())
         self.refresh.note_issued(key, now)
+        if self._ras_active:
+            # Reset the VBA's retention clock (retention-fault means
+            # scale with time since refresh/scrub).
+            self.ras.note_refresh(key, now)
         self.stats.refreshes_issued += 1
         # The command generator's paired-REFpb expansion is fixed and has no
         # observable state, so it is accounted analytically
@@ -428,6 +489,17 @@ class RoMeMemoryController:
             self.stats.served_reads += 1
             self.stats.bytes_read += row_bytes
             self.stats.read_latency.record(request.completion_ns - request.arrival_ns)
+            if self._ras_active:
+                # Classify the read at its issue instant (the draw key);
+                # a DUE verdict schedules a command replay after the data
+                # would have returned, plus deterministic backoff.
+                verdict = self.ras.on_read(
+                    (request.stack_id, request.vba), request.row, now,
+                    attempt=request.retry_attempt)
+                if verdict.retry_delay_ns is not None:
+                    self._schedule_retry(
+                        request,
+                        request.completion_ns + verdict.retry_delay_ns)
         else:
             self.stats.served_writes += 1
             self.stats.bytes_written += row_bytes
@@ -463,6 +535,8 @@ class RoMeMemoryController:
     def _step(self, now: int) -> bool:
         """One scheduling evaluation at ``now``; True if a command issued."""
         self.stats.evaluations += 1
+        if self._ras_active:
+            self._ras_step(now)
         self._release_finished(now)
         self._retire_completed(now)
         self._fill_queue()
@@ -507,6 +581,10 @@ class RoMeMemoryController:
         refresh_wake = self._refresh_wake(now)
         if refresh_wake is not None and (wake is None or refresh_wake < wake):
             wake = refresh_wake
+        if self._ras_active:
+            ras_wake = self._ras_wake(now)
+            if ras_wake is not None and (wake is None or ras_wake < wake):
+                wake = ras_wake
         return wake
 
     # --------------------------------------------------------- burst trains
@@ -777,12 +855,20 @@ class RoMeMemoryController:
         are truncated at ``target_ns`` so externally scheduled arrivals
         still land cycle-exactly.
         """
+        ras_active = self._ras_active
         while self.now < target_ns:
             now = self.now
+            if ras_active:
+                self._ras_step(now)
             self._release_finished(now)
             self._retire_completed(now)
             self._fill_queue()
-            train = self._plan_burst_train(now, target_ns)
+            # The burst-train planner models only data + refresh state, not
+            # mid-train retry admissions or scrub instants, so active RAS
+            # pins the event core to single-step evaluation (which the
+            # equivalence tests prove matches the tick core under faults).
+            train = None if ras_active \
+                else self._plan_burst_train(now, target_ns)
             if train is not None:
                 self._apply_burst_train(train)
                 if stop_when_idle and not (self._backlog or self.queue):
@@ -794,7 +880,8 @@ class RoMeMemoryController:
                 # A data issue needs no special-casing here: the post-step
                 # ``_data_wake`` recomputation below already reflects it.
                 self._try_issue_data(now)
-            if stop_when_idle and not (self._backlog or self.queue):
+            if stop_when_idle and not (self._backlog or self.queue
+                                       or self._retries):
                 self.now = now + 1
                 return
             if issued_refresh:
@@ -814,6 +901,10 @@ class RoMeMemoryController:
                 due = self.refresh.next_event_ns(now)
                 if due is not None and (wake is None or due < wake):
                     wake = due
+            if ras_active:
+                ras_wake = self._ras_wake(now)
+                if ras_wake is not None and (wake is None or ras_wake < wake):
+                    wake = ras_wake
             if wake is None:
                 jump = target_ns
             else:
@@ -837,7 +928,7 @@ class RoMeMemoryController:
 
     def run_until_idle(self, max_ns: int = DEFAULT_DRAIN_HORIZON_NS,
                        event_driven: bool = True) -> int:
-        while self._backlog or self.queue:
+        while self._backlog or self.queue or self._retries:
             if self.now >= max_ns:
                 raise RuntimeError("RoMe controller did not drain in time")
             if event_driven:
@@ -866,7 +957,7 @@ class RoMeMemoryController:
 
     @property
     def outstanding_requests(self) -> int:
-        return len(self.queue) + len(self._backlog)
+        return len(self.queue) + len(self._backlog) + len(self._retries)
 
     def bandwidth_utilization(self) -> float:
         """Fraction of peak channel bandwidth delivered so far."""

@@ -11,9 +11,31 @@ Reed-Solomon-style symbol-based codes.
 
 from __future__ import annotations
 
+import enum
 import math
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Callable, Dict, List
+
+
+class EccOutcome(str, enum.Enum):
+    """What decoding one (possibly corrupted) codeword produced.
+
+    ``CLEAN`` -- no faulty bits; ``CORRECTED`` -- faults within the
+    code's correction capability, data repaired transparently;
+    ``DETECTED_UNCORRECTABLE`` (DUE) -- faults beyond correction but
+    within detection, the read reports an error and RAS can retry;
+    ``SILENT_MISCORRECT`` (SDC) -- faults beyond even the detection
+    guarantee, so the decoder may hand back wrong data as if it were
+    good.  A ``str`` mixin keeps the members JSON/pickle friendly.
+    """
+
+    CLEAN = "clean"
+    CORRECTED = "corrected"
+    DETECTED_UNCORRECTABLE = "due"
+    SILENT_MISCORRECT = "sdc"
+
+    def __str__(self) -> str:
+        return self.value
 
 
 @dataclass(frozen=True)
@@ -77,6 +99,93 @@ def symbol_code_scheme(data_bytes: int, symbol_bits: int = 8,
         data_bits=data_bits,
         parity_bits=parity_bits,
     )
+
+
+@dataclass(frozen=True)
+class EccCapability:
+    """An :class:`EccScheme` plus its worst-case bit-level guarantees.
+
+    ``correct_bits`` is the largest number of faulty bits the code is
+    *guaranteed* to correct, ``detect_bits`` the largest it is guaranteed
+    to at least detect; both are worst-case over bit placement, so for a
+    symbol code correcting ``t`` symbols they are ``t`` and ``2 t``
+    (every faulty bit may land in its own symbol).  SEC-DED is
+    Hamming-distance 4: correct 1, detect 2.  ``classify`` is the single
+    source of truth for fault outcomes -- the runtime RAS layer calls it
+    directly, so simulation outcomes agree with this codeword math by
+    construction (and the property tests pin the capability edges).
+    """
+
+    scheme: EccScheme
+    correct_bits: int
+    detect_bits: int
+
+    def __post_init__(self) -> None:
+        if self.correct_bits < 0 or self.detect_bits < self.correct_bits:
+            raise ValueError(
+                "capability requires 0 <= correct_bits <= detect_bits"
+            )
+
+    def classify(self, faulty_bits: int) -> EccOutcome:
+        """Outcome of decoding a codeword carrying ``faulty_bits`` errors."""
+        if faulty_bits < 0:
+            raise ValueError("faulty_bits must be non-negative")
+        if faulty_bits == 0:
+            return EccOutcome.CLEAN
+        if faulty_bits <= self.correct_bits:
+            return EccOutcome.CORRECTED
+        if faulty_bits <= self.detect_bits:
+            return EccOutcome.DETECTED_UNCORRECTABLE
+        return EccOutcome.SILENT_MISCORRECT
+
+
+def secded_capability(data_bytes: int) -> EccCapability:
+    """SEC-DED over ``data_bytes``: corrects 1 bit, detects 2."""
+    return EccCapability(scheme=secded_scheme(data_bytes),
+                         correct_bits=1, detect_bits=2)
+
+
+def symbol_capability(data_bytes: int, symbol_bits: int = 8,
+                      correctable_symbols: int = 2) -> EccCapability:
+    """RS-style symbol code: corrects ``t`` bits, detects ``2 t``
+    (worst case -- each faulty bit in a distinct symbol)."""
+    return EccCapability(
+        scheme=symbol_code_scheme(data_bytes, symbol_bits,
+                                  correctable_symbols),
+        correct_bits=correctable_symbols,
+        detect_bits=2 * correctable_symbols,
+    )
+
+
+def no_ecc_capability(data_bytes: int) -> EccCapability:
+    """The unprotected strawman: every faulty bit is silent corruption."""
+    scheme = EccScheme(name=f"none/{data_bytes}B",
+                       data_bits=data_bytes * 8, parity_bits=0)
+    return EccCapability(scheme=scheme, correct_bits=0, detect_bits=0)
+
+
+#: Named capability factories for CLI/scenario use.  Each maps a scheme
+#: name to ``f(codeword_data_bytes) -> EccCapability`` so the *same* name
+#: yields the controller-appropriate codeword: 32 B on the conventional
+#: access granularity, 4 KB on RoMe's effective row -- which is exactly
+#: the Section VII argument this subsystem exercises.
+ECC_SCHEMES: Dict[str, Callable[[int], EccCapability]] = {
+    "secded": secded_capability,
+    "rs": symbol_capability,
+    "none": no_ecc_capability,
+}
+
+
+def capability_for(scheme_name: str, data_bytes: int) -> EccCapability:
+    """Resolve a named ECC scheme at a codeword size (see ECC_SCHEMES)."""
+    try:
+        factory = ECC_SCHEMES[scheme_name]
+    except KeyError:
+        raise ValueError(
+            f"unknown ECC scheme {scheme_name!r}; "
+            f"expected one of {sorted(ECC_SCHEMES)}"
+        ) from None
+    return factory(data_bytes)
 
 
 def codeword_comparison(codeword_bytes: List[int] | None = None) -> List[Dict[str, float]]:

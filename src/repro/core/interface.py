@@ -54,6 +54,9 @@ class RowRequest:
     request_id: int = field(default_factory=lambda: next(_row_request_ids))
     issue_ns: Optional[int] = None
     completion_ns: Optional[int] = None
+    #: RAS command-replay generation: 0 for demand reads, n for the n-th
+    #: retry of a detected-uncorrectable read (see repro.reliability.ras).
+    retry_attempt: int = 0
 
     @property
     def is_read(self) -> bool:

@@ -1,0 +1,26 @@
+"""Device-fault modeling and RAS (reliability / availability / service).
+
+See :mod:`repro.reliability.taxonomy` for the shared fault taxonomy,
+:mod:`repro.reliability.faults` for the seeded counter-based device
+fault model, and :mod:`repro.reliability.ras` for ECC classification and
+the retry / scrub / spare / offline response ladder the controllers run.
+"""
+
+from repro.reliability.faults import (
+    DeviceFaultModel,
+    FaultDraw,
+    ReliabilityConfig,
+)
+from repro.reliability.ras import RasEngine, ReadVerdict, ReliabilityStats
+from repro.reliability.taxonomy import DeviceFaultKind, HarnessFaultKind
+
+__all__ = [
+    "DeviceFaultKind",
+    "DeviceFaultModel",
+    "FaultDraw",
+    "HarnessFaultKind",
+    "RasEngine",
+    "ReadVerdict",
+    "ReliabilityConfig",
+    "ReliabilityStats",
+]

@@ -1,0 +1,60 @@
+"""One fault taxonomy for the whole tree.
+
+Two layers of this codebase inject faults, and before this module they
+named their fault kinds with unrelated ad-hoc strings:
+
+* the **harness** layer (:mod:`repro.sim.sweep`) perturbs *worker
+  processes* -- kill a child, delay it past its deadline, or raise inside
+  it -- to prove the sweep runner's retry/quarantine/journal machinery;
+* the **device** layer (:mod:`repro.reliability.faults`) perturbs the
+  *simulated memory* -- transient bit flips, retention decay, sticky
+  hard faults -- to exercise ECC and the RAS response path.
+
+Both enums subclass :class:`str` so members compare, pickle, sort, and
+JSON-encode exactly like the plain strings they replace
+(``HarnessFaultKind.KILL == "kill"`` is ``True``), keeping journals and
+failure records from older runs readable.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["HarnessFaultKind", "DeviceFaultKind"]
+
+
+class HarnessFaultKind(str, enum.Enum):
+    """Faults injected into sweep *worker processes* by a ``FaultPlan``.
+
+    ``RAISE`` raises :class:`repro.sim.sweep.InjectedFault` inside the
+    worker, ``KILL`` hard-crashes the child via ``os._exit``, and
+    ``DELAY`` sleeps the worker so per-point timeouts trip.
+    """
+
+    RAISE = "raise"
+    KILL = "kill"
+    DELAY = "delay"
+
+    def __str__(self) -> str:  # keep f-strings/repr-in-messages tidy
+        return self.value
+
+
+class DeviceFaultKind(str, enum.Enum):
+    """Faults drawn by the simulated memory device itself.
+
+    ``TRANSIENT`` is a per-read soft bit flip (particle strike / signal
+    noise); ``RETENTION`` is a leaked cell whose probability scales with
+    time since the owning bank was last refreshed or scrubbed;
+    ``HARD_ROW`` is a sticky defect that corrupts one row on every read
+    until the row is spared; ``HARD_BANK`` marks a whole weak bank whose
+    rows all behave like ``HARD_ROW`` (the graceful-degradation ladder's
+    offline trigger).
+    """
+
+    TRANSIENT = "transient"
+    RETENTION = "retention"
+    HARD_ROW = "hard_row"
+    HARD_BANK = "hard_bank"
+
+    def __str__(self) -> str:
+        return self.value

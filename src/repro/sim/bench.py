@@ -439,6 +439,99 @@ def checkpoint_roundtrip_comparison(
     ]
 
 
+# ----------------------------------------------------------- reliability
+
+
+def fault_campaign_spec(system: str):
+    """The bench fault campaign: a small streaming drain under a seeded
+    device-fault model hot enough that the whole RAS ladder fires --
+    corrections, detected-uncorrectable retries, recoveries, and scrub
+    passes -- on ``system``.  Rates are per-system because the two
+    controllers protect very different codewords (a 4 KiB effective row
+    vs a 32 B access), so one bit-error rate cannot exercise both."""
+    from repro.reliability import ReliabilityConfig
+    from repro.workloads.scenarios import ScenarioSpec
+
+    if system == "rome":
+        reliability = ReliabilityConfig(
+            seed=11, transient_ber=2e-5, retention_ber=4e-6,
+            hard_row_rate=0.05, scrub_interval_ns=1_000)
+    else:
+        reliability = ReliabilityConfig(
+            seed=11, transient_ber=2e-4, retention_ber=4e-5,
+            hard_row_rate=0.02, scrub_interval_ns=1_000)
+    return ScenarioSpec(scenario="streaming-drain", system=system,
+                        num_requests=2, seed=0, reliability=reliability)
+
+
+def reliability_comparison() -> List[Dict[str, Any]]:
+    """Per-system ``reliability`` rows for ``bench-smoke``.
+
+    One row per controller, double-gated by the CLI:
+
+    * ``zero_rate_identical`` -- a run carrying an all-zero-rate
+      :class:`~repro.reliability.faults.ReliabilityConfig` must be
+      bit-identical to the run with no config at all (the inactive
+      engine takes the exact baseline code paths);
+    * ``campaign_identical`` -- the seeded fault campaign run twice must
+      produce equal results including every RAS counter, and the
+      campaign must be *live* (corrections and DUE retries both > 0),
+      so the determinism claim covers an exercised ladder, not a no-op.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.reliability import ReliabilityConfig, ReliabilityStats
+    from repro.workloads.driver import run_workload
+
+    rows: List[Dict[str, Any]] = []
+    for system in ("rome", "hbm4"):
+        spec = fault_campaign_spec(system)
+        baseline = run_workload(dc_replace(spec, reliability=None))
+        zero = run_workload(dc_replace(
+            spec,
+            reliability=ReliabilityConfig(
+                seed=spec.reliability.seed,
+                ecc_scheme=spec.reliability.ecc_scheme)))
+        zero_rate_identical = (
+            dc_replace(zero, reliability=None) == baseline
+            and (zero.reliability is None
+                 or zero.reliability == ReliabilityStats())
+        )
+        start = time.perf_counter()
+        first = run_workload(spec)
+        wall_s = max(time.perf_counter() - start, 1e-9)
+        second = run_workload(spec)
+        stats = first.reliability
+        campaign_identical = (
+            first == second
+            and stats is not None
+            and stats.corrected > 0
+            and stats.detected_uncorrectable > 0
+            and stats.retries_scheduled > 0
+            and stats.scrub_passes > 0
+        )
+        counters = stats.as_dict() if stats is not None else {}
+        rows.append({
+            "scenario": "reliability",
+            "system": system,
+            "zero_rate_identical": zero_rate_identical,
+            "campaign_identical": campaign_identical,
+            "ecc_scheme": spec.reliability.ecc_scheme,
+            "reads_checked": counters.get("reads_checked", 0),
+            "corrected": counters.get("corrected", 0),
+            "due": counters.get("detected_uncorrectable", 0),
+            "sdc": counters.get("silent_miscorrects", 0),
+            "retries": counters.get("retries_scheduled", 0),
+            "recovered": counters.get("recovered_reads", 0),
+            "spared_rows": counters.get("spared_rows", 0),
+            "offlined_banks": counters.get("offlined_banks", 0),
+            "scrub_passes": counters.get("scrub_passes", 0),
+            "sdc_rate": stats.sdc_rate if stats is not None else 0.0,
+            "wall_ms": wall_s * 1e3,
+        })
+    return rows
+
+
 def sweep_throughput(
     workers: int = 1,
     depths: Sequence[int] = (1, 2, 4, 8),

@@ -18,6 +18,8 @@ from repro.core.interface import RowRequest, RowRequestKind
 from repro.defaults import DEFAULT_DRAIN_HORIZON_NS
 from repro.dram.address import AddressMapping, baseline_hbm4_mapping
 from repro.dram.energy import EnergyCounters
+from repro.reliability.faults import ReliabilityConfig
+from repro.reliability.ras import ReliabilityStats
 from repro.sim.stats import BandwidthResult, LatencyResult, SimulationResult
 
 
@@ -28,6 +30,15 @@ class MemorySystemConfig:
     num_channels: int = 2
     controller: Optional[ControllerConfig] = None
     rome_controller: Optional[RoMeControllerConfig] = None
+    #: Device-fault + RAS configuration applied to every channel
+    #: controller (None = ideal memory, the pre-reliability behavior).
+    reliability: Optional[ReliabilityConfig] = None
+
+
+def _merged_reliability(controllers) -> Optional[ReliabilityStats]:
+    return ReliabilityStats.merged(
+        c.ras.stats for c in controllers if c.ras is not None
+    )
 
 
 class ConventionalMemorySystem:
@@ -58,7 +69,8 @@ class ConventionalMemorySystem:
         local_mapping = controller_config.local_mapping(num_channels=1)
         self.controllers: List[ConventionalMemoryController] = [
             ConventionalMemoryController(
-                config=controller_config, mapping=local_mapping, channel_id=i
+                config=controller_config, mapping=local_mapping, channel_id=i,
+                reliability=self.config.reliability,
             )
             for i in range(self.config.num_channels)
         ]
@@ -125,6 +137,7 @@ class ConventionalMemorySystem:
             latency=LatencyResult.from_samples(latencies),
             command_counts=commands,
             evaluations=sum(c.stats.evaluations for c in self.controllers),
+            reliability=_merged_reliability(self.controllers),
         )
 
     def energy_counters(self) -> EnergyCounters:
@@ -142,7 +155,8 @@ class RoMeMemorySystem:
         controller_config = self.config.rome_controller or RoMeControllerConfig()
         self.controller_config = controller_config
         self.controllers: List[RoMeMemoryController] = [
-            RoMeMemoryController(config=controller_config, channel_id=i)
+            RoMeMemoryController(config=controller_config, channel_id=i,
+                                 reliability=self.config.reliability)
             for i in range(self.config.num_channels)
         ]
 
@@ -229,6 +243,7 @@ class RoMeMemorySystem:
             },
             extra={"overfetch_bytes": float(overfetch)},
             evaluations=sum(c.stats.evaluations for c in self.controllers),
+            reliability=_merged_reliability(self.controllers),
         )
 
     def energy_counters(self) -> EnergyCounters:

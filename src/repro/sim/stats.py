@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
 from repro.latency import LatencyAccumulator
+
+if TYPE_CHECKING:
+    from repro.reliability.ras import ReliabilityStats
 
 
 @dataclass(frozen=True)
@@ -130,6 +133,11 @@ class SimulationResult:
     command_counts: Dict[str, int] = field(default_factory=dict)
     extra: Dict[str, float] = field(default_factory=dict)
     evaluations: int = field(default=0, compare=False)
+    #: RAS outcome counters (corrected/DUE/SDC, retries, spares, ...)
+    #: when the run's controller carried a reliability config; ``None``
+    #: otherwise.  Participates in equality: fault campaigns must be
+    #: bit-identical like every other simulated outcome.
+    reliability: Optional["ReliabilityStats"] = None
 
     @property
     def utilization(self) -> float:

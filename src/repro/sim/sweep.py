@@ -89,6 +89,7 @@ from typing import (
     Union,
 )
 
+from repro.reliability.taxonomy import HarnessFaultKind
 from repro.trace_cache import (
     CacheStats,
     global_trace_cache,
@@ -100,6 +101,7 @@ __all__ = [
     "CacheStats",
     "FaultInjection",
     "FaultPlan",
+    "HarnessFaultKind",
     "InjectedFault",
     "PointFailure",
     "SweepPointError",
@@ -221,26 +223,30 @@ class SweepPointError(RuntimeError):
 class FaultInjection:
     """One planned fault: what happens to ``index`` on listed attempts.
 
-    ``action`` is one of ``"raise"`` (the worker raises
-    :class:`InjectedFault`), ``"kill"`` (the worker process dies with
-    ``os._exit`` before reporting anything -- the hard-crash path), or
-    ``"delay"`` (the worker sleeps ``delay_s`` before running the point,
-    which trips per-point timeouts when ``delay_s`` exceeds them).
+    ``action`` is a :class:`repro.reliability.taxonomy.HarnessFaultKind`
+    (plain strings are accepted and normalized): ``"raise"`` (the worker
+    raises :class:`InjectedFault`), ``"kill"`` (the worker process dies
+    with ``os._exit`` before reporting anything -- the hard-crash path),
+    or ``"delay"`` (the worker sleeps ``delay_s`` before running the
+    point, which trips per-point timeouts when ``delay_s`` exceeds them).
     ``attempts`` holds 1-based attempt numbers; an injection listing only
     attempt 1 makes the first try fail and every retry succeed.
     """
 
     index: int
-    action: str = "raise"
+    action: HarnessFaultKind = HarnessFaultKind.RAISE
     attempts: Tuple[int, ...] = (1,)
     delay_s: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.action not in ("raise", "kill", "delay"):
+        try:
+            normalized = HarnessFaultKind(self.action)
+        except ValueError:
             raise ValueError(
                 f"unknown fault action {self.action!r}; "
                 f"expected 'raise', 'kill', or 'delay'"
-            )
+            ) from None
+        object.__setattr__(self, "action", normalized)
 
 
 @dataclass(frozen=True)
@@ -279,11 +285,11 @@ class FaultPlan:
         for index in range(num_points):
             draw = rng.random()
             if draw < kill_fraction:
-                action = "kill"
+                action = HarnessFaultKind.KILL
             elif draw < kill_fraction + raise_fraction:
-                action = "raise"
+                action = HarnessFaultKind.RAISE
             elif draw < kill_fraction + raise_fraction + delay_fraction:
-                action = "delay"
+                action = HarnessFaultKind.DELAY
             else:
                 continue
             injections.append(FaultInjection(index=index, action=action,
@@ -513,12 +519,12 @@ def _fault_child(conn, fn: Callable[..., Any], point: Any,
     worker looks like to the parent.
     """
     global_trace_cache().install(cache_entries)
-    if injection is not None and injection.action == "kill":
+    if injection is not None and injection.action == HarnessFaultKind.KILL:
         os._exit(_KILL_EXIT_CODE)
-    if injection is not None and injection.action == "delay":
+    if injection is not None and injection.action == HarnessFaultKind.DELAY:
         time.sleep(injection.delay_s)
     try:
-        if injection is not None and injection.action == "raise":
+        if injection is not None and injection.action == HarnessFaultKind.RAISE:
             raise InjectedFault(
                 f"injected fault at sweep point {injection.index}"
             )

@@ -47,6 +47,7 @@ from repro.core.interface import RowRequestKind, requests_for_transfer
 from repro.core.virtual_bank import paper_vba_config
 from repro.defaults import DEFAULT_DRAIN_HORIZON_NS
 from repro.latency import LatencyAccumulator
+from repro.reliability.ras import ReliabilityStats
 from repro.sim.checkpoint import (
     CHECKPOINT_VERSION,
     Checkpoint,
@@ -135,6 +136,12 @@ class WorkloadResult:
     peak_batch: int = 0
     peak_kv_bytes: int = 0
     evaluations: int = field(default=0, compare=False)
+    #: RAS outcome counters when the spec carried a reliability config
+    #: (``None`` otherwise).  A snapshot of the controller's counters at
+    #: collection time -- cumulative across warm-started rate steps, the
+    #: whole run for cold runs -- and part of equality: fault campaigns
+    #: must be bit-identical like every other workload outcome.
+    reliability: Optional[ReliabilityStats] = None
 
     @property
     def saturated(self) -> bool:
@@ -184,7 +191,8 @@ class _RomeMaterializer:
         self.vba = paper_vba_config()
         self.controller = RoMeMemoryController(
             config=RoMeControllerConfig(num_stack_ids=1,
-                                        enable_refresh=spec.enable_refresh)
+                                        enable_refresh=spec.enable_refresh),
+            reliability=spec.reliability,
         )
         self._row_cursor = 0
 
@@ -230,7 +238,8 @@ class _ConventionalMaterializer:
     def __init__(self, spec: ScenarioSpec) -> None:
         self.controller = ConventionalMemoryController(
             config=ControllerConfig(num_stack_ids=1,
-                                    enable_refresh=spec.enable_refresh)
+                                    enable_refresh=spec.enable_refresh),
+            reliability=spec.reliability,
         )
         self._address_cursor = 0
 
@@ -263,6 +272,17 @@ def _materializer(spec: ScenarioSpec):
     if spec.system == "rome":
         return _RomeMaterializer(spec)
     return _ConventionalMaterializer(spec)
+
+
+def _reliability_snapshot(controller: Any) -> Optional[ReliabilityStats]:
+    """Copy of the controller's RAS counters (``None`` for ideal memory).
+
+    A copy, not the live object: warm-started rate steps keep mutating
+    the engine's counters after the step's result is collected.
+    """
+    if getattr(controller, "ras", None) is None:
+        return None
+    return replace(controller.ras.stats)
 
 
 # ------------------------------------------------------------ run plumbing
@@ -357,6 +377,7 @@ def _collect_result(spec: ScenarioSpec, transfers: int, horizon_rel_ns: int,
         end_ns=end_ns,
         overloaded=overloaded,
         evaluations=controller.stats.evaluations - evaluations_before,
+        reliability=_reliability_snapshot(controller),
     )
 
 
@@ -502,6 +523,7 @@ def _collect_closed_result(spec: ScenarioSpec, materializer,
         peak_batch=server.peak_batch,
         peak_kv_bytes=server.peak_kv_bytes,
         evaluations=controller.stats.evaluations - evaluations_before,
+        reliability=_reliability_snapshot(controller),
     )
 
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.reliability.faults import ReliabilityConfig
 from repro.workloads.arrivals import (
     ArrivalSchedule,
     BurstyArrivals,
@@ -74,6 +75,12 @@ class ScenarioSpec:
     #: SLO targets for goodput accounting on closed-loop runs; ``None``
     #: uses the :class:`~repro.workloads.serving.SLOSpec` defaults.
     slo: Optional[SLOSpec] = None
+    #: Device-fault + RAS configuration applied to the run's controller;
+    #: ``None`` (or an all-zero-rate config) keeps the ideal memory the
+    #: pre-reliability tree simulated, bit for bit.  Frozen and built
+    #: from plain values, so fault campaigns pickle into sweep workers
+    #: exactly like every other spec field.
+    reliability: Optional[ReliabilityConfig] = None
 
     def __post_init__(self) -> None:
         if self.system not in ("rome", "hbm4"):

@@ -1,0 +1,111 @@
+"""Property tests pinning ECC classification at the capability edges.
+
+``EccCapability.classify`` is the single source of truth for fault
+outcomes: the RAS engine calls it directly at read time.  These tests pin
+the capability edges (exactly ``correct_bits`` corrects, ``correct+1``
+through ``detect_bits`` detects, anything beyond silently miscorrects)
+and then prove the *runtime* path agrees -- an engine's outcome counters
+are re-derived offline from the same fault model and codeword math.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ecc import (
+    ECC_SCHEMES,
+    EccOutcome,
+    capability_for,
+    no_ecc_capability,
+    secded_capability,
+    symbol_capability,
+)
+from repro.reliability.faults import DeviceFaultModel, ReliabilityConfig
+from repro.reliability.ras import RasEngine
+
+DATA_BYTES = st.sampled_from([32, 64, 256, 1024, 4096])
+SCHEMES = st.sampled_from(sorted(ECC_SCHEMES))
+
+
+# ------------------------------------------------------------ capability math
+
+
+@given(scheme=SCHEMES, data_bytes=DATA_BYTES)
+def test_zero_faulty_bits_is_clean(scheme, data_bytes):
+    assert capability_for(scheme, data_bytes).classify(0) is EccOutcome.CLEAN
+
+
+@given(scheme=SCHEMES, data_bytes=DATA_BYTES,
+       k=st.integers(min_value=1, max_value=64))
+def test_classification_matches_capability_bands(scheme, data_bytes, k):
+    capability = capability_for(scheme, data_bytes)
+    outcome = capability.classify(k)
+    if k <= capability.correct_bits:
+        assert outcome is EccOutcome.CORRECTED
+    elif k <= capability.detect_bits:
+        assert outcome is EccOutcome.DETECTED_UNCORRECTABLE
+    else:
+        assert outcome is EccOutcome.SILENT_MISCORRECT
+
+
+@given(scheme=SCHEMES, data_bytes=DATA_BYTES)
+def test_capability_edges_are_exact(scheme, data_bytes):
+    capability = capability_for(scheme, data_bytes)
+    correct, detect = capability.correct_bits, capability.detect_bits
+    if correct > 0:
+        # Exactly k correctable bits still correct; one more does not.
+        assert capability.classify(correct) is EccOutcome.CORRECTED
+    if detect > correct:
+        assert capability.classify(correct + 1) \
+            is EccOutcome.DETECTED_UNCORRECTABLE
+        assert capability.classify(detect) \
+            is EccOutcome.DETECTED_UNCORRECTABLE
+    # Beyond the detection guarantee the decoder may hand back garbage.
+    assert capability.classify(detect + 1) is EccOutcome.SILENT_MISCORRECT
+
+
+@given(data_bytes=DATA_BYTES)
+def test_scheme_capabilities_have_the_advertised_shape(data_bytes):
+    secded = secded_capability(data_bytes)
+    assert (secded.correct_bits, secded.detect_bits) == (1, 2)
+    rs = symbol_capability(data_bytes)
+    assert rs.detect_bits == 2 * rs.correct_bits
+    none = no_ecc_capability(data_bytes)
+    assert (none.correct_bits, none.detect_bits) == (0, 0)
+    assert none.classify(1) is EccOutcome.SILENT_MISCORRECT
+
+
+# --------------------------------------------------------- runtime agreement
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000), scheme=SCHEMES)
+def test_engine_outcomes_agree_with_offline_codeword_math(seed, scheme):
+    """Replay an engine's reads offline: same model, same classify."""
+    config = ReliabilityConfig(
+        seed=seed, transient_ber=5e-5, retention_ber=1e-5,
+        hard_row_rate=0.05, ecc_scheme=scheme,
+        max_retries=0, spare_rows_per_bank=0,
+    )
+    banks = [(0,), (1,)]
+    engine = RasEngine(config, codeword_data_bytes=4096, banks=banks)
+    reads = [(banks[i % 2], i % 8, 100 * (i + 1)) for i in range(64)]
+    for bank, row, now in reads:
+        engine.on_read(bank, row, now)
+
+    # Offline mirror: fresh model, no engine, pure codeword math.  The
+    # retry/spare ladder is disabled above so every read is classified
+    # exactly once, making the counters directly comparable.
+    model = DeviceFaultModel(config)
+    capability = capability_for(scheme, 4096)
+    expected = {outcome: 0 for outcome in EccOutcome}
+    for bank, row, now in reads:
+        draw = model.draw(bank, row, now, now,
+                          capability.scheme.codeword_bits)
+        bits = max(capability.detect_bits, 1) if draw.hard else draw.soft_bits
+        expected[capability.classify(bits)] += 1
+
+    stats = engine.stats
+    assert stats.reads_checked == len(reads)
+    assert stats.corrected == expected[EccOutcome.CORRECTED]
+    assert stats.detected_uncorrectable == \
+        expected[EccOutcome.DETECTED_UNCORRECTABLE]
+    assert stats.silent_miscorrects == expected[EccOutcome.SILENT_MISCORRECT]

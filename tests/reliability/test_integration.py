@@ -1,0 +1,159 @@
+"""End-to-end reliability invariants on both cycle-level controllers.
+
+The three contracts the bench-smoke ``reliability`` rows gate, proven
+here at test granularity:
+
+* **zero-rate identity** -- an all-zero-rate config simulates
+  bit-identically to no config at all on both controllers;
+* **campaign determinism** -- a seeded fault campaign is bit-identical
+  across repeat runs, worker counts, pool start methods, execution
+  cores (event vs lockstep), and a checkpoint/resume cut;
+* **threading** -- the outcome counters surface as the ``reliability``
+  block of both ``SimulationResult`` and ``WorkloadResult``.
+"""
+
+import dataclasses
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.reliability import ReliabilityConfig, ReliabilityStats
+from repro.workloads.driver import (
+    checkpoint_workload,
+    find_max_sustainable_rate,
+    resume_workload,
+    run_workload,
+    workload_sweep,
+)
+from repro.workloads.scenarios import ScenarioSpec
+from repro.workloads.serving import ServingConfig
+
+#: Per-system campaign configs: the controllers protect very different
+#: codewords (4 KiB effective row vs 32 B access), so each needs its own
+#: bit-error rates to exercise corrections *and* DUEs.
+CAMPAIGNS = {
+    "rome": ReliabilityConfig(seed=11, transient_ber=2e-5,
+                              retention_ber=4e-6, hard_row_rate=0.05,
+                              scrub_interval_ns=1_000),
+    "hbm4": ReliabilityConfig(seed=11, transient_ber=2e-4,
+                              retention_ber=4e-5, hard_row_rate=0.02,
+                              scrub_interval_ns=1_000),
+}
+
+TINY_SERVING = ServingConfig(
+    model_name="grok-1",
+    batch_capacity=2,
+    prompt_tokens=128,
+    output_tokens=2,
+    iteration_interval_ns=512,
+    traffic_scale=2.0 ** -26,
+)
+
+
+def _spec(system, **overrides):
+    defaults = dict(scenario="streaming-drain", system=system,
+                    num_requests=2, reliability=CAMPAIGNS[system])
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+def _run_in_child(spec):
+    return run_workload(spec)
+
+
+class TestZeroRateIdentity:
+    @pytest.mark.parametrize("system", ["rome", "hbm4"])
+    def test_zero_rate_config_is_bit_identical_to_no_config(self, system):
+        baseline = run_workload(_spec(system, reliability=None))
+        zero = run_workload(_spec(system, reliability=ReliabilityConfig(
+            seed=99, scrub_interval_ns=1_000)))
+        assert baseline.reliability is None
+        # The inactive engine never runs, so its counters stay zero and
+        # everything else matches the no-config run bit for bit.
+        assert zero.reliability == ReliabilityStats()
+        assert dataclasses.replace(zero, reliability=None) == baseline
+
+
+class TestCampaignDeterminism:
+    @pytest.mark.parametrize("system", ["rome", "hbm4"])
+    def test_double_run_is_bit_identical_and_live(self, system):
+        first = run_workload(_spec(system))
+        second = run_workload(_spec(system))
+        assert first == second
+        stats = first.reliability
+        assert stats.corrected > 0
+        assert stats.detected_uncorrectable > 0
+        assert stats.retries_scheduled > 0
+        assert stats.scrub_passes > 0
+
+    @pytest.mark.parametrize("system", ["rome", "hbm4"])
+    def test_event_core_matches_lockstep_under_faults(self, system):
+        event = run_workload(_spec(system), event_driven=True)
+        lockstep = run_workload(_spec(system), event_driven=False)
+        assert event == lockstep
+
+    def test_workers_do_not_change_the_campaign(self):
+        specs = [_spec("rome"), _spec("rome", seed=1), _spec("hbm4")]
+        serial = workload_sweep(specs, workers=1)
+        parallel = workload_sweep(specs, workers=2)
+        assert list(serial.values) == list(parallel.values)
+
+    @pytest.mark.parametrize("method", ["fork", "spawn"])
+    def test_campaign_identical_across_start_methods(self, method):
+        if method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"start method {method!r} unavailable")
+        spec = _spec("rome")
+        context = multiprocessing.get_context(method)
+        with context.Pool(processes=1) as pool:
+            child = pool.apply(_run_in_child, (spec,))
+        assert child == run_workload(spec)
+
+    @pytest.mark.parametrize("system", ["rome", "hbm4"])
+    def test_checkpoint_resume_is_bit_identical_under_faults(self, system):
+        spec = _spec(system)
+        full = run_workload(spec)
+        cut = checkpoint_workload(spec, at_ns=full.end_ns // 2)
+        resumed = resume_workload(pickle.loads(pickle.dumps(cut)))
+        assert resumed == full
+
+
+class TestThreading:
+    @pytest.mark.parametrize("system", ["rome", "hbm4"])
+    def test_workload_result_carries_the_reliability_block(self, system):
+        result = run_workload(_spec(system))
+        stats = result.reliability
+        assert isinstance(stats, ReliabilityStats)
+        assert stats.reads_checked > 0
+        assert set(stats.as_dict()) >= {"corrected", "detected_uncorrectable",
+                                        "silent_miscorrects", "spared_rows"}
+
+    def test_memory_system_result_merges_per_channel_stats(self):
+        from repro.controller.request import MemoryRequest, RequestKind
+        from repro.sim.memory_system import (
+            ConventionalMemorySystem,
+            MemorySystemConfig,
+        )
+
+        system = ConventionalMemorySystem(MemorySystemConfig(
+            num_channels=2, reliability=CAMPAIGNS["hbm4"]))
+        system.enqueue(MemoryRequest(kind=RequestKind.READ, address=0,
+                                     size_bytes=64 * 1024))
+        system.run_until_idle()
+        result = system.result()
+        merged = ReliabilityStats.merged(
+            c.ras.stats for c in system.controllers)
+        assert result.reliability == merged
+        assert result.reliability.reads_checked > 0
+
+    def test_rate_search_runs_under_nonzero_fault_rate(self):
+        spec = ScenarioSpec(
+            scenario="decode-serving", system="rome", num_requests=4,
+            serving=TINY_SERVING,
+            reliability=ReliabilityConfig(seed=11, transient_ber=1e-6))
+        first = find_max_sustainable_rate(spec, 50_000.0, 2_000_000.0,
+                                          probes=4)
+        second = find_max_sustainable_rate(spec, 50_000.0, 2_000_000.0,
+                                           probes=4)
+        assert first == second
+        assert first.max_rate_per_s > 0

@@ -1,0 +1,72 @@
+"""The shared fault taxonomy: one enum family for harness and device faults.
+
+The harness kinds (raise/kill/delay) were previously loose strings inside
+``repro.sim.sweep``; they now live in ``repro.reliability.taxonomy`` next
+to the device-fault kinds, and the sweep layer imports them from there --
+these tests pin the dedupe and the string-compatibility contract.
+"""
+
+import pickle
+
+import pytest
+
+from repro.reliability.taxonomy import DeviceFaultKind, HarnessFaultKind
+from repro.sim import sweep
+from repro.sim.sweep import FaultInjection, FaultPlan
+
+
+class TestHarnessFaultKind:
+    def test_members_and_values(self):
+        assert {kind.value for kind in HarnessFaultKind} == {
+            "raise", "kill", "delay"}
+
+    def test_str_is_the_value(self):
+        assert str(HarnessFaultKind.KILL) == "kill"
+
+    def test_sweep_reexports_the_same_enum(self):
+        # One taxonomy, not two parallel string vocabularies.
+        assert sweep.HarnessFaultKind is HarnessFaultKind
+
+    def test_equal_to_plain_strings(self):
+        # str mixin: existing call sites passing "raise" keep working.
+        assert HarnessFaultKind.RAISE == "raise"
+
+    def test_pickles_cleanly(self):
+        for kind in HarnessFaultKind:
+            assert pickle.loads(pickle.dumps(kind)) is kind
+
+
+class TestDeviceFaultKind:
+    def test_members_and_values(self):
+        assert {kind.value for kind in DeviceFaultKind} == {
+            "transient", "retention", "hard_row", "hard_bank"}
+
+    def test_disjoint_from_harness_kinds(self):
+        harness = {kind.value for kind in HarnessFaultKind}
+        device = {kind.value for kind in DeviceFaultKind}
+        assert not harness & device
+
+
+class TestFaultInjectionNormalization:
+    def test_string_action_normalizes_to_enum(self):
+        injection = FaultInjection(index=0, action="kill")
+        assert injection.action is HarnessFaultKind.KILL
+
+    def test_enum_action_passes_through(self):
+        injection = FaultInjection(index=0, action=HarnessFaultKind.DELAY)
+        assert injection.action is HarnessFaultKind.DELAY
+
+    def test_unknown_action_rejected_with_known_list(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultInjection(index=0, action="explode")
+
+    def test_seeded_plan_actions_are_enum_members(self):
+        plan = FaultPlan.seeded(seed=3, num_points=8, kill_fraction=0.3,
+                                raise_fraction=0.3, delay_fraction=0.3)
+        assert plan.injections
+        for injection in plan.injections:
+            assert isinstance(injection.action, HarnessFaultKind)
+
+    def test_plan_round_trips_through_pickle(self):
+        plan = FaultPlan(injections=(FaultInjection(index=1, action="raise"),))
+        assert pickle.loads(pickle.dumps(plan)) == plan

@@ -51,7 +51,9 @@ def _assert_report_schema(report):
     requires the ``workload`` rows (the serving-workload gate); schema 4
     additionally requires the ``checkpoint`` rows (the snapshot+restore
     round-trip gate); schema 5 additionally requires the
-    ``max_sustainable_rate`` rows (the closed-loop goodput gate).
+    ``max_sustainable_rate`` rows (the closed-loop goodput gate);
+    schema 6 additionally requires the ``reliability`` rows (the
+    device-fault zero-rate-identity and campaign-determinism gates).
     """
     assert isinstance(report["gates_passed"], bool)
     meta = report["meta"]
@@ -101,6 +103,19 @@ def _assert_report_schema(report):
             assert 0.0 < row["goodput_fraction"] <= 1.0
             assert row["probes"] >= 1
             assert 0.0 < row["threshold"] <= 1.0
+    if meta["schema"] >= 6:
+        reliability = report["reliability"]
+        assert {row["system"] for row in reliability} == {"rome", "hbm4"}
+        for row in reliability:
+            assert row["scenario"] == "reliability"
+            assert row["zero_rate_identical"] is True
+            assert row["campaign_identical"] is True
+            assert row["reads_checked"] > 0
+            assert row["corrected"] > 0
+            assert row["due"] > 0
+            assert row["retries"] > 0
+            assert row["scrub_passes"] > 0
+            assert 0.0 <= row["sdc_rate"] <= 1.0
     assert {row["phase"] for row in report["sweep"]} == {"cold", "warm"}
     assert report["cache"]["cold_ms"] > 0
 
@@ -112,7 +127,7 @@ def test_bench_smoke_gates_pass_and_write_perf_document(capsys, tmp_path):
     report = json.loads(out.read_text())
     assert report["gates_passed"] is True
     _assert_report_schema(report)
-    assert report["meta"]["schema"] == 5
+    assert report["meta"]["schema"] == 6
     streaming = report["streaming_conventional"]
     assert streaming["evaluation_reduction"] >= 5.0
     assert streaming["tick_evaluations"] == streaming["simulated_ns"]

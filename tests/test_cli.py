@@ -131,7 +131,10 @@ def test_bench_smoke_reports_sweep_and_cache_rows(capsys, tmp_path):
     assert set(report) == {"meta", "core", "streaming_conventional",
                            "streaming_conventional_refresh", "rome_refresh",
                            "workload", "max_sustainable_rate", "checkpoint",
-                           "sweep", "cache"}
+                           "reliability", "sweep", "cache"}
+    assert {row["system"] for row in report["reliability"]} == {"rome", "hbm4"}
+    assert all(row["zero_rate_identical"] and row["campaign_identical"]
+               for row in report["reliability"])
     assert {row["system"] for row in report["core"]} == {"rome", "hbm4"}
     assert {row["system"] for row in report["workload"]} == {"rome", "hbm4"}
     assert {row["system"] for row in report["max_sustainable_rate"]} \

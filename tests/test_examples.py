@@ -68,6 +68,20 @@ def test_max_sustainable_rate_example_importable():
     assert module.SERVING.batch_capacity == 2
 
 
+def test_fault_campaign_example_campaign_helper():
+    # One cheap RoMe campaign point instead of the full grid: the helper
+    # must return a deterministic result whose reliability block is live.
+    module = _load("fault_campaign.py")
+    assert callable(module.main)
+    first = module.campaign("rome", 1e-4, "secded", seed=11, requests=2)
+    second = module.campaign("rome", 1e-4, "secded", seed=11, requests=2)
+    assert first == second
+    stats = first.reliability
+    assert stats.reads_checked > 0
+    assert stats.corrected > 0
+    assert 0.0 <= stats.sdc_rate <= 1.0
+
+
 def test_checkpointed_long_run_example_end_to_end(capsys, monkeypatch):
     # The checkpoint example is small enough to execute for real: it
     # kills and resumes a run, and asserts bit-identity itself.
