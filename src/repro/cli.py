@@ -358,6 +358,86 @@ def cmd_workload(args: argparse.Namespace) -> int:
     return 1 if sweep.stats.failures else 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import (
+        FleetSpec,
+        ReplicaFaultConfig,
+        RouterPolicy,
+        run_fleet,
+    )
+    from repro.workloads import SLOSpec, ScenarioSpec
+    from repro.workloads.scenarios import SERVING_PLANS
+
+    if args.scenario not in SERVING_PLANS:
+        print(f"error: scenario {args.scenario!r} has no serving plan; "
+              f"closed-loop scenarios: {', '.join(sorted(SERVING_PLANS))}",
+              file=sys.stderr)
+        return 2
+    if args.replicas < 1:
+        print("error: --replicas must be at least 1", file=sys.stderr)
+        return 2
+    base = ScenarioSpec(
+        scenario=args.scenario,
+        system=args.system,
+        rate_per_s=args.rate,
+        num_requests=args.requests,
+        seed=args.seed,
+        model_name=args.model,
+        closed_loop=True,
+        slo=SLOSpec(ttft_ms=args.slo_ttft_ms, tpot_ms=args.slo_tpot_ms),
+    )
+    spec = FleetSpec(
+        base=base,
+        num_replicas=args.replicas,
+        faults=ReplicaFaultConfig(
+            seed=args.fault_seed,
+            window_ns=args.health_window,
+            due_rate=args.due_rate,
+            due_threshold=args.due_threshold,
+            hard_failure_rate=args.hard_failure_rate,
+            degraded_escalation=args.degraded_escalation,
+            recovery_ns=args.recovery,
+        ),
+        router=RouterPolicy(
+            health_check_interval_ns=args.health_interval,
+            request_timeout_ns=args.request_timeout,
+            max_retries=args.max_retries,
+            retry_backoff_ns=args.retry_backoff,
+            hedge_delay_ns=args.hedge_delay,
+            max_admissions_per_window=args.max_admissions,
+        ),
+    )
+    journal = _resolve_journal(args)
+    result = run_fleet(spec, workers=args.workers, journal=journal)
+    if result.stats is not None:
+        _report_sweep_stats(result.stats)
+    row = {
+        "scenario": result.scenario,
+        "system": result.system,
+        "replicas": result.replicas,
+        "requests": result.requests,
+        "served": result.served,
+        "shed": result.shed,
+        "failed": result.failed,
+        "slo_met": result.slo_met,
+        "availability": result.availability,
+        "offered_per_s": result.offered_rate_per_s,
+        "goodput_per_s": result.goodput_per_s,
+        "goodput_fraction": result.goodput_fraction,
+        "rerouted": result.counters.rerouted,
+        "hedged": result.counters.hedged,
+        "timeouts": result.counters.timeouts,
+        "p99_ttft_ns": result.ttft.p99,
+        "transitions": " ".join(
+            f"r{replica}:{','.join(kinds) or '-'}"
+            for replica, kinds in enumerate(result.transitions)),
+    }
+    _print_rows([row], args.json)
+    if not args.json:
+        print(result.summary())
+    return 0
+
+
 def cmd_bench_smoke(args: argparse.Namespace) -> int:
     import datetime
     import os
@@ -366,6 +446,7 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
     from repro import __version__
     from repro.sim.bench import (
         checkpoint_roundtrip_comparison,
+        fleet_resilience_comparison,
         max_sustainable_rate_comparison,
         reliability_comparison,
         rome_refresh_comparison,
@@ -419,6 +500,10 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
     # Reliability smoke: the seeded fault campaign on both controllers,
     # gated on zero-rate bit-identity and campaign determinism.
     reliability_rows = reliability_comparison()
+    # Fleet smoke: a zero-fault one-replica fleet (bit-identical to the
+    # plain closed-loop run) and a live failover campaign (deterministic
+    # across worker counts, with a degraded->down->recovered ladder).
+    fleet_rows = fleet_resilience_comparison()
     # Sweep-runner smoke: per-worker point throughput, cold vs warm cache.
     sweep_rows = sweep_throughput(workers=args.workers)
     # Trace-cache smoke: the cached second derivation of a sweep point's
@@ -428,7 +513,7 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
 
     report = {
         "meta": {
-            "schema": 6,
+            "schema": 7,
             "generated_utc": datetime.datetime.now(
                 datetime.timezone.utc).isoformat(timespec="seconds"),
             "package_version": __version__,
@@ -449,6 +534,7 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
         "max_sustainable_rate": rate_rows,
         "checkpoint": checkpoint_rows,
         "reliability": reliability_rows,
+        "fleet": fleet_rows,
         "sweep": sweep_rows,
         "cache": cache,
     }
@@ -466,6 +552,8 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
         _print_rows(checkpoint_rows, False)
         print()
         _print_rows(reliability_rows, False)
+        print()
+        _print_rows(fleet_rows, False)
         print()
         _print_rows(sweep_rows, False)
         print()
@@ -553,6 +641,23 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
                 f"deterministic or did not exercise the RAS ladder "
                 f"(corrected={row['corrected']}, due={row['due']}, "
                 f"retries={row['retries']}, scrubs={row['scrub_passes']})"
+            )
+    for row in fleet_rows:
+        # Both fleet gates are structural and always enforced: a fleet
+        # wrapper that perturbs a zero-fault run, or a failover campaign
+        # that is not bit-reproducible across worker counts (or never
+        # exercised failover at all), is a correctness bug.
+        if not row.get("zero_fault_identical", True):
+            failures.append(
+                "zero-fault single-replica fleet diverged from the plain "
+                "closed-loop run (bit-identity violated)"
+            )
+        if not row.get("campaign_identical", True):
+            failures.append(
+                f"seeded failover campaign was not deterministic across "
+                f"worker counts or did not exercise failover "
+                f"(rerouted={row['rerouted']}, hedged={row['hedged']}, "
+                f"availability={row['availability']:.3f})"
             )
     warm = next(row for row in sweep_rows if row["phase"] == "warm")
     if warm["cache_hits"] == 0:
@@ -774,6 +879,91 @@ def build_parser() -> argparse.ArgumentParser:
                    help="goodput/offered fraction a --find-max-rate probe "
                         "must reach to count as sustainable")
     p.set_defaults(func=cmd_workload)
+
+    p = sub.add_parser(
+        "fleet",
+        help="multi-replica serving with health-gated failover: one "
+             "traffic stream routed across N seeded closed-loop replicas "
+             "under a replica-fault process, with retries, hedging, "
+             "admission shedding, and fleet-level availability/goodput",
+    )
+    add_workers_arg(p)
+    p.add_argument("--scenario", default="decode-serving",
+                   help="closed-loop scenario whose serving plan feeds the "
+                        "fleet (any scenario with a registered plan)")
+    p.add_argument("--system", choices=["rome", "hbm4"], default="rome",
+                   help="controller every replica runs on")
+    p.add_argument("--rate", type=float, default=200_000.0,
+                   help="fleet-wide arrival rate in requests per simulated "
+                        "second (split across replicas by the router)")
+    p.add_argument("--requests", type=int, default=32,
+                   help="number of requests in the traffic stream")
+    p.add_argument("--seed", type=int, default=0,
+                   help="arrival-process seed of the base scenario")
+    p.add_argument("--model", default="deepseek-v3",
+                   help="LLM whose tensor populations drive the serving "
+                        "traffic")
+    p.add_argument("--replicas", type=int, default=3,
+                   help="number of serving replicas (each one full "
+                        "TP/DP group)")
+    p.add_argument("--slo-ttft-ms", type=float, default=10.0,
+                   help="time-to-first-token SLO target in milliseconds, "
+                        "measured from fleet arrival (retries count)")
+    p.add_argument("--slo-tpot-ms", type=float, default=1.0,
+                   help="time-per-output-token SLO target in milliseconds")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="replica-fault process seed; equal seeds draw "
+                        "bit-identical health timelines in any process")
+    p.add_argument("--health-window", type=int, default=100_000,
+                   metavar="NS",
+                   help="health window: device-fault pressure (DUE/SDC "
+                        "counts, bank offlining) is drawn per window")
+    p.add_argument("--due-rate", type=float, default=0.0,
+                   help="Poisson mean of detected-uncorrectable errors "
+                        "per health window (0 = no DUE pressure)")
+    p.add_argument("--due-threshold", type=int, default=3,
+                   help="DUE count in one window that degrades a replica "
+                        "(0 disables the trigger)")
+    p.add_argument("--hard-failure-rate", type=float, default=0.0,
+                   help="per-window probability of a hard replica failure "
+                        "(escalated by --degraded-escalation while "
+                        "degraded)")
+    p.add_argument("--degraded-escalation", type=float, default=4.0,
+                   help="multiplier on --hard-failure-rate while a replica "
+                        "is degraded")
+    p.add_argument("--recovery", type=int, default=0, metavar="NS",
+                   help="repair time after a hard failure; 0 keeps a down "
+                        "replica down for the rest of the episode")
+    p.add_argument("--health-interval", type=int, default=50_000,
+                   metavar="NS",
+                   help="router health-check period; the routing view "
+                        "lags true replica health by up to one period")
+    p.add_argument("--request-timeout", type=int, default=200_000,
+                   metavar="NS",
+                   help="how long the router waits on a lost request "
+                        "before re-routing it")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="re-route attempts after the first send "
+                        "(0 = a lost request just fails)")
+    p.add_argument("--retry-backoff", type=int, default=25_000,
+                   metavar="NS",
+                   help="linear backoff between re-route attempts")
+    p.add_argument("--hedge-delay", type=int, default=None, metavar="NS",
+                   help="send a hedge copy this long after routing to a "
+                        "degraded-in-view replica (omit to disable "
+                        "hedging)")
+    p.add_argument("--max-admissions", type=int, default=None, metavar="N",
+                   help="admission cap per replica per health window; "
+                        "excess requests are shed (omit to disable "
+                        "shedding)")
+    p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   help="directory for the append-only journal of "
+                        "completed replica episodes (created if missing)")
+    p.add_argument("--resume", action="store_true",
+                   help="skip replicas already completed in the "
+                        "--checkpoint-dir journal from a previous "
+                        "(killed) campaign instead of starting over")
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser(
         "bench-smoke",

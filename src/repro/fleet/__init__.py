@@ -1,0 +1,60 @@
+"""Fleet-level resilience: multi-replica serving above the channel.
+
+The fleet layer is the level between PR 6's harness fault tolerance
+(worker processes die) and PR 8's device reliability (memory cells die):
+whole *serving replicas* sicken and die while one traffic stream keeps
+arriving.  :mod:`repro.fleet.health` draws each replica's seeded health
+timeline (degraded / down / recovered transitions escalated from the
+device-fault taxonomy), :mod:`repro.fleet.router` routes every request
+through a health-checked, stale-view router with timeout + retry,
+hedging, and admission shedding, and :mod:`repro.fleet.driver` runs the
+per-replica closed-loop episodes through
+:func:`repro.sim.sweep.run_sweep` and aggregates a
+:class:`~repro.fleet.driver.FleetResult` -- bit-identical across worker
+counts, start methods, and checkpoint cuts like everything else in the
+tree.
+"""
+
+from repro.fleet.driver import (
+    FleetResult,
+    FleetSpec,
+    ReplicaRunResult,
+    ReplicaTask,
+    run_fleet,
+    run_replica_point,
+)
+from repro.fleet.health import (
+    HealthEvent,
+    ReplicaFaultConfig,
+    ReplicaFaultProcess,
+    ReplicaHealth,
+    ReplicaTimeline,
+)
+from repro.fleet.router import (
+    FleetAssignment,
+    RequestRoute,
+    RouteAttempt,
+    RouterCounters,
+    RouterPolicy,
+    route_requests,
+)
+
+__all__ = [
+    "FleetAssignment",
+    "FleetResult",
+    "FleetSpec",
+    "HealthEvent",
+    "ReplicaFaultConfig",
+    "ReplicaFaultProcess",
+    "ReplicaHealth",
+    "ReplicaRunResult",
+    "ReplicaTask",
+    "ReplicaTimeline",
+    "RequestRoute",
+    "RouteAttempt",
+    "RouterCounters",
+    "RouterPolicy",
+    "route_requests",
+    "run_fleet",
+    "run_replica_point",
+]

@@ -1,0 +1,257 @@
+"""Health-gated request routing across fleet replicas.
+
+The router is a *pure function*: given a policy, the replicas' true
+health timelines, and the traffic stream's arrival instants, it decides
+-- deterministically, with no RNG and no wall clock -- which replica
+serves each request and when, modeling the control-plane behaviors a
+production front end layers over serving replicas:
+
+* **periodic health checks** -- the router's view of replica health
+  refreshes every ``health_check_interval_ns``, so it lags truth by up
+  to one interval.  A request can be routed to a replica that *just*
+  died (the failover window) or kept off one that already recovered;
+* **per-request timeout + bounded retry with backoff** -- a request sent
+  to a replica that is down (or dies while the request is in flight) is
+  lost; the router notices after ``request_timeout_ns`` and re-routes to
+  the next healthy-in-view replica after a linear backoff, up to
+  ``max_retries`` times before declaring the request failed;
+* **hedged requests** -- a request whose chosen replica looks *degraded*
+  in the router's view optionally sends a hedge copy to a second replica
+  after ``hedge_delay_ns``; the copy with the earliest first token wins;
+* **admission shedding** -- an optional per-replica token bucket
+  (``max_admissions_per_window`` per ``admission_window_ns``) bounds how
+  much load any replica absorbs, so when replicas die the surviving
+  capacity shrinks and excess requests are shed instead of queued
+  without bound.
+
+What "lost" means: an attempt is lost iff its replica is ``DOWN`` at
+send time or transitions to ``DOWN`` within the timeout window after it.
+Requests a replica actually serves are *not* re-simulated through the
+death (the per-replica closed-loop run covers exactly the requests the
+replica completes); the down transition gates new work, which is the
+deterministic approximation that keeps every replica run a pure function
+of its assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.fleet.health import ReplicaHealth, ReplicaTimeline
+
+__all__ = [
+    "FleetAssignment",
+    "RequestRoute",
+    "RouteAttempt",
+    "RouterCounters",
+    "RouterPolicy",
+    "route_requests",
+]
+
+#: ``RequestRoute.outcome`` values.
+_SERVED, _SHED, _FAILED = "served", "shed", "failed"
+
+
+@dataclass(frozen=True)
+class RouterPolicy:
+    """Frozen, picklable routing policy of one fleet episode."""
+
+    #: Health-view refresh period; the router sees each replica's state
+    #: as of the last check instant (0 = a perfect, always-fresh view).
+    health_check_interval_ns: int = 50_000
+    #: How long the router waits for a lost request before retrying.
+    request_timeout_ns: int = 200_000
+    #: Re-route attempts after the first (0 = a lost request just fails).
+    max_retries: int = 2
+    #: Linear backoff between retries: attempt ``n`` re-sends
+    #: ``timeout + n * backoff`` after the previous send.
+    retry_backoff_ns: int = 25_000
+    #: Send a hedge copy this long after routing to a degraded-in-view
+    #: replica; ``None`` disables hedging.
+    hedge_delay_ns: Optional[int] = None
+    #: Admission token-bucket window (shedding granularity).
+    admission_window_ns: int = 100_000
+    #: Max requests one replica accepts per admission window; ``None``
+    #: disables shedding entirely.
+    max_admissions_per_window: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.health_check_interval_ns < 0:
+            raise ValueError("health_check_interval_ns must be non-negative")
+        if self.request_timeout_ns < 1:
+            raise ValueError("request_timeout_ns must be positive")
+        if self.max_retries < 0 or self.retry_backoff_ns < 0:
+            raise ValueError("retry budget and backoff must be non-negative")
+        if self.hedge_delay_ns is not None and self.hedge_delay_ns < 0:
+            raise ValueError("hedge_delay_ns must be non-negative")
+        if self.admission_window_ns < 1:
+            raise ValueError("admission_window_ns must be positive")
+        if self.max_admissions_per_window is not None \
+                and self.max_admissions_per_window < 1:
+            raise ValueError("max_admissions_per_window must be at least 1")
+
+
+@dataclass(frozen=True)
+class RouteAttempt:
+    """One copy of one request sent to one replica."""
+
+    replica: int
+    send_ns: int
+    lost: bool
+
+
+@dataclass(frozen=True)
+class RequestRoute:
+    """How one request moved through the fleet.
+
+    ``index`` is the request's fleet id (its position in the sorted
+    arrival stream); ``attempts`` are the primary send and its retries in
+    order; ``hedge`` is the optional hedge copy.  ``outcome`` is
+    ``"served"`` (some attempt reached a live replica), ``"shed"`` (the
+    router found no admissible replica in view), or ``"failed"`` (every
+    attempt was lost and the retry budget ran out).
+    """
+
+    index: int
+    arrival_ns: int
+    outcome: str
+    attempts: Tuple[RouteAttempt, ...] = ()
+    hedge: Optional[RouteAttempt] = None
+
+
+@dataclass(frozen=True)
+class RouterCounters:
+    """Fleet-level routing counters (all deterministic, all compared)."""
+
+    routed: int = 0
+    rerouted: int = 0
+    hedged: int = 0
+    timeouts: int = 0
+    shed: int = 0
+    failed: int = 0
+
+
+@dataclass(frozen=True)
+class FleetAssignment:
+    """The router's full output for one episode.
+
+    ``per_replica[r]`` holds ``(fleet_id, send_ns)`` pairs sorted by
+    ``(send_ns, fleet_id)`` -- exactly the arrival stream replica ``r``'s
+    closed-loop run replays (including winning hedge copies).
+    """
+
+    routes: Tuple[RequestRoute, ...]
+    per_replica: Tuple[Tuple[Tuple[int, int], ...], ...]
+    counters: RouterCounters
+
+
+def route_requests(policy: RouterPolicy,
+                   timelines: Sequence[ReplicaTimeline],
+                   arrival_times_ns: Sequence[int]) -> FleetAssignment:
+    """Route a sorted arrival stream across the fleet's replicas.
+
+    Requests are processed in fleet-id order (sorted arrivals); replica
+    choice is least-assigned-first with index tie-break among replicas
+    not ``DOWN`` in the router's (possibly stale) view, skipping ones
+    whose admission bucket is full.  Every decision is a pure function of
+    the inputs, so the assignment is bit-identical anywhere.
+    """
+    num_replicas = len(timelines)
+    times = sorted(arrival_times_ns)
+    assigned_load = [0] * num_replicas
+    admissions: Dict[Tuple[int, int], int] = {}
+    per_replica: List[List[Tuple[int, int]]] = [[] for _ in range(num_replicas)]
+    routes: List[RequestRoute] = []
+    routed = rerouted = hedged = timeouts = shed = failed = 0
+
+    def view_health(replica: int, at_ns: int) -> ReplicaHealth:
+        interval = policy.health_check_interval_ns
+        probe = at_ns if interval <= 0 else (at_ns // interval) * interval
+        return timelines[replica].health_at(probe)
+
+    def lost(replica: int, send_ns: int) -> bool:
+        timeline = timelines[replica]
+        return (timeline.health_at(send_ns) is ReplicaHealth.DOWN
+                or timeline.goes_down_within(
+                    send_ns, send_ns + policy.request_timeout_ns))
+
+    def admit(replica: int, at_ns: int) -> bool:
+        if policy.max_admissions_per_window is None:
+            return True
+        key = (replica, at_ns // policy.admission_window_ns)
+        if admissions.get(key, 0) >= policy.max_admissions_per_window:
+            return False
+        admissions[key] = admissions.get(key, 0) + 1
+        return True
+
+    def pick(at_ns: int, exclude: Set[int]) -> Optional[int]:
+        candidates = sorted(
+            (replica for replica in range(num_replicas)
+             if replica not in exclude
+             and view_health(replica, at_ns) is not ReplicaHealth.DOWN),
+            key=lambda replica: (assigned_load[replica], replica))
+        for replica in candidates:
+            if admit(replica, at_ns):
+                return replica
+        return None
+
+    for index, arrival_ns in enumerate(times):
+        attempts: List[RouteAttempt] = []
+        tried: Set[int] = set()
+        send_ns = arrival_ns
+        winner: Optional[RouteAttempt] = None
+        for attempt_number in range(policy.max_retries + 1):
+            replica = pick(send_ns, tried)
+            if replica is None:
+                break
+            attempt = RouteAttempt(replica=replica, send_ns=send_ns,
+                                   lost=lost(replica, send_ns))
+            attempts.append(attempt)
+            assigned_load[replica] += 1
+            tried.add(replica)
+            if not attempt.lost:
+                winner = attempt
+                per_replica[replica].append((index, send_ns))
+                break
+            timeouts += 1
+            send_ns += (policy.request_timeout_ns
+                        + policy.retry_backoff_ns * (attempt_number + 1))
+        hedge: Optional[RouteAttempt] = None
+        if (winner is not None and policy.hedge_delay_ns is not None
+                and view_health(winner.replica, winner.send_ns)
+                is ReplicaHealth.DEGRADED):
+            hedge_ns = winner.send_ns + policy.hedge_delay_ns
+            replica = pick(hedge_ns, tried)
+            if replica is not None:
+                hedge = RouteAttempt(replica=replica, send_ns=hedge_ns,
+                                     lost=lost(replica, hedge_ns))
+                assigned_load[replica] += 1
+                hedged += 1
+                if not hedge.lost:
+                    per_replica[replica].append((index, hedge_ns))
+        if attempts:
+            routed += 1
+            rerouted += len(attempts) - 1
+        if winner is not None:
+            outcome = _SERVED
+        elif not attempts:
+            outcome = _SHED
+            shed += 1
+        else:
+            outcome = _FAILED
+            failed += 1
+        routes.append(RequestRoute(index=index, arrival_ns=arrival_ns,
+                                   outcome=outcome,
+                                   attempts=tuple(attempts), hedge=hedge))
+
+    return FleetAssignment(
+        routes=tuple(routes),
+        per_replica=tuple(
+            tuple(sorted(pairs, key=lambda pair: (pair[1], pair[0])))
+            for pairs in per_replica
+        ),
+        counters=RouterCounters(routed=routed, rerouted=rerouted,
+                                hedged=hedged, timeouts=timeouts,
+                                shed=shed, failed=failed),
+    )

@@ -74,6 +74,24 @@ def default_decode_parallelism(model: ModelConfig,
     )
 
 
+def replica_groups(total_devices: int,
+                   parallelism: ParallelismConfig) -> int:
+    """Independent serving replicas a device pool supports.
+
+    One replica is one full TP/DP group of ``parallelism.num_devices``
+    accelerators (Section VI-A's eight-device system); a fleet splits a
+    larger pool into as many whole groups as fit.  Leftover devices that
+    cannot form a complete group serve nothing -- the fleet layer sizes
+    itself with this so ``N`` is always a pure function of the pool.
+    """
+    if total_devices < parallelism.num_devices:
+        raise ValueError(
+            f"{total_devices} device(s) cannot host one replica group of "
+            f"{parallelism.num_devices}"
+        )
+    return total_devices // parallelism.num_devices
+
+
 def default_prefill_parallelism(model: ModelConfig,
                                 num_devices: int = 8) -> ParallelismConfig:
     """Prefill uses TP across all eight accelerators for every model."""

@@ -12,7 +12,11 @@ from repro.reliability.faults import (
     ReliabilityConfig,
 )
 from repro.reliability.ras import RasEngine, ReadVerdict, ReliabilityStats
-from repro.reliability.taxonomy import DeviceFaultKind, HarnessFaultKind
+from repro.reliability.taxonomy import (
+    DeviceFaultKind,
+    HarnessFaultKind,
+    ReplicaFaultKind,
+)
 
 __all__ = [
     "DeviceFaultKind",
@@ -23,4 +27,5 @@ __all__ = [
     "ReadVerdict",
     "ReliabilityConfig",
     "ReliabilityStats",
+    "ReplicaFaultKind",
 ]

@@ -8,9 +8,13 @@ named their fault kinds with unrelated ad-hoc strings:
   it -- to prove the sweep runner's retry/quarantine/journal machinery;
 * the **device** layer (:mod:`repro.reliability.faults`) perturbs the
   *simulated memory* -- transient bit flips, retention decay, sticky
-  hard faults -- to exercise ECC and the RAS response path.
+  hard faults -- to exercise ECC and the RAS response path;
+* the **fleet** layer (:mod:`repro.fleet.health`) perturbs whole
+  *serving replicas* -- sustained device-fault pressure degrades one,
+  a hard failure takes it down, a timed repair brings it back -- to
+  exercise the router's failover/hedging/shedding machinery.
 
-Both enums subclass :class:`str` so members compare, pickle, sort, and
+All enums subclass :class:`str` so members compare, pickle, sort, and
 JSON-encode exactly like the plain strings they replace
 (``HarnessFaultKind.KILL == "kill"`` is ``True``), keeping journals and
 failure records from older runs readable.
@@ -20,7 +24,7 @@ from __future__ import annotations
 
 import enum
 
-__all__ = ["HarnessFaultKind", "DeviceFaultKind"]
+__all__ = ["HarnessFaultKind", "DeviceFaultKind", "ReplicaFaultKind"]
 
 
 class HarnessFaultKind(str, enum.Enum):
@@ -55,6 +59,28 @@ class DeviceFaultKind(str, enum.Enum):
     RETENTION = "retention"
     HARD_ROW = "hard_row"
     HARD_BANK = "hard_bank"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class ReplicaFaultKind(str, enum.Enum):
+    """Health *transitions* of one serving replica in a fleet.
+
+    The replica-fault process escalates the :class:`DeviceFaultKind`
+    populations to replica granularity: sustained DUE/SDC pressure or
+    enough offlined banks inside one health window emits ``DEGRADED``
+    (the replica still serves, slower and hedge-worthy), a hard-failure
+    draw emits ``DOWN`` (in-flight requests are lost and the router must
+    fail over), and a timed repair emits ``RECOVERED`` (back to healthy
+    with fault counters reset).  These are transitions, not states --
+    :class:`repro.fleet.health.ReplicaHealth` is the state view a router
+    queries.
+    """
+
+    DEGRADED = "degraded"
+    DOWN = "down"
+    RECOVERED = "recovered"
 
     def __str__(self) -> str:
         return self.value

@@ -532,6 +532,116 @@ def reliability_comparison() -> List[Dict[str, Any]]:
     return rows
 
 
+def fleet_zero_fault_spec():
+    """A one-replica, zero-fault fleet around a small closed-loop decode
+    episode: the fleet layer must be a bit-exact no-op wrapper here."""
+    from repro.fleet import FleetSpec
+    from repro.workloads.scenarios import ScenarioSpec
+    from repro.workloads.serving import SLOSpec
+
+    base = ScenarioSpec(scenario="decode-serving", system="rome",
+                        rate_per_s=200_000.0, num_requests=6, seed=3,
+                        closed_loop=True, slo=SLOSpec())
+    return FleetSpec(base=base, num_replicas=1)
+
+
+def fleet_campaign_spec():
+    """The bench live-failover campaign: three replicas under a seeded
+    fault process hot enough that every replica walks the full
+    degraded -> down -> recovered ladder inside the episode, with the
+    router retrying lost requests and hedging degraded ones."""
+    from repro.fleet import FleetSpec, ReplicaFaultConfig, RouterPolicy
+    from repro.workloads.scenarios import ScenarioSpec
+    from repro.workloads.serving import SLOSpec
+
+    base = ScenarioSpec(scenario="decode-serving", system="rome",
+                        rate_per_s=400_000.0, num_requests=12, seed=3,
+                        closed_loop=True, slo=SLOSpec())
+    return FleetSpec(
+        base=base,
+        num_replicas=3,
+        faults=ReplicaFaultConfig(seed=0, window_ns=2_000, due_rate=0.8,
+                                  due_threshold=2, hard_failure_rate=0.02,
+                                  degraded_escalation=8.0,
+                                  recovery_ns=12_000),
+        router=RouterPolicy(health_check_interval_ns=4_000,
+                            request_timeout_ns=6_000, max_retries=2,
+                            retry_backoff_ns=1_000, hedge_delay_ns=1_000),
+    )
+
+
+def fleet_resilience_comparison() -> List[Dict[str, Any]]:
+    """``fleet`` rows for ``bench-smoke``, double-gated by the CLI:
+
+    * ``zero_fault_identical`` -- a one-replica zero-fault fleet must be
+      bit-identical to the plain closed-loop run of its base spec (the
+      routing/aggregation layers add exactly nothing);
+    * ``campaign_identical`` -- the seeded live-failover campaign run
+      twice (serial, then sharded across two workers) must produce equal
+      results, and the campaign must be *live*: at least one replica
+      walks degraded -> down -> recovered, requests were rerouted and
+      hedged, and availability actually dipped below 1.
+    """
+    from repro.fleet import run_fleet
+    from repro.workloads.driver import run_workload
+
+    rows: List[Dict[str, Any]] = []
+
+    spec = fleet_zero_fault_spec()
+    start = time.perf_counter()
+    fleet = run_fleet(spec)
+    wall_s = max(time.perf_counter() - start, 1e-9)
+    plain = run_workload(spec.base)
+    zero_fault_identical = (
+        fleet.replica_results == (plain,)
+        and fleet.goodput_per_s == plain.goodput_per_s
+        and fleet.availability == 1.0
+    )
+    rows.append({
+        "scenario": "fleet-zero-fault",
+        "system": spec.base.system,
+        "replicas": spec.num_replicas,
+        "zero_fault_identical": zero_fault_identical,
+        "requests": fleet.requests,
+        "served": fleet.served,
+        "goodput_per_s": fleet.goodput_per_s,
+        "availability": fleet.availability,
+        "wall_ms": wall_s * 1e3,
+    })
+
+    spec = fleet_campaign_spec()
+    start = time.perf_counter()
+    first = run_fleet(spec, workers=1)
+    wall_s = max(time.perf_counter() - start, 1e-9)
+    second = run_fleet(spec, workers=2)
+    ladder = ("degraded", "down", "recovered")
+    campaign_identical = (
+        first == second
+        and any(kinds[:3] == ladder for kinds in first.transitions)
+        and first.counters.rerouted > 0
+        and first.counters.hedged > 0
+        and 0.0 < first.availability < 1.0
+    )
+    rows.append({
+        "scenario": "fleet-failover",
+        "system": spec.base.system,
+        "replicas": spec.num_replicas,
+        "campaign_identical": campaign_identical,
+        "requests": first.requests,
+        "served": first.served,
+        "shed": first.shed,
+        "failed": first.failed,
+        "slo_met": first.slo_met,
+        "rerouted": first.counters.rerouted,
+        "hedged": first.counters.hedged,
+        "timeouts": first.counters.timeouts,
+        "availability": first.availability,
+        "goodput_per_s": first.goodput_per_s,
+        "wall_ms": wall_s * 1e3,
+    })
+    return rows
+
+
 def sweep_throughput(
     workers: int = 1,
     depths: Sequence[int] = (1, 2, 4, 8),

@@ -151,22 +151,29 @@ def _seed_worker_cache(entries: list) -> None:
     global_trace_cache().install(entries)
 
 
-def _run_pool(tasks: List[Tuple[Any, ...]], workers: int,
-              seed_cache: bool) -> Tuple[Optional[List[Any]], Optional[str]]:
+def _run_pool(tasks: List[Tuple[Any, ...]], workers: int, seed_cache: bool,
+              start_method: Optional[str] = None,
+              ) -> Tuple[Optional[List[Any]], Optional[str]]:
     """Run ``(fn, *args)`` tasks on a process pool.
 
     Returns ``(results, None)`` on success and ``(None, reason)`` on a
     pool-infrastructure failure (process creation forbidden, worker
     death, unpicklable results) so the caller can fall back to serial
     execution and record *why*.  Exceptions raised by the tasks
-    themselves propagate unchanged.
+    themselves propagate unchanged.  ``start_method`` pins the pool's
+    multiprocessing context (``None`` keeps the platform default);
+    results must be identical either way, which the fleet and sweep
+    determinism suites assert.
     """
     initializer = initargs = None
     if seed_cache:
         initializer = _seed_worker_cache
         initargs = (global_trace_cache().export_entries(),)
+    context = (multiprocessing.get_context(start_method)
+               if start_method is not None else None)
     try:
         pool = ProcessPoolExecutor(max_workers=workers,
+                                   mp_context=context,
                                    initializer=initializer,
                                    initargs=initargs or ())
     except OSError:
@@ -431,14 +438,20 @@ def _run_point(fn: Callable[..., Any], point: Any) -> Tuple[Any, int, int, list]
     return value, delta.hits, delta.misses, entries
 
 
-def _run_serial(fn: Callable[..., Any],
-                points: Sequence[Any]) -> Tuple[List[Any], CacheStats]:
-    values: List[Any] = []
+def _run_serial(fn: Callable[..., Any], points: Sequence[Any],
+                indices: Sequence[int],
+                on_complete: Optional[Callable[[int, Any], None]] = None,
+                ) -> Tuple[Dict[int, Any], CacheStats]:
+    """Run the listed points in order, reporting each as it completes
+    (which is what journals a killed serial sweep incrementally)."""
+    values: Dict[int, Any] = {}
     cache = CacheStats()
-    for point in points:
-        value, hits, misses, _ = _run_point(fn, point)
-        values.append(value)
+    for index in indices:
+        value, hits, misses, _ = _run_point(fn, points[index])
+        values[index] = value
         cache = cache.merge(CacheStats(hits=hits, misses=misses))
+        if on_complete is not None:
+            on_complete(index, value)
     return values, cache
 
 
@@ -574,6 +587,7 @@ def _run_guarded(fn: Callable[..., Any], points: Sequence[Any],
                  point_timeout_s: Optional[float], retries: int,
                  backoff_s: float, fault_plan: Optional[FaultPlan],
                  start_method: Optional[str],
+                 on_complete: Optional[Callable[[int, Any], None]] = None,
                  ) -> Tuple[Dict[int, Any], CacheStats, List[PointFailure]]:
     """Run points in dedicated child processes with deadlines and retries.
 
@@ -650,6 +664,8 @@ def _run_guarded(fn: Callable[..., Any], points: Sequence[Any],
                                     + (now - task.started))
                     cache = cache.merge(CacheStats(hits=hits, misses=misses))
                     global_trace_cache().install(entries)
+                    if on_complete is not None:
+                        on_complete(index, value)
                 else:
                     settle(task, error)
             elif task.deadline is not None and now >= task.deadline:
@@ -664,6 +680,7 @@ def _run_guarded(fn: Callable[..., Any], points: Sequence[Any],
 def _run_attempts_inprocess(
     fn: Callable[..., Any], points: Sequence[Any], indices: Sequence[int],
     retries: int, backoff_s: float,
+    on_complete: Optional[Callable[[int, Any], None]] = None,
 ) -> Tuple[Dict[int, Any], CacheStats, List[PointFailure]]:
     """In-process retry/quarantine loop for unpicklable sweeps.
 
@@ -692,6 +709,8 @@ def _run_attempts_inprocess(
             else:
                 values[index] = value
                 cache = cache.merge(CacheStats(hits=hits, misses=misses))
+                if on_complete is not None:
+                    on_complete(index, value)
             break
     return values, cache, failures
 
@@ -752,8 +771,10 @@ def run_sweep(
         completed points are appended, so a killed sweep resumes where it
         stopped.
     start_method:
-        Multiprocessing start method for the hardened executor (``None``
-        uses the platform default; results are identical either way).
+        Multiprocessing start method for worker processes -- the plain
+        pool and the hardened executor both honor it (``None`` uses the
+        platform default; results are identical either way, which is what
+        lets fleet campaigns assert fork/spawn bit-identity).
 
     Returns
     -------
@@ -788,6 +809,15 @@ def run_sweep(
     failures: List[PointFailure] = []
     cache = CacheStats()
     by_index: Dict[int, Any] = {}
+    journaled: set = set()
+
+    def record_value(index: int, value: Any) -> None:
+        """Journal one completed point immediately (not at sweep end), so
+        a sweep killed mid-run leaves every finished point recoverable."""
+        if journal_store is None:
+            return
+        journal_store.record(journal_store.key(points[index]), value)
+        journaled.add(index)
 
     if not todo:
         pass
@@ -803,12 +833,14 @@ def run_sweep(
             fallback_reason = "unpicklable function or point"
             by_index, cache, failures = _run_attempts_inprocess(
                 fn, points, todo, retries, backoff_s,
+                on_complete=record_value,
             )
             workers = 1
         else:
             by_index, cache, failures = _run_guarded(
                 fn, points, todo, workers, point_timeout_s, retries,
                 backoff_s, fault_plan, start_method,
+                on_complete=record_value,
             )
             parallel = workers > 1 and len(todo) > 1
     else:
@@ -828,7 +860,7 @@ def run_sweep(
         if pool_workers > 1 and len(run_points) > 1:
             outcomes, pool_reason = _run_pool(
                 [(_run_point, fn, point) for point in run_points],
-                pool_workers, seed_cache=True,
+                pool_workers, seed_cache=True, start_method=start_method,
             )
             if outcomes is None:
                 fallback_reason = pool_reason
@@ -837,7 +869,8 @@ def run_sweep(
             # pool-infrastructure failure (process creation forbidden,
             # dead worker, unpicklable result) -- never an error from the
             # swept function itself.
-            values, cache = _run_serial(fn, run_points)
+            by_index, cache = _run_serial(fn, points, todo,
+                                          on_complete=record_value)
             workers = 1
         else:
             parallel = True
@@ -845,11 +878,14 @@ def run_sweep(
             for _, hits, misses, entries in outcomes:
                 cache = cache.merge(CacheStats(hits=hits, misses=misses))
                 global_trace_cache().install(entries)
-        by_index = dict(zip(todo, values))
+            by_index = dict(zip(todo, values))
 
     if journal_store is not None:
+        # Pool-path values arrive all at once when the futures resolve;
+        # journal whatever the per-point hook has not already written.
         for index, value in sorted(by_index.items()):
-            journal_store.record(journal_store.key(points[index]), value)
+            if index not in journaled:
+                journal_store.record(journal_store.key(points[index]), value)
 
     if failures and on_error == "raise":
         raise SweepPointError(failures[0])

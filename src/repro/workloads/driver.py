@@ -58,7 +58,12 @@ from repro.sim.engine import Simulation
 from repro.sim.stats import BandwidthResult, LatencyResult
 from repro.sim.sweep import FaultPlan, SweepResult, run_sweep
 from repro.workloads.arrivals import ArrivalSchedule, Transfer
-from repro.workloads.scenarios import ScenarioSpec, build_schedule, serving_plan
+from repro.workloads.scenarios import (
+    ScenarioSpec,
+    ServingPlan,
+    build_schedule,
+    serving_plan,
+)
 from repro.workloads.serving import ClosedLoopServer, SLOSpec
 
 __all__ = [
@@ -415,6 +420,7 @@ def _run_closed_loop(spec: ScenarioSpec, materializer, simulation: Simulation,
                      *, start_ns: int = 0, bytes_before: int = 0,
                      evaluations_before: int = 0, event_driven: bool = True,
                      max_drain_ns: int = DEFAULT_DRAIN_HORIZON_NS,
+                     plan: Optional[ServingPlan] = None,
                      ) -> Tuple[WorkloadResult, ClosedLoopServer]:
     """Run ``spec`` closed-loop on an existing materializer/simulation.
 
@@ -425,9 +431,14 @@ def _run_closed_loop(spec: ScenarioSpec, materializer, simulation: Simulation,
     traffic completes, and feed the completion instant back -- the next
     launch gates on ``max(accelerator cadence, completion)``.  Returns
     the result plus the server, whose per-request records tests inspect.
+
+    ``plan`` overrides the scenario registry's serving plan -- the fleet
+    layer replays *routed* arrival instants through the same loop, so a
+    replica's episode is the plain closed-loop run of its assignment.
     """
     controller = materializer.controller
-    plan = serving_plan(spec)
+    if plan is None:
+        plan = serving_plan(spec)
     times = [start_ns + time_ns for time_ns in plan.arrival_times_ns]
     server = ClosedLoopServer(plan.serving, times)
     horizon_abs = max(times) if times else start_ns

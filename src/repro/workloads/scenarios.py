@@ -228,14 +228,47 @@ def _prefill_interleaved(spec: ScenarioSpec) -> ArrivalSchedule:
     return DecodeServingModel(plan.serving).compile(plan.arrival_times_ns)
 
 
+@serving_plan_builder("bursty-serving")
+def _bursty_serving_plan(spec: ScenarioSpec) -> ServingPlan:
+    times = BurstyArrivals(spec.rate_per_s, burst_size=8, seed=spec.seed)
+    return ServingPlan(
+        arrival_times_ns=tuple(times.times_ns(spec.num_requests)),
+        serving=spec.serving_config(),
+    )
+
+
+@scenario("bursty-serving")
+def _bursty_serving(spec: ScenarioSpec) -> ArrivalSchedule:
+    """Heavily clustered arrivals on an *unmodified* serving config: deep
+    eight-request bursts slam the default batch capacity, unlike
+    ``prefill-interleaved`` which widens the batch and prompt to absorb
+    its bursts.  Registered with a serving plan, so it runs closed-loop
+    and joins ``find_max_sustainable_rate``."""
+    plan = serving_plan(spec)
+    return DecodeServingModel(plan.serving).compile(plan.arrival_times_ns)
+
+
+@serving_plan_builder("mixed-tenant")
+def _mixed_tenant_plan(spec: ScenarioSpec) -> ServingPlan:
+    """The decode tenant's serving episode.  The bulk tenant is open-loop
+    background traffic with no request lifecycle, so the closed-loop view
+    of ``mixed-tenant`` is the latency-sensitive tenant alone -- the
+    sustainable-rate search answers "what rate can the decode tenant
+    hold" for the same arrivals the open-loop scenario interleaves."""
+    times = PoissonArrivals(spec.rate_per_s, seed=spec.seed)
+    return ServingPlan(
+        arrival_times_ns=tuple(times.times_ns(spec.num_requests)),
+        serving=spec.serving_config(),
+    )
+
+
 @scenario("mixed-tenant")
 def _mixed_tenant(spec: ScenarioSpec) -> ArrivalSchedule:
     """Two tenants share the channel: Poisson decode serving plus a
     fixed-rate bulk tenant (checkpoint and weight-reload traffic) at one
     quarter of the request rate."""
-    decode = DecodeServingModel(spec.serving_config()).compile(
-        PoissonArrivals(spec.rate_per_s, seed=spec.seed)
-        .times_ns(spec.num_requests))
+    plan = serving_plan(spec)
+    decode = DecodeServingModel(plan.serving).compile(plan.arrival_times_ns)
     bulk_count = max(1, spec.num_requests // 4)
     bulk = compile_schedule(
         FixedRateArrivals(spec.rate_per_s / 4).times_ns(bulk_count),

@@ -1,0 +1,234 @@
+"""The health-gated router: pure-function routing over fault timelines.
+
+Timelines here are hand-built (no fault process), so every test pins one
+router behavior in isolation: stale health views, timeout + backoff
+retries, hedging on degraded replicas, admission shedding, and the
+counter bookkeeping the fleet result exposes.
+"""
+
+import pickle
+
+import pytest
+
+from repro.fleet import (
+    HealthEvent,
+    ReplicaTimeline,
+    RouterPolicy,
+    route_requests,
+)
+from repro.reliability.taxonomy import ReplicaFaultKind
+
+HORIZON = 1_000_000
+
+
+def _healthy(replica):
+    return ReplicaTimeline(replica=replica, horizon_ns=HORIZON)
+
+
+def _with_events(replica, *events):
+    return ReplicaTimeline(replica=replica, horizon_ns=HORIZON,
+                           events=tuple(HealthEvent(at, kind)
+                                        for at, kind in events))
+
+
+class TestRouterPolicy:
+    @pytest.mark.parametrize("kwargs,match", [
+        (dict(health_check_interval_ns=-1), "health_check_interval_ns"),
+        (dict(request_timeout_ns=0), "request_timeout_ns"),
+        (dict(max_retries=-1), "retry budget"),
+        (dict(retry_backoff_ns=-1), "retry budget"),
+        (dict(hedge_delay_ns=-1), "hedge_delay_ns"),
+        (dict(admission_window_ns=0), "admission_window_ns"),
+        (dict(max_admissions_per_window=0), "max_admissions_per_window"),
+    ])
+    def test_invalid_knobs_rejected(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            RouterPolicy(**kwargs)
+
+    def test_picklable(self):
+        policy = RouterPolicy(hedge_delay_ns=1_000)
+        assert pickle.loads(pickle.dumps(policy)) == policy
+
+
+class TestHealthyRouting:
+    def test_least_loaded_spread(self):
+        assignment = route_requests(RouterPolicy(),
+                                    [_healthy(0), _healthy(1), _healthy(2)],
+                                    [0, 100, 200, 300, 400, 500])
+        # Round-robin by least-assigned with index tie-break: 0,1,2,0,1,2.
+        assert [route.attempts[0].replica
+                for route in assignment.routes] == [0, 1, 2, 0, 1, 2]
+        assert assignment.counters.routed == 6
+        assert assignment.counters.rerouted == 0
+        assert assignment.counters.shed == 0
+        assert all(route.outcome == "served" for route in assignment.routes)
+
+    def test_arrivals_are_sorted_into_fleet_ids(self):
+        assignment = route_requests(RouterPolicy(), [_healthy(0)],
+                                    [500, 0, 250])
+        assert [route.arrival_ns for route in assignment.routes] \
+            == [0, 250, 500]
+        assert [route.index for route in assignment.routes] == [0, 1, 2]
+
+    def test_per_replica_sorted_by_send_then_id(self):
+        assignment = route_requests(RouterPolicy(), [_healthy(0)],
+                                    [300, 100, 200])
+        sends = [send for _, send in assignment.per_replica[0]]
+        assert sends == sorted(sends)
+
+
+class TestFailover:
+    def test_down_in_view_is_excluded(self):
+        down = _with_events(0, (0, ReplicaFaultKind.DOWN))
+        assignment = route_requests(
+            RouterPolicy(health_check_interval_ns=100),
+            [down, _healthy(1)], [1_000, 2_000])
+        assert all(route.attempts[0].replica == 1
+                   for route in assignment.routes)
+
+    def test_stale_view_routes_to_dying_replica_then_retries(self):
+        # Replica 0 dies at t=500; the router's view refreshes every
+        # 10_000 ns so at t=1_000 it still reads the t=0 (healthy) state,
+        # sends there, loses the request, and fails over to replica 1.
+        dying = _with_events(0, (500, ReplicaFaultKind.DOWN))
+        policy = RouterPolicy(health_check_interval_ns=10_000,
+                              request_timeout_ns=2_000,
+                              retry_backoff_ns=100, max_retries=2)
+        assignment = route_requests(policy, [dying, _healthy(1)], [1_000])
+        (route,) = assignment.routes
+        assert route.outcome == "served"
+        assert [a.replica for a in route.attempts] == [0, 1]
+        assert route.attempts[0].lost and not route.attempts[1].lost
+        # Retry waits out the timeout plus one linear backoff step.
+        assert route.attempts[1].send_ns == 1_000 + 2_000 + 100
+        assert assignment.counters.rerouted == 1
+        assert assignment.counters.timeouts == 1
+        # Only the winning copy lands in the replica's arrival stream.
+        assert assignment.per_replica[0] == ()
+        assert assignment.per_replica[1] == ((0, 3_100),)
+
+    def test_in_flight_death_counts_as_lost(self):
+        # DOWN lands inside (send, send+timeout]: lost even though the
+        # replica was up at send time.
+        dying = _with_events(0, (1_500, ReplicaFaultKind.DOWN))
+        policy = RouterPolicy(health_check_interval_ns=0,
+                              request_timeout_ns=1_000)
+        assignment = route_requests(policy, [dying, _healthy(1)], [1_000])
+        (route,) = assignment.routes
+        assert route.attempts[0].lost
+        assert route.attempts[1].replica == 1
+
+    def test_retry_budget_exhaustion_fails_the_request(self):
+        # Truth: down from t=1 (just after the t=0 view probe).  View:
+        # stale for the whole episode, so the router burns its full retry
+        # budget on a dead fleet and declares the request failed.
+        dead = [_with_events(r, (1, ReplicaFaultKind.DOWN))
+                for r in range(2)]
+        policy = RouterPolicy(health_check_interval_ns=10_000_000,
+                              request_timeout_ns=1_000, max_retries=1)
+        assignment = route_requests(policy, dead, [500])
+        (route,) = assignment.routes
+        assert route.outcome == "failed"
+        assert len(route.attempts) == 2
+        assert all(a.lost for a in route.attempts)
+        assert assignment.counters.failed == 1
+        assert assignment.counters.timeouts == 2
+
+    def test_all_down_in_view_sheds(self):
+        dead = [_with_events(r, (0, ReplicaFaultKind.DOWN))
+                for r in range(3)]
+        assignment = route_requests(
+            RouterPolicy(health_check_interval_ns=100), dead, [1_000])
+        (route,) = assignment.routes
+        assert route.outcome == "shed"
+        assert route.attempts == ()
+        assert assignment.counters.shed == 1
+        assert assignment.counters.routed == 0
+
+    def test_recovered_replica_rejoins_the_pool(self):
+        cycled = _with_events(0, (0, ReplicaFaultKind.DOWN),
+                              (5_000, ReplicaFaultKind.RECOVERED))
+        assignment = route_requests(
+            RouterPolicy(health_check_interval_ns=1_000),
+            [cycled], [10_000])
+        (route,) = assignment.routes
+        assert route.outcome == "served"
+        assert route.attempts[0].replica == 0
+
+
+class TestHedging:
+    def test_degraded_in_view_triggers_hedge(self):
+        degraded = _with_events(0, (0, ReplicaFaultKind.DEGRADED))
+        policy = RouterPolicy(health_check_interval_ns=100,
+                              hedge_delay_ns=500)
+        assignment = route_requests(policy, [degraded, _healthy(1)], [1_000])
+        (route,) = assignment.routes
+        assert route.outcome == "served"
+        assert route.hedge is not None
+        assert route.hedge.replica == 1
+        assert route.hedge.send_ns == route.attempts[0].send_ns + 500
+        assert assignment.counters.hedged == 1
+        # Both copies land in their replicas' arrival streams.
+        assert assignment.per_replica[0] == ((0, 1_000),)
+        assert assignment.per_replica[1] == ((0, 1_500),)
+
+    def test_no_hedge_when_disabled_or_healthy(self):
+        degraded = _with_events(0, (0, ReplicaFaultKind.DEGRADED))
+        no_hedge = route_requests(
+            RouterPolicy(health_check_interval_ns=100, hedge_delay_ns=None),
+            [degraded, _healthy(1)], [1_000])
+        assert no_hedge.routes[0].hedge is None
+        healthy = route_requests(
+            RouterPolicy(health_check_interval_ns=100, hedge_delay_ns=500),
+            [_healthy(0), _healthy(1)], [1_000])
+        assert healthy.routes[0].hedge is None
+
+    def test_hedge_needs_a_second_replica(self):
+        degraded = _with_events(0, (0, ReplicaFaultKind.DEGRADED))
+        assignment = route_requests(
+            RouterPolicy(health_check_interval_ns=100, hedge_delay_ns=500),
+            [degraded], [1_000])
+        assert assignment.routes[0].hedge is None
+        assert assignment.counters.hedged == 0
+
+
+class TestAdmissionShedding:
+    def test_bucket_overflow_spills_to_next_replica(self):
+        policy = RouterPolicy(admission_window_ns=1_000,
+                              max_admissions_per_window=1)
+        assignment = route_requests(policy, [_healthy(0), _healthy(1)],
+                                    [0, 10, 20])
+        replicas = [route.attempts[0].replica
+                    for route in assignment.routes[:2]]
+        assert replicas == [0, 1]  # least-loaded, then bucket spill
+        assert assignment.routes[2].outcome == "shed"
+        assert assignment.counters.shed == 1
+
+    def test_bucket_refills_next_window(self):
+        policy = RouterPolicy(admission_window_ns=1_000,
+                              max_admissions_per_window=1)
+        assignment = route_requests(policy, [_healthy(0)], [0, 1_500])
+        assert all(route.outcome == "served"
+                   for route in assignment.routes)
+
+    def test_no_cap_means_no_shedding(self):
+        assignment = route_requests(RouterPolicy(), [_healthy(0)],
+                                    list(range(0, 100, 10)))
+        assert assignment.counters.shed == 0
+
+
+class TestDeterminism:
+    def test_identical_reruns(self):
+        timelines = [_with_events(0, (500, ReplicaFaultKind.DEGRADED),
+                                  (2_000, ReplicaFaultKind.DOWN)),
+                     _healthy(1), _healthy(2)]
+        policy = RouterPolicy(health_check_interval_ns=1_000,
+                              request_timeout_ns=2_000, hedge_delay_ns=250,
+                              max_admissions_per_window=4)
+        arrivals = list(range(0, 20_000, 700))
+        assert route_requests(policy, timelines, arrivals) \
+            == route_requests(policy, timelines, arrivals)
+
+    def test_assignment_pickles(self):
+        assignment = route_requests(RouterPolicy(), [_healthy(0)], [0, 10])
+        assert pickle.loads(pickle.dumps(assignment)) == assignment

@@ -10,7 +10,11 @@ import pickle
 
 import pytest
 
-from repro.reliability.taxonomy import DeviceFaultKind, HarnessFaultKind
+from repro.reliability.taxonomy import (
+    DeviceFaultKind,
+    HarnessFaultKind,
+    ReplicaFaultKind,
+)
 from repro.sim import sweep
 from repro.sim.sweep import FaultInjection, FaultPlan
 
@@ -45,6 +49,35 @@ class TestDeviceFaultKind:
         harness = {kind.value for kind in HarnessFaultKind}
         device = {kind.value for kind in DeviceFaultKind}
         assert not harness & device
+
+
+class TestReplicaFaultKind:
+    def test_members_and_values(self):
+        assert {kind.value for kind in ReplicaFaultKind} == {
+            "degraded", "down", "recovered"}
+
+    def test_str_is_the_value(self):
+        assert str(ReplicaFaultKind.DEGRADED) == "degraded"
+
+    def test_equal_to_plain_strings(self):
+        # str mixin: bench gates compare transition tuples to plain
+        # strings loaded back from JSON.
+        assert ReplicaFaultKind.RECOVERED == "recovered"
+
+    def test_disjoint_from_other_layers(self):
+        replica = {kind.value for kind in ReplicaFaultKind}
+        harness = {kind.value for kind in HarnessFaultKind}
+        device = {kind.value for kind in DeviceFaultKind}
+        assert not replica & harness
+        assert not replica & device
+
+    def test_reexported_from_reliability_package(self):
+        import repro.reliability as reliability
+        assert reliability.ReplicaFaultKind is ReplicaFaultKind
+
+    def test_pickles_cleanly(self):
+        for kind in ReplicaFaultKind:
+            assert pickle.loads(pickle.dumps(kind)) is kind
 
 
 class TestFaultInjectionNormalization:

@@ -53,7 +53,9 @@ def _assert_report_schema(report):
     round-trip gate); schema 5 additionally requires the
     ``max_sustainable_rate`` rows (the closed-loop goodput gate);
     schema 6 additionally requires the ``reliability`` rows (the
-    device-fault zero-rate-identity and campaign-determinism gates).
+    device-fault zero-rate-identity and campaign-determinism gates);
+    schema 7 additionally requires the ``fleet`` rows (the zero-fault
+    fleet-identity and failover-campaign-determinism gates).
     """
     assert isinstance(report["gates_passed"], bool)
     meta = report["meta"]
@@ -116,6 +118,23 @@ def _assert_report_schema(report):
             assert row["retries"] > 0
             assert row["scrub_passes"] > 0
             assert 0.0 <= row["sdc_rate"] <= 1.0
+    if meta["schema"] >= 7:
+        fleet = report["fleet"]
+        scenarios = {row["scenario"] for row in fleet}
+        assert {"fleet-zero-fault", "fleet-failover"} <= scenarios
+        for row in fleet:
+            assert row["replicas"] >= 1
+            assert row["requests"] > 0
+            assert 0.0 < row["availability"] <= 1.0
+            assert row["goodput_per_s"] >= 0.0
+            if row["scenario"] == "fleet-zero-fault":
+                assert row["zero_fault_identical"] is True
+                assert row["availability"] == 1.0
+            if row["scenario"] == "fleet-failover":
+                assert row["campaign_identical"] is True
+                assert row["rerouted"] > 0
+                assert row["hedged"] > 0
+                assert row["availability"] < 1.0
     assert {row["phase"] for row in report["sweep"]} == {"cold", "warm"}
     assert report["cache"]["cold_ms"] > 0
 
@@ -127,7 +146,7 @@ def test_bench_smoke_gates_pass_and_write_perf_document(capsys, tmp_path):
     report = json.loads(out.read_text())
     assert report["gates_passed"] is True
     _assert_report_schema(report)
-    assert report["meta"]["schema"] == 6
+    assert report["meta"]["schema"] == 7
     streaming = report["streaming_conventional"]
     assert streaming["evaluation_reduction"] >= 5.0
     assert streaming["tick_evaluations"] == streaming["simulated_ns"]

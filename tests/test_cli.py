@@ -131,10 +131,15 @@ def test_bench_smoke_reports_sweep_and_cache_rows(capsys, tmp_path):
     assert set(report) == {"meta", "core", "streaming_conventional",
                            "streaming_conventional_refresh", "rome_refresh",
                            "workload", "max_sustainable_rate", "checkpoint",
-                           "reliability", "sweep", "cache"}
+                           "reliability", "fleet", "sweep", "cache"}
     assert {row["system"] for row in report["reliability"]} == {"rome", "hbm4"}
     assert all(row["zero_rate_identical"] and row["campaign_identical"]
                for row in report["reliability"])
+    assert {row["scenario"] for row in report["fleet"]} \
+        == {"fleet-zero-fault", "fleet-failover"}
+    assert all(row.get("zero_fault_identical", True)
+               and row.get("campaign_identical", True)
+               for row in report["fleet"])
     assert {row["system"] for row in report["core"]} == {"rome", "hbm4"}
     assert {row["system"] for row in report["workload"]} == {"rome", "hbm4"}
     assert {row["system"] for row in report["max_sustainable_rate"]} \
@@ -326,3 +331,49 @@ def test_workload_find_max_rate_journal_resumes(capsys, tmp_path):
     captured = capsys.readouterr()
     assert json.loads(captured.out) == first
     assert "restored" not in captured.err
+
+
+FLEET_CAMPAIGN_ARGV = [
+    "--json", "fleet", "--scenario", "decode-serving", "--system", "rome",
+    "--rate", "400000", "--requests", "12", "--seed", "3", "--replicas", "3",
+    "--fault-seed", "0", "--health-window", "2000", "--due-rate", "0.8",
+    "--due-threshold", "2", "--hard-failure-rate", "0.02",
+    "--degraded-escalation", "8", "--recovery", "12000",
+    "--health-interval", "4000", "--request-timeout", "6000",
+    "--retry-backoff", "1000", "--hedge-delay", "1000",
+]
+
+
+def test_fleet_campaign_reports_failover_columns(capsys):
+    assert main(FLEET_CAMPAIGN_ARGV) == 0
+    (row,) = json.loads(capsys.readouterr().out)
+    assert row["replicas"] == 3
+    assert row["served"] + row["shed"] + row["failed"] == row["requests"]
+    assert row["rerouted"] > 0
+    assert row["hedged"] > 0
+    assert 0.0 < row["availability"] < 1.0
+    assert "down" in row["transitions"]
+
+
+def test_fleet_workers_matches_serial(capsys):
+    assert main(FLEET_CAMPAIGN_ARGV) == 0
+    serial = json.loads(capsys.readouterr().out)
+    assert main(FLEET_CAMPAIGN_ARGV + ["--workers", "2"]) == 0
+    parallel = json.loads(capsys.readouterr().out)
+    assert serial == parallel
+
+
+def test_fleet_resume_skips_journaled_replicas(capsys, tmp_path):
+    argv = FLEET_CAMPAIGN_ARGV + ["--checkpoint-dir", str(tmp_path)]
+    assert main(argv) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert (tmp_path / "sweep-journal.jsonl").exists()
+    assert main(argv + ["--resume"]) == 0
+    captured = capsys.readouterr()
+    assert json.loads(captured.out) == first
+    assert "restored from the journal" in captured.err
+
+
+def test_fleet_rejects_scenarios_without_serving_plans(capsys):
+    assert main(["fleet", "--scenario", "streaming-drain"]) == 2
+    assert "no serving plan" in capsys.readouterr().err

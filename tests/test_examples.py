@@ -82,6 +82,21 @@ def test_fault_campaign_example_campaign_helper():
     assert 0.0 <= stats.sdc_rate <= 1.0
 
 
+def test_fleet_failover_example_campaign_helper():
+    # One cheap campaign point instead of the full MTBF sweep: the
+    # helper must return a deterministic result whose failover path is
+    # live (at least one hard failure inside the episode).
+    module = _load("fleet_failover.py")
+    assert callable(module.main)
+    first = module.campaign(50_000, seed=0, requests=12)
+    second = module.campaign(50_000, seed=0, requests=12)
+    assert first == second
+    assert first.replicas == 3
+    assert any("down" in kinds for kinds in first.transitions)
+    assert 0.0 < first.availability < 1.0
+    assert first.served + first.shed + first.failed == first.requests
+
+
 def test_checkpointed_long_run_example_end_to_end(capsys, monkeypatch):
     # The checkpoint example is small enough to execute for real: it
     # kills and resumes a run, and asserts bit-identity itself.

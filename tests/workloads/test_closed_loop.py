@@ -440,6 +440,29 @@ class TestFindMaxSustainableRate:
         assert self._search(system="hbm4") == self._search(system="hbm4")
 
 
+class TestPlannedScenariosJoinTheSearch:
+    """Every scenario with a registered serving plan runs closed-loop
+    and is searchable -- the PR 9 satellite widening the plan registry
+    beyond decode-serving and prefill-interleaved."""
+
+    @pytest.mark.parametrize("name", ["bursty-serving", "mixed-tenant"])
+    def test_closed_loop_run_is_deterministic(self, name):
+        spec = _spec(scenario=name)
+        first = run_workload(spec)
+        assert first == run_workload(spec)
+        assert first.requests == spec.num_requests
+        assert first.slo is not None
+
+    @pytest.mark.parametrize("name", ["bursty-serving", "mixed-tenant"])
+    def test_joins_find_max_sustainable_rate(self, name):
+        search = find_max_sustainable_rate(
+            _spec(scenario=name), 50_000.0, 5_000_000.0, probes=4)
+        assert search == find_max_sustainable_rate(
+            _spec(scenario=name), 50_000.0, 5_000_000.0, probes=4)
+        assert search.probes
+        assert search.max_rate_per_s >= 0.0
+
+
 # ------------------------------------------------------- latency quantiles
 
 

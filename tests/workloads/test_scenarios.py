@@ -7,10 +7,12 @@ import pytest
 from repro.workloads.arrivals import ArrivalSchedule
 from repro.workloads.scenarios import (
     SCENARIOS,
+    SERVING_PLANS,
     ScenarioSpec,
     available_scenarios,
     build_schedule,
     scenario,
+    serving_plan,
 )
 from repro.workloads.serving import ServingConfig
 
@@ -18,7 +20,8 @@ from repro.workloads.serving import ServingConfig
 class TestRegistry:
     def test_expected_scenarios_registered(self):
         assert {"streaming-drain", "decode-serving", "prefill-interleaved",
-                "mixed-tenant", "antagonist"} <= set(available_scenarios())
+                "bursty-serving", "mixed-tenant",
+                "antagonist"} <= set(available_scenarios())
 
     def test_unknown_scenario_raises_with_known_names(self):
         with pytest.raises(KeyError, match="decode-serving"):
@@ -118,3 +121,48 @@ class TestScenarioShapes:
                                                num_requests=8))
         tags = {transfer.tag for _, transfer in schedule}
         assert tags == {"foreground", "antagonist"}
+
+
+class TestServingPlans:
+    def test_expected_plans_registered(self):
+        assert {"decode-serving", "prefill-interleaved", "bursty-serving",
+                "mixed-tenant"} <= set(SERVING_PLANS)
+
+    def test_plans_cover_every_request(self):
+        for name in ("decode-serving", "prefill-interleaved",
+                     "bursty-serving", "mixed-tenant"):
+            spec = ScenarioSpec(scenario=name, num_requests=6, seed=4)
+            plan = serving_plan(spec)
+            assert len(plan.arrival_times_ns) == spec.num_requests
+            assert list(plan.arrival_times_ns) \
+                == sorted(plan.arrival_times_ns)
+
+    def test_plan_and_schedule_agree_on_arrivals(self):
+        # A planned scenario's open-loop schedule replays the plan's
+        # arrival instants (mixed-tenant adds the bulk tenant on top).
+        for name in ("decode-serving", "mixed-tenant"):
+            spec = ScenarioSpec(scenario=name, num_requests=6, seed=4)
+            plan = serving_plan(spec)
+            schedule_times = {at for at, _ in build_schedule(spec)}
+            assert set(plan.arrival_times_ns) <= schedule_times
+
+    def test_bursty_plan_clusters_arrivals(self):
+        # Within a burst the gap is one fixed stride; between bursts the
+        # Poisson inter-burst gap dwarfs it.
+        plan = serving_plan(ScenarioSpec(scenario="bursty-serving",
+                                         num_requests=16, seed=2))
+        gaps = [b - a for a, b in zip(plan.arrival_times_ns,
+                                      plan.arrival_times_ns[1:])]
+        assert max(gaps) > 1_000 * min(gaps)
+
+    def test_mixed_tenant_plan_is_the_decode_tenant_alone(self):
+        spec = ScenarioSpec(scenario="mixed-tenant", num_requests=8, seed=4)
+        plan = serving_plan(spec)
+        assert len(plan.arrival_times_ns) == spec.num_requests
+        bulk = [t for _, t in build_schedule(spec) if t.tag == "bulk"]
+        assert bulk  # the open-loop view still interleaves the bulk tenant
+
+    def test_plans_are_seed_deterministic(self):
+        for name in sorted(SERVING_PLANS):
+            spec = ScenarioSpec(scenario=name, num_requests=6, seed=9)
+            assert serving_plan(spec) == serving_plan(spec)
