@@ -13,9 +13,17 @@ Provides quick access to the main experiments without writing code:
 * ``rome-repro workload`` -- arrival-driven LLM serving workloads
   (decode serving, prefill-interleaved, mixed-tenant, antagonist) on the
   cycle-level controllers, with per-request latency percentiles.
+* ``rome-repro trace-report`` -- span self-time profile of a trace
+  exported via ``--trace-out``.
 * ``rome-repro bench-smoke`` -- CI perf smoke: seed-tick vs event-driven
   simulation-core throughput, with a ``--min-speedup`` gate, plus
   sweep-runner, trace-cache, and serving-workload checks.
+
+``workload`` and ``fleet`` accept ``--trace-out``/``--metrics-out``
+(plus ``--metrics-interval-ns``) to record the run through the
+:mod:`repro.obs` layer: a Perfetto-loadable Chrome trace (or JSONL when
+the path ends in ``.jsonl``) and windowed sim-time metric series, both
+byte-deterministic across worker counts and start methods.
 
 Sweep-style subcommands (``tpot``, ``lbr``, ``queue-depth``,
 ``design-space``, ``bandwidth``, ``workload``) accept ``--workers N`` to
@@ -217,6 +225,39 @@ def _report_sweep_stats(stats) -> None:
               file=sys.stderr)
 
 
+def _obs_config(args: argparse.Namespace):
+    """The :class:`~repro.obs.config.ObsConfig` implied by the obs flags
+    (``None`` when neither output was requested, keeping the run on the
+    exact pre-obs code paths)."""
+    if not args.trace_out and not args.metrics_out:
+        return None
+    from repro.obs import ObsConfig
+
+    return ObsConfig(
+        trace=bool(args.trace_out),
+        metrics=bool(args.metrics_out),
+        metrics_interval_ns=args.metrics_interval_ns,
+    )
+
+
+def _write_obs(args: argparse.Namespace, result) -> None:
+    """Export a result's recordings to the requested output files."""
+    if args.trace_out and result.trace is not None:
+        from repro.obs import write_trace
+
+        write_trace(args.trace_out, result.trace)
+        dropped = f" ({result.trace.dropped} dropped)" \
+            if result.trace.dropped else ""
+        print(f"trace: {len(result.trace.events)} events{dropped} -> "
+              f"{args.trace_out}", file=sys.stderr)
+    if args.metrics_out and result.metrics is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(result.metrics.as_dict(), sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+        print(f"metrics: {len(result.metrics)} series -> {args.metrics_out}",
+              file=sys.stderr)
+
+
 def _find_max_rate(args: argparse.Namespace, spec, systems) -> int:
     """``workload --find-max-rate``: bisect per system over the --rate
     bracket; the probe journal (one per system) lives in
@@ -248,6 +289,15 @@ def _find_max_rate(args: argparse.Namespace, spec, systems) -> int:
             print(f"resumed: {len(search.probes) - search.executed_probes} "
                   f"of {len(search.probes)} {system} probes restored from "
                   f"the journal", file=sys.stderr)
+        # Each probe is a full closed-loop episode (~seconds of wall
+        # time), so its cost is worth seeing per probe: journaled
+        # replays report 0.00s, which is also how a resumed search
+        # shows where it saved time.
+        for number, probe in enumerate(search.probes):
+            verdict = "sustainable" if probe.sustainable else "unsustainable"
+            print(f"probe {system}[{number}]: {probe.rate_per_s:g} req/s "
+                  f"-> goodput {probe.goodput_fraction:.3f} ({verdict}), "
+                  f"{probe.wall_s:.2f}s wall", file=sys.stderr)
         rows.append({
             "scenario": "max-sustainable-rate",
             "system": system,
@@ -256,6 +306,7 @@ def _find_max_rate(args: argparse.Namespace, spec, systems) -> int:
             "probes": len(search.probes),
             "probe_rates": " ".join(f"{probe.rate_per_s:g}"
                                     for probe in search.probes),
+            "probe_wall_s": sum(probe.wall_s for probe in search.probes),
         })
     _print_rows(rows, args.json)
     return 0
@@ -274,6 +325,11 @@ def cmd_workload(args: argparse.Namespace) -> int:
               f"{', '.join(available_scenarios())}", file=sys.stderr)
         return 2
     closed_loop = args.closed_loop or args.find_max_rate
+    obs = _obs_config(args)
+    if obs is not None and args.find_max_rate:
+        print("error: --trace-out/--metrics-out record a single run and "
+              "cannot be combined with --find-max-rate", file=sys.stderr)
+        return 2
     reliability = None
     if args.fault_rate > 0 or args.hard_fault_rate > 0:
         from repro.reliability import ReliabilityConfig
@@ -297,6 +353,7 @@ def cmd_workload(args: argparse.Namespace) -> int:
         slo=(SLOSpec(ttft_ms=args.slo_ttft_ms, tpot_ms=args.slo_tpot_ms)
              if closed_loop else None),
         reliability=reliability,
+        obs=obs,
     )
     systems = ("rome", "hbm4") if args.system == "both" else (args.system,)
     if args.find_max_rate:
@@ -307,6 +364,11 @@ def cmd_workload(args: argparse.Namespace) -> int:
         for rate in args.rate
         for system in systems
     ]
+    if obs is not None and len(specs) != 1:
+        print("error: --trace-out/--metrics-out record a single run; "
+              "pass one --rate value and a concrete --system",
+              file=sys.stderr)
+        return 2
     sweep = workload_sweep(specs, workers=args.workers, journal=journal,
                            point_timeout_s=args.point_timeout,
                            retries=args.retries, on_error=args.on_error)
@@ -355,6 +417,8 @@ def cmd_workload(args: argparse.Namespace) -> int:
             })
         rows.append(row)
     _print_rows(rows, args.json)
+    if obs is not None and sweep.values and sweep.values[0] is not None:
+        _write_obs(args, sweep.values[0])
     return 1 if sweep.stats.failures else 0
 
 
@@ -385,6 +449,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         model_name=args.model,
         closed_loop=True,
         slo=SLOSpec(ttft_ms=args.slo_ttft_ms, tpot_ms=args.slo_tpot_ms),
+        obs=_obs_config(args),
     )
     spec = FleetSpec(
         base=base,
@@ -435,6 +500,18 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     _print_rows([row], args.json)
     if not args.json:
         print(result.summary())
+    _write_obs(args, result)
+    return 0
+
+
+def cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.obs import trace_report
+
+    rows = trace_report(args.trace_file, top=args.top)
+    if not rows:
+        print("(no spans in trace)", file=sys.stderr)
+        return 0
+    _print_rows(rows, args.json)
     return 0
 
 
@@ -448,6 +525,7 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
         checkpoint_roundtrip_comparison,
         fleet_resilience_comparison,
         max_sustainable_rate_comparison,
+        observability_comparison,
         reliability_comparison,
         rome_refresh_comparison,
         streaming_conventional_comparison,
@@ -504,6 +582,11 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
     # plain closed-loop run) and a live failover campaign (deterministic
     # across worker counts, with a degraded->down->recovered ladder).
     fleet_rows = fleet_resilience_comparison()
+    # Observability smoke: obs-off runs must be bit-identical to the
+    # no-obs baseline on both controllers and on the live fleet
+    # campaign, obs-on exports must be byte-deterministic, and the
+    # recording overhead is gated.
+    obs_rows = observability_comparison(repeats=args.repeats)
     # Sweep-runner smoke: per-worker point throughput, cold vs warm cache.
     sweep_rows = sweep_throughput(workers=args.workers)
     # Trace-cache smoke: the cached second derivation of a sweep point's
@@ -513,7 +596,7 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
 
     report = {
         "meta": {
-            "schema": 7,
+            "schema": 8,
             "generated_utc": datetime.datetime.now(
                 datetime.timezone.utc).isoformat(timespec="seconds"),
             "package_version": __version__,
@@ -535,6 +618,7 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
         "checkpoint": checkpoint_rows,
         "reliability": reliability_rows,
         "fleet": fleet_rows,
+        "observability": obs_rows,
         "sweep": sweep_rows,
         "cache": cache,
     }
@@ -554,6 +638,8 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
         _print_rows(reliability_rows, False)
         print()
         _print_rows(fleet_rows, False)
+        print()
+        _print_rows(obs_rows, False)
         print()
         _print_rows(sweep_rows, False)
         print()
@@ -659,6 +745,28 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
                 f"(rerouted={row['rerouted']}, hedged={row['hedged']}, "
                 f"availability={row['availability']:.3f})"
             )
+    for row in obs_rows:
+        # Both identity gates are structural and always enforced: a
+        # disabled obs config that perturbs the simulation, or an
+        # enabled one whose exported bytes are not reproducible, is a
+        # correctness bug.  Only the overhead ceiling is tunable.
+        if not row["obs_off_identical"]:
+            failures.append(
+                f"{row['target']} run with observability disabled diverged "
+                f"from the no-obs baseline (bit-identity violated)"
+            )
+        if not row["obs_on_deterministic"]:
+            failures.append(
+                f"{row['target']} obs-enabled run was not byte-deterministic "
+                f"(trace or metrics differed between identical runs)"
+            )
+        if args.max_obs_overhead > 0 \
+                and row["overhead_x"] > args.max_obs_overhead:
+            failures.append(
+                f"{row['target']} obs-enabled run took {row['overhead_x']:.2f}x "
+                f"the obs-off wall time, above the --max-obs-overhead gate "
+                f"of {args.max_obs_overhead:g}x"
+            )
     warm = next(row for row in sweep_rows if row["phase"] == "warm")
     if warm["cache_hits"] == 0:
         failures.append("warm sweep run recorded no trace-cache hits")
@@ -727,6 +835,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for independent sweep points "
                             "(1 = serial, 0 = one per CPU); results are "
                             "identical at any worker count")
+
+    def add_obs_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="record a deterministic event trace and write "
+                            "it here: Perfetto-loadable Chrome trace-event "
+                            "JSON, or JSONL when the path ends in .jsonl")
+        p.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="record windowed sim-time metric series and "
+                            "write them here as JSON")
+        p.add_argument("--metrics-interval-ns", type=int, default=1_000,
+                       help="metric sampling-window width in simulated "
+                            "nanoseconds")
 
     def add_fault_tolerance_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--point-timeout", type=float, default=None,
@@ -817,6 +937,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_workers_arg(p)
     add_fault_tolerance_args(p)
+    add_obs_args(p)
     p.add_argument("--scenario", default="decode-serving",
                    help="registered scenario name (streaming-drain, "
                         "decode-serving, prefill-interleaved, mixed-tenant, "
@@ -888,6 +1009,7 @@ def build_parser() -> argparse.ArgumentParser:
              "admission shedding, and fleet-level availability/goodput",
     )
     add_workers_arg(p)
+    add_obs_args(p)
     p.add_argument("--scenario", default="decode-serving",
                    help="closed-loop scenario whose serving plan feeds the "
                         "fleet (any scenario with a registered plan)")
@@ -966,6 +1088,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser(
+        "trace-report",
+        help="span self-time profile of a trace exported via --trace-out: "
+             "top-N span names by self time (duration minus directly "
+             "nested child spans on the same track)",
+    )
+    p.add_argument("trace_file",
+                   help="exported trace file (Chrome trace-event JSON or "
+                        "JSONL)")
+    p.add_argument("--top", type=int, default=10,
+                   help="number of span names to show")
+    p.set_defaults(func=cmd_trace_report)
+
+    p = sub.add_parser(
         "bench-smoke",
         help="CI perf smoke: seed-tick vs event-driven cores, the "
              "conventional burst-train gates (refresh off and on), the "
@@ -1014,6 +1149,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "snapshot+restore round-trip costs more than this "
                         "fraction of the uninterrupted run's wall time "
                         "(0 disables; resume bit-identity is always gated)")
+    p.add_argument("--max-obs-overhead", type=float, default=1.5,
+                   help="exit non-zero when an obs-enabled run takes more "
+                        "than this multiple of the obs-off wall time "
+                        "(0 disables; obs-off bit-identity and obs-on "
+                        "byte-determinism are always gated)")
     p.add_argument("--label", default=None,
                    help="free-form label stamped into the perf document's "
                         "metadata (e.g. the tier-1 commit under test)")

@@ -38,6 +38,7 @@ from repro.dram.timing import TimingParameters
 if TYPE_CHECKING:  # runtime import is lazy: repro.reliability pulls
     # repro.core.ecc, whose package __init__ imports the RoMe controller,
     # which sits beside this module in several import chains.
+    from repro.obs.sink import ObsSink
     from repro.reliability.faults import ReliabilityConfig
     from repro.reliability.ras import RasEngine
 
@@ -121,6 +122,17 @@ class ControllerStats:
             return 0.0
         return sum(self.read_latencies) / len(self.read_latencies)
 
+    def as_dict(self) -> Dict[str, int]:
+        """Scalar counters under their unified-namespace names."""
+        return {
+            "served_reads": self.served_reads,
+            "served_writes": self.served_writes,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "refreshes_issued": self.refreshes_issued,
+            "evaluations": self.evaluations,
+        }
+
 
 class ConventionalMemoryController:
     """The baseline (HBM4) memory controller for one channel."""
@@ -131,6 +143,7 @@ class ConventionalMemoryController:
         mapping: Optional[AddressMapping] = None,
         channel_id: int = 0,
         reliability: Optional[ReliabilityConfig] = None,
+        obs: Optional[ObsSink] = None,
     ) -> None:
         self.config = config or ControllerConfig()
         self.mapping = mapping or self.config.local_mapping()
@@ -183,6 +196,11 @@ class ConventionalMemoryController:
             self.ras = _RasEngine(
                 reliability, cfg.timing.access_granularity_bytes, banks)
             self._ras_active = self.ras.active
+        # Observability: deterministic trace/metrics sink.  ``None`` (the
+        # default, and whenever the spec's ObsConfig is disabled) keeps
+        # every hook short-circuited on one ``is not None`` check, so the
+        # unobserved path stays bit-identical to the pre-obs tree.
+        self._obs = obs
         self.now = 0
 
     # -------------------------------------------------------------- enqueue
@@ -274,11 +292,16 @@ class ConventionalMemoryController:
         self._page_policy.note_access(
             bank_key(transaction), transaction.coordinate.row, was_hit=True
         )
+        obs = self._obs
+        if obs is not None:
+            obs.count(data_ns, "controller.bandwidth_bytes",
+                      float(transaction.size_bytes))
         if self._ras_active and transaction.is_read:
             # Classify the read at its issue instant (the draw key); a
             # DUE verdict schedules a command replay after the data would
             # have returned, plus deterministic backoff.
             coord = transaction.coordinate
+            offlined = self.ras.stats.offlined_banks
             verdict = self.ras.on_read(
                 (coord.pseudo_channel, coord.stack_id, coord.bank_group,
                  coord.bank),
@@ -287,6 +310,17 @@ class ConventionalMemoryController:
             if verdict.retry_delay_ns is not None:
                 self._schedule_retry(
                     transaction, data_ns + verdict.retry_delay_ns)
+            if obs is not None:
+                outcome = verdict.outcome.value
+                if outcome != "clean":
+                    obs.count(now, f"ras.{outcome}")
+                if verdict.retry_delay_ns is not None:
+                    obs.event(now, "ras.retry",
+                              delay_ns=verdict.retry_delay_ns)
+                if verdict.spared_now:
+                    obs.event(now, "ras.spare")
+                if self.ras.stats.offlined_banks > offlined:
+                    obs.event(now, "ras.offline")
         self._complete_transaction(transaction, data_ns)
 
     def _complete_transaction(self, transaction: Transaction, data_ns: int) -> None:
@@ -359,6 +393,19 @@ class ConventionalMemoryController:
             self._issue(row_decision, now)
             issued_any = True
 
+        if issued_any and self._obs is not None:
+            # Only decision-bearing evaluations are traced: a no-op
+            # wake-up depends on which boundary instants the advance loop
+            # lands on (a checkpoint cut evaluates once at its ``at_ns``
+            # where the uninterrupted run does not), so recording it would
+            # break cut/resume byte-identity.  ``stats.evaluations`` still
+            # counts every evaluation (``compare=False`` likewise).
+            obs = self._obs
+            obs.event(now, "scheduler.eval")
+            obs.count(now, "controller.evaluations")
+            obs.gauge(now, "controller.queue_depth",
+                      self.read_queue.occupancy + self.write_queue.occupancy
+                      + len(self._backlog))
         return issued_any
 
     def tick(self) -> None:
@@ -369,17 +416,31 @@ class ConventionalMemoryController:
     def _issue(self, decision: SchedulerDecision, now: int) -> None:
         self.channel.issue(decision.command, now)
         self.stats.note_command(decision.command.kind)
+        obs = self._obs
         if decision.refresh_target is not None:
             target = decision.refresh_target
             engine = self.scheduler.refresh_engines[decision.command.pseudo_channel]
+            if obs is not None:
+                # Criticality is judged against the pre-issue deadline
+                # (note_refresh_issued advances it below).
+                obs.event(now, "refresh.issue",
+                          track=f"{obs.track}/{target.track}",
+                          bank=target.bank,
+                          critical=engine.is_critical(target, now))
+                obs.count(now, "controller.refreshes")
             engine.note_refresh_issued(target, now)
             self.stats.refreshes_issued += 1
+            if obs is not None:
+                obs.gauge(now, "refresh.debt", engine.refresh_debt(now))
             if self._ras_active:
                 # Reset the bank's retention clock (retention-fault means
                 # scale with time since refresh/scrub).
                 self.ras.note_refresh(
                     (decision.command.pseudo_channel, target.stack_id,
                      target.bank_group, target.bank), now)
+        elif obs is not None and decision.critical_pre:
+            obs.event(now, "refresh.critical_pre")
+            obs.count(now, "controller.critical_pres")
 
     # ------------------------------------------------------- event-driven core
 
@@ -443,6 +504,9 @@ class ConventionalMemoryController:
                     min_steps=_MIN_TRAIN_STEPS,
                 )
                 if train is not None:
+                    if self._obs is not None:
+                        self._obs.event(now, "train.plan",
+                                        steps=len(train.steps))
                     self._apply_column_train(train)
                     if stop_when_idle and not self._pending():
                         return
@@ -506,6 +570,12 @@ class ConventionalMemoryController:
                                      update.peak, update.rejected)
         for _ in range(train.backlog_consumed):
             self._backlog.popleft()
+        obs = self._obs
+        if obs is not None and train.steps:
+            start = train.steps[0].time_ns
+            obs.span(start, max(train.end_ns - start, 1), "train.apply",
+                     steps=len(train.steps))
+            obs.count(train.end_ns, "controller.evaluations")
         self.scheduler.set_draining(train.final_draining)
         self.stats.evaluations += 1
         self.now = train.end_ns + 1

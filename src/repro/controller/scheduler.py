@@ -44,11 +44,17 @@ from repro.dram.refresh import RefreshEngine, RefreshMode, RefreshTarget
 
 @dataclass
 class SchedulerDecision:
-    """A command chosen for issue plus the transaction it serves (if any)."""
+    """A command chosen for issue plus the transaction it serves (if any).
+
+    ``critical_pre`` marks a precharge forced by a critical refresh (the
+    escalation path of :meth:`FrFcfsScheduler.pick_refresh`), which is
+    otherwise indistinguishable from a policy precharge at issue time.
+    """
 
     command: Command
     transaction: Optional[Transaction] = None
     refresh_target: Optional[RefreshTarget] = None
+    critical_pre: bool = False
 
 
 @dataclass
@@ -414,8 +420,11 @@ class FrFcfsScheduler:
                 command=self._refpb_command(pc_index, target),
                 refresh_target=target,
             )
-        return SchedulerDecision(command=self._pre_command(
-            (pc_index, target.stack_id, target.bank_group, target.bank)))
+        return SchedulerDecision(
+            command=self._pre_command(
+                (pc_index, target.stack_id, target.bank_group, target.bank)),
+            critical_pre=True,
+        )
 
     # --------------------------------------------------------------- picking
 
@@ -775,7 +784,8 @@ class FrFcfsScheduler:
                             bm.next_act = t + tRP
                         reclassify(key, None)
                         refresh_decision = SchedulerDecision(
-                            command=self._pre_command(key))
+                            command=self._pre_command(key),
+                            critical_pre=True)
 
             # -- 2. write-drain hysteresis and queue priority --------------
             draining = self._drain_step(draining, wq.live, wq.capacity)

@@ -49,6 +49,7 @@ from repro.latency import LatencyAccumulator
 
 if TYPE_CHECKING:  # runtime import is lazy: repro.reliability pulls
     # repro.core.ecc, whose package __init__ imports this module back.
+    from repro.obs.sink import ObsSink
     from repro.reliability.faults import ReliabilityConfig
     from repro.reliability.ras import RasEngine
 
@@ -122,6 +123,19 @@ class RoMeControllerStats:
     def average_read_latency(self) -> float:
         return self.read_latency.average
 
+    def as_dict(self) -> Dict[str, int]:
+        """Scalar counters under their unified-namespace names."""
+        return {
+            "served_reads": self.served_reads,
+            "served_writes": self.served_writes,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "overfetch_bytes": self.overfetch_bytes,
+            "refreshes_issued": self.refreshes_issued,
+            "peak_active_fsms": self.peak_active_fsms,
+            "evaluations": self.evaluations,
+        }
+
 
 @dataclass
 class _VbaTracker:
@@ -168,7 +182,8 @@ class RoMeMemoryController:
 
     def __init__(self, config: Optional[RoMeControllerConfig] = None,
                  channel_id: int = 0,
-                 reliability: Optional[ReliabilityConfig] = None) -> None:
+                 reliability: Optional[ReliabilityConfig] = None,
+                 obs: Optional[ObsSink] = None) -> None:
         self.config = config or RoMeControllerConfig()
         self.channel_id = channel_id
         self.timing = self.config.timing
@@ -236,6 +251,11 @@ class RoMeMemoryController:
             self.ras = _RasEngine(
                 reliability, self._row_bytes, sorted(self._vbas))
             self._ras_active = self.ras.active
+        # Observability: deterministic trace/metrics sink.  ``None`` (the
+        # default, and whenever the spec's ObsConfig is disabled) keeps
+        # every hook short-circuited on one ``is not None`` check, so the
+        # unobserved path stays bit-identical to the pre-obs tree.
+        self._obs = obs
         self.now = 0
 
     # -------------------------------------------------------------- enqueue
@@ -349,6 +369,14 @@ class RoMeMemoryController:
         self._mark_busy(key, tracker, VbaState.REFRESHING,
                         now + self.refresh.stall_ns())
         self.refresh.note_issued(key, now)
+        obs = self._obs
+        if obs is not None:
+            obs.event(now, "refresh.issue",
+                      track=f"{obs.track}/"
+                            f"{RomeRefreshScheduler.track_label(key)}",
+                      vba=vba_index, critical=critical)
+            obs.count(now, "controller.refreshes")
+            obs.gauge(now, "refresh.debt", self.refresh.refresh_debt(now))
         if self._ras_active:
             # Reset the VBA's retention clock (retention-fault means
             # scale with time since refresh/scrub).
@@ -485,6 +513,10 @@ class RoMeMemoryController:
         self.stats.data_bus_busy_ns += expansion.data_bus_ns
 
         row_bytes = self._row_bytes
+        obs = self._obs
+        if obs is not None:
+            obs.count(request.completion_ns, "controller.bandwidth_bytes",
+                      float(row_bytes))
         if is_read:
             self.stats.served_reads += 1
             self.stats.bytes_read += row_bytes
@@ -493,6 +525,7 @@ class RoMeMemoryController:
                 # Classify the read at its issue instant (the draw key);
                 # a DUE verdict schedules a command replay after the data
                 # would have returned, plus deterministic backoff.
+                offlined = self.ras.stats.offlined_banks
                 verdict = self.ras.on_read(
                     (request.stack_id, request.vba), request.row, now,
                     attempt=request.retry_attempt)
@@ -500,6 +533,17 @@ class RoMeMemoryController:
                     self._schedule_retry(
                         request,
                         request.completion_ns + verdict.retry_delay_ns)
+                if obs is not None:
+                    outcome = verdict.outcome.value
+                    if outcome != "clean":
+                        obs.count(now, f"ras.{outcome}")
+                    if verdict.retry_delay_ns is not None:
+                        obs.event(now, "ras.retry",
+                                  delay_ns=verdict.retry_delay_ns)
+                    if verdict.spared_now:
+                        obs.event(now, "ras.spare")
+                    if self.ras.stats.offlined_banks > offlined:
+                        obs.event(now, "ras.offline")
         else:
             self.stats.served_writes += 1
             self.stats.bytes_written += row_bytes
@@ -541,9 +585,28 @@ class RoMeMemoryController:
         self._retire_completed(now)
         self._fill_queue()
         issued, _ = self._try_issue_refresh(now)
-        if issued:
-            return True
-        return self._try_issue_data(now)
+        if not issued:
+            issued = self._try_issue_data(now)
+        if issued and self._obs is not None:
+            self._note_evaluation(now)
+        return issued
+
+    def _note_evaluation(self, now: int) -> None:
+        """Obs hook for one decision-bearing scheduler evaluation.
+
+        Only evaluations that issue a command are traced (the caller
+        checks the gate): a no-op wake-up depends on which boundary
+        instants the advance loop happens to land on -- a checkpoint cut
+        lands on its ``at_ns`` and so evaluates once more than the
+        uninterrupted run -- and recording it would break cut/resume
+        byte-identity.  ``stats.evaluations`` still counts every
+        evaluation; it is ``compare=False`` for the same reason.
+        """
+        obs = self._obs
+        obs.event(now, "scheduler.eval")
+        obs.count(now, "controller.evaluations")
+        obs.gauge(now, "controller.queue_depth",
+                  len(self.queue) + len(self._backlog))
 
     def tick(self) -> None:
         """Advance the controller by one nanosecond (legacy tick core)."""
@@ -841,6 +904,14 @@ class RoMeMemoryController:
                     f"t={t_k}"
                 )
             self._issue(request, tracker, t_k)
+        obs = self._obs
+        if obs is not None and train.count:
+            start = train.issues[0][0] if train.issues else train.end_ns
+            if train.refreshes and train.refreshes[0][0] < start:
+                start = train.refreshes[0][0]
+            obs.span(start, max(train.end_ns - start, 1), "train.apply",
+                     steps=train.count)
+            obs.count(train.end_ns, "controller.evaluations")
         self.stats.evaluations += 1
         self.now = train.end_ns + 1
 
@@ -870,16 +941,21 @@ class RoMeMemoryController:
             train = None if ras_active \
                 else self._plan_burst_train(now, target_ns)
             if train is not None:
+                if self._obs is not None:
+                    self._obs.event(now, "train.plan", steps=train.count)
                 self._apply_burst_train(train)
                 if stop_when_idle and not (self._backlog or self.queue):
                     return
                 continue
             self.stats.evaluations += 1
             issued_refresh, refresh_hint = self._try_issue_refresh(now)
+            issued_data = False
             if not issued_refresh:
                 # A data issue needs no special-casing here: the post-step
                 # ``_data_wake`` recomputation below already reflects it.
-                self._try_issue_data(now)
+                issued_data = self._try_issue_data(now)
+            if (issued_refresh or issued_data) and self._obs is not None:
+                self._note_evaluation(now)
             if stop_when_idle and not (self._backlog or self.queue
                                        or self._retries):
                 self.now = now + 1

@@ -148,6 +148,13 @@ class RomeRefreshScheduler:
                 best = candidate
         return best
 
+    @staticmethod
+    def track_label(key: tuple) -> str:
+        """Per-stack sub-track label for trace events about ``key`` (the
+        obs layer renders one track per channel/stack; the VBA index
+        travels in the event args)."""
+        return f"sid{key[0]}"
+
     def note_issued(self, key: tuple, now: int) -> None:
         self._next_due[key] += self.interval()
         self.issued += 1

@@ -33,6 +33,14 @@ class RefreshTarget:
     bank: int = 0
     all_bank: bool = False
 
+    @property
+    def track(self) -> str:
+        """Bank-group sub-track label for trace events about this target
+        (the obs layer renders one track per channel/bank-group)."""
+        if self.all_bank:
+            return "refab"
+        return f"sid{self.stack_id}.bg{self.bank_group}"
+
 
 @dataclass
 class RefreshEngine:

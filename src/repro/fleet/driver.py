@@ -35,7 +35,11 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.latency import LatencyAccumulator
+from repro.obs.metrics import MetricRegistry, merge_registries
+from repro.obs.sink import ObsSink
+from repro.obs.trace import TraceRecorder, merge_traces
 from repro.reliability.faults import ReliabilityConfig
+from repro.reliability.taxonomy import ReplicaFaultKind
 from repro.sim.stats import BandwidthResult, LatencyResult
 from repro.sim.sweep import SweepStats, run_sweep
 from repro.workloads.driver import (
@@ -192,7 +196,12 @@ class FleetResult:
     hedged request scores its earliest first token), availability (mean
     up-fraction of the replica timelines over the episode horizon), the
     router's counters, and the per-replica results and timelines
-    themselves.  ``evaluations`` and ``stats`` are cost/telemetry and
+    themselves.  When the base scenario enables observability, ``trace``
+    and ``metrics`` carry the fleet-level recordings (router decisions
+    and replica-health transitions) merged with every replica's own
+    recordings under ``replica<i>/`` prefixes; they participate in
+    equality because exported traces are part of the determinism
+    contract.  ``evaluations`` and ``stats`` are cost/telemetry and
     excluded from equality like everywhere else in the tree.
     """
 
@@ -215,6 +224,8 @@ class FleetResult:
     bandwidth: BandwidthResult
     replica_results: Tuple[Optional[WorkloadResult], ...]
     timelines: Tuple[ReplicaTimeline, ...]
+    trace: Optional[TraceRecorder] = None
+    metrics: Optional[MetricRegistry] = None
     evaluations: int = field(default=0, compare=False)
     stats: Optional[SweepStats] = field(default=None, compare=False)
 
@@ -300,6 +311,73 @@ def run_fleet(spec: FleetSpec, workers: int = 1, *,
                       list(sweep.values), sweep.stats)
 
 
+#: Health-gauge level recorded after each transition kind (1.0 healthy,
+#: 0.5 degraded, 0.0 down) -- a plottable state track per replica.
+_HEALTH_LEVEL = {
+    ReplicaFaultKind.DEGRADED: 0.5,
+    ReplicaFaultKind.DOWN: 0.0,
+    ReplicaFaultKind.RECOVERED: 1.0,
+}
+
+
+def _fleet_observability(
+    base: ScenarioSpec,
+    timelines: Tuple[ReplicaTimeline, ...],
+    assignment: FleetAssignment,
+    runs: List[ReplicaRunResult],
+) -> Tuple[Optional[TraceRecorder], Optional[MetricRegistry]]:
+    """Fleet-level trace/metrics when the base scenario enables obs.
+
+    Router decisions and replica-health transitions are recorded from
+    the pure plan-phase values (``assignment``, ``timelines``), then
+    merged with each replica run's own recordings under ``replica<i>/``
+    prefixes.  Every input is deterministic, so the merged recordings
+    are bit-identical at any worker count or start method.
+    """
+    sink = ObsSink.from_config(base.obs, track="router")
+    if sink is None:
+        return None, None
+    for route in assignment.routes:
+        for number, attempt in enumerate(route.attempts):
+            name = "fleet.route" if number == 0 else "fleet.reroute"
+            sink.event(attempt.send_ns, name, request=route.index,
+                       replica=attempt.replica, lost=attempt.lost)
+            sink.count(attempt.send_ns,
+                       "fleet.routed" if number == 0 else "fleet.rerouted")
+        if route.hedge is not None:
+            sink.event(route.hedge.send_ns, "fleet.hedge",
+                       request=route.index, replica=route.hedge.replica,
+                       lost=route.hedge.lost)
+            sink.count(route.hedge.send_ns, "fleet.hedged")
+        if route.outcome != "served":
+            # Shed requests never got an attempt; failed ones record
+            # their terminal verdict after the last send they burned.
+            at_ns = max([route.arrival_ns]
+                        + [attempt.send_ns for attempt in route.attempts])
+            sink.event(at_ns, f"fleet.{route.outcome}", request=route.index)
+            sink.count(at_ns, f"fleet.{route.outcome}")
+    for timeline in timelines:
+        track = f"replica{timeline.replica}"
+        for event in timeline.events:
+            sink.event(event.at_ns, f"health.{event.kind.value}",
+                       track=track)
+            sink.gauge(event.at_ns, f"fleet.{track}.health",
+                       _HEALTH_LEVEL[event.kind])
+    trace: Optional[TraceRecorder] = None
+    if sink.trace is not None:
+        parts = [("", sink.trace)]
+        parts += [(f"replica{run.replica}/", run.result.trace)
+                  for run in runs if run.result.trace is not None]
+        trace = merge_traces(parts)
+    metrics: Optional[MetricRegistry] = None
+    if sink.metrics is not None:
+        reg_parts = [("", sink.metrics)]
+        reg_parts += [(f"replica{run.replica}/", run.result.metrics)
+                      for run in runs if run.result.metrics is not None]
+        metrics = merge_registries(reg_parts)
+    return trace, metrics
+
+
 def _aggregate(spec: FleetSpec, base: ScenarioSpec, times: List[int],
                timelines: Tuple[ReplicaTimeline, ...],
                assignment: FleetAssignment,
@@ -361,6 +439,7 @@ def _aggregate(spec: FleetSpec, base: ScenarioSpec, times: List[int],
     availability = sum(
         timeline.up_fraction(horizon_ns) for timeline in timelines
     ) / max(1, len(timelines))
+    trace, metrics = _fleet_observability(base, timelines, assignment, runs)
 
     return FleetResult(
         scenario=base.scenario,
@@ -386,6 +465,8 @@ def _aggregate(spec: FleetSpec, base: ScenarioSpec, times: List[int],
         ),
         replica_results=tuple(replica_results),
         timelines=timelines,
+        trace=trace,
+        metrics=metrics,
         evaluations=sum(result.evaluations for result in replica_results
                         if result is not None),
         stats=stats,

@@ -131,6 +131,17 @@ class RouterCounters:
     shed: int = 0
     failed: int = 0
 
+    def as_dict(self) -> Dict[str, int]:
+        """Flat counter mapping (feeds the shared metric namespace)."""
+        return {
+            "routed": self.routed,
+            "rerouted": self.rerouted,
+            "hedged": self.hedged,
+            "timeouts": self.timeouts,
+            "shed": self.shed,
+            "failed": self.failed,
+        }
+
 
 @dataclass(frozen=True)
 class FleetAssignment:

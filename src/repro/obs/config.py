@@ -1,0 +1,57 @@
+"""The observability gate.
+
+One frozen :class:`ObsConfig` threads through
+:class:`~repro.workloads.scenarios.ScenarioSpec` (and, via
+``FleetSpec.base``, through fleets).  The contract is the same as the
+reliability subsystem's ``_ras_active`` gate:
+
+* **disabled** (``None`` spec field, or a config with ``trace`` and
+  ``metrics`` both ``False``) -- no sink object is ever constructed, every
+  hot-path hook short-circuits on a single ``is not None`` check, and the
+  run is bit-identical to a run on a tree without the obs layer at all
+  (gated in ``bench-smoke``);
+* **enabled** -- events and samples key on *simulated* time only (never
+  the wall clock), so the exported bytes are identical across worker
+  counts, start methods, execution cores of the same kind, and
+  checkpoint cuts.
+
+The config is frozen and built from plain values, so it pickles into
+sweep workers exactly like every other spec field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ObsConfig"]
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """What to record and how much memory recording may hold.
+
+    ``metrics_interval_ns`` is the sampling grid: every metric update at
+    simulated time ``t`` lands in window ``t // metrics_interval_ns``.
+    ``max_events`` bounds the trace (overflow increments a ``dropped``
+    counter instead of growing without bound) and ``ring_capacity``
+    bounds every metric series (oldest windows are evicted first).
+    """
+
+    trace: bool = False
+    metrics: bool = False
+    metrics_interval_ns: int = 1_000
+    max_events: int = 100_000
+    ring_capacity: int = 4_096
+
+    def __post_init__(self) -> None:
+        if self.metrics_interval_ns < 1:
+            raise ValueError("metrics_interval_ns must be at least 1")
+        if self.max_events < 1:
+            raise ValueError("max_events must be at least 1")
+        if self.ring_capacity < 1:
+            raise ValueError("ring_capacity must be at least 1")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any recording is requested; False means "no sink"."""
+        return self.trace or self.metrics

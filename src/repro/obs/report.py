@@ -1,0 +1,108 @@
+"""Trace analysis: the span self-time profile behind ``trace-report``.
+
+Loads an exported trace (Chrome trace-event JSON or the JSONL form),
+reconstructs span nesting per track, and aggregates a per-name table of
+count, total duration, and *self* time (duration minus directly nested
+child spans on the same track) -- the profiler view of where scheduler
+evaluations and serving iterations spend simulated time.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.trace import TraceEvent
+
+__all__ = ["load_events", "span_self_times", "trace_report"]
+
+
+def _events_from_chrome(document: Dict[str, Any]) -> List[TraceEvent]:
+    thread_names: Dict[int, str] = {}
+    for record in document.get("traceEvents", []):
+        if record.get("ph") == "M" and record.get("name") == "thread_name":
+            thread_names[record.get("tid", 0)] = (
+                record.get("args", {}).get("name", ""))
+    events: List[TraceEvent] = []
+    for record in document.get("traceEvents", []):
+        phase = record.get("ph")
+        if phase not in ("X", "i"):
+            continue
+        track = record.get("cat") or thread_names.get(
+            record.get("tid", 0), f"tid{record.get('tid', 0)}")
+        ts_ns = int(round(record.get("ts", 0) * 1000))
+        dur_ns = int(round(record.get("dur", 0) * 1000)) if phase == "X" else 0
+        args = record.get("args", {}) or {}
+        events.append(TraceEvent(ts_ns, dur_ns, track, record.get("name", ""),
+                                 tuple(sorted(args.items()))))
+    return events
+
+
+def load_events(path: str) -> List[TraceEvent]:
+    """Parse an exported trace file (Chrome JSON or JSONL) to events."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    stripped = text.lstrip()
+    if stripped.startswith("{") and "traceEvents" in stripped[:2048]:
+        return _events_from_chrome(json.loads(text))
+    events: List[TraceEvent] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        events.append(TraceEvent(
+            int(record["ts_ns"]), int(record.get("dur_ns", 0)),
+            record.get("track", ""), record.get("name", ""),
+            tuple(sorted((record.get("args") or {}).items()))))
+    return events
+
+
+def span_self_times(events: List[TraceEvent],
+                    top: Optional[int] = None) -> List[Dict[str, Any]]:
+    """Per-name span aggregation, sorted by self time (descending).
+
+    Self time of a span is its duration minus the durations of its
+    *directly* nested child spans on the same track, so a parent that
+    merely wraps children contributes near zero and the busy leaves rise
+    to the top.
+    """
+    spans = [event for event in events if event.dur_ns > 0]
+    self_ns = [float(span.dur_ns) for span in spans]
+    by_track: Dict[str, List[int]] = {}
+    for index, span in enumerate(spans):
+        by_track.setdefault(span.track, []).append(index)
+    for indices in by_track.values():
+        indices.sort(key=lambda i: (spans[i].ts_ns, -spans[i].dur_ns))
+        stack: List[Tuple[int, int]] = []  # (end_ns, span index)
+        for index in indices:
+            start = spans[index].ts_ns
+            end = start + spans[index].dur_ns
+            while stack and stack[-1][0] <= start:
+                stack.pop()
+            if stack and end <= stack[-1][0]:
+                self_ns[stack[-1][1]] -= spans[index].dur_ns
+            stack.append((end, index))
+    rows: Dict[str, Dict[str, Any]] = {}
+    for index, span in enumerate(spans):
+        row = rows.setdefault(span.name, {
+            "name": span.name, "count": 0, "total_ns": 0, "self_ns": 0.0,
+        })
+        row["count"] += 1
+        row["total_ns"] += span.dur_ns
+        row["self_ns"] += self_ns[index]
+    ordered = sorted(rows.values(),
+                     key=lambda row: (-row["self_ns"], row["name"]))
+    if top is not None:
+        ordered = ordered[:top]
+    grand_self = sum(row["self_ns"] for row in rows.values()) or 1.0
+    for row in ordered:
+        row["self_ns"] = round(row["self_ns"], 3)
+        row["avg_ns"] = round(row["total_ns"] / row["count"], 1)
+        row["self_share"] = round(row["self_ns"] / grand_self, 4)
+    return ordered
+
+
+def trace_report(path: str, top: int = 10) -> List[Dict[str, Any]]:
+    """The ``rome-repro trace-report`` table for an exported trace."""
+    return span_self_times(load_events(path), top=top)

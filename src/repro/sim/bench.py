@@ -642,6 +642,108 @@ def fleet_resilience_comparison() -> List[Dict[str, Any]]:
     return rows
 
 
+# -------------------------------------------------------- observability
+
+
+def observability_comparison(repeats: int = 1) -> List[Dict[str, Any]]:
+    """``observability`` rows for ``bench-smoke``, triple-gated by the
+    CLI:
+
+    * ``obs_off_identical`` -- a run carrying a present-but-disabled
+      :class:`~repro.obs.config.ObsConfig` must be bit-identical to the
+      no-obs baseline, on both controllers' saturating decode workload
+      and on the live closed-loop fleet campaign (the hooks must
+      short-circuit to the exact pre-obs code paths);
+    * ``obs_on_deterministic`` -- repeated obs-enabled runs must agree
+      bit-for-bit *including* the exported Chrome-trace bytes; the
+      fleet pair runs at worker counts 1 and 2, so trace byte-identity
+      across sharding is gated too;
+    * ``overhead_x`` -- obs-on over obs-off wall time (best of
+      ``repeats`` each), gated by ``--max-obs-overhead``.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.fleet import run_fleet
+    from repro.obs import ObsConfig, to_chrome_trace
+    from repro.workloads.driver import run_workload
+
+    enabled = ObsConfig(trace=True, metrics=True)
+    rows: List[Dict[str, Any]] = []
+
+    def timed(fn):
+        start = time.perf_counter()
+        result = fn()
+        return result, max(time.perf_counter() - start, 1e-9)
+
+    for system in ("rome", "hbm4"):
+        spec = saturating_decode_spec(system)
+        baseline = run_workload(spec)
+        off_runs = [timed(lambda: run_workload(
+            dc_replace(spec, obs=ObsConfig())))
+            for _ in range(max(1, repeats))]
+        # Always at least two enabled runs: the determinism gate needs
+        # a pair to compare.
+        on_runs = [timed(lambda: run_workload(
+            dc_replace(spec, obs=enabled)))
+            for _ in range(max(2, repeats))]
+        first = on_runs[0][0]
+        obs_off_identical = all(result == baseline
+                                and result.trace is None
+                                and result.metrics is None
+                                for result, _ in off_runs)
+        obs_on_deterministic = all(
+            result == first
+            and to_chrome_trace(result.trace) == to_chrome_trace(first.trace)
+            for result, _ in on_runs[1:])
+        off_s = min(wall for _, wall in off_runs)
+        on_s = min(wall for _, wall in on_runs)
+        rows.append({
+            "scenario": "obs-workload",
+            "target": system,
+            "obs_off_identical": obs_off_identical,
+            "obs_on_deterministic": obs_on_deterministic,
+            "trace_events": len(first.trace.events),
+            "metric_series": len(first.metrics),
+            "off_ms": off_s * 1e3,
+            "on_ms": on_s * 1e3,
+            "overhead_x": on_s / off_s,
+        })
+
+    spec = fleet_campaign_spec()
+    baseline = run_fleet(spec)
+    disabled_spec = dc_replace(spec, base=dc_replace(spec.base,
+                                                     obs=ObsConfig()))
+    enabled_spec = dc_replace(spec, base=dc_replace(spec.base, obs=enabled))
+    off_runs = [timed(lambda: run_fleet(disabled_spec))
+                for _ in range(max(1, repeats))]
+    on_runs = [timed(lambda: run_fleet(enabled_spec))
+               for _ in range(max(1, repeats))]
+    sharded, _ = timed(lambda: run_fleet(enabled_spec, workers=2))
+    first = on_runs[0][0]
+    obs_off_identical = all(result == baseline
+                            and result.trace is None
+                            and result.metrics is None
+                            for result, _ in off_runs)
+    obs_on_deterministic = all(
+        result == first
+        and to_chrome_trace(result.trace) == to_chrome_trace(first.trace)
+        for result, _ in on_runs[1:] + [(sharded, 0.0)])
+    off_s = min(wall for _, wall in off_runs)
+    on_s = min(wall for _, wall in on_runs)
+    rows.append({
+        "scenario": "obs-fleet",
+        "target": "fleet",
+        "obs_off_identical": obs_off_identical,
+        "obs_on_deterministic": obs_on_deterministic,
+        "trace_events": len(first.trace.events),
+        "metric_series": len(first.metrics),
+        "off_ms": off_s * 1e3,
+        "on_ms": on_s * 1e3,
+        "overhead_x": on_s / off_s,
+    })
+    return rows
+
+
 def sweep_throughput(
     workers: int = 1,
     depths: Sequence[int] = (1, 2, 4, 8),

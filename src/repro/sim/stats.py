@@ -8,6 +8,8 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 from repro.latency import LatencyAccumulator
 
 if TYPE_CHECKING:
+    from repro.obs.metrics import MetricRegistry
+    from repro.obs.trace import TraceRecorder
     from repro.reliability.ras import ReliabilityStats
 
 
@@ -138,6 +140,13 @@ class SimulationResult:
     #: otherwise.  Participates in equality: fault campaigns must be
     #: bit-identical like every other simulated outcome.
     reliability: Optional["ReliabilityStats"] = None
+    #: Structured trace events / windowed metric series recorded when the
+    #: run carried an enabled :class:`~repro.obs.config.ObsConfig`;
+    #: ``None`` otherwise.  Both participate in equality -- events and
+    #: samples key on simulated time only, so recorded runs stay
+    #: bit-identical across workers, start methods, and checkpoint cuts.
+    trace: Optional["TraceRecorder"] = None
+    metrics: Optional["MetricRegistry"] = None
 
     @property
     def utilization(self) -> float:

@@ -36,6 +36,7 @@ any advance granularity.
 from __future__ import annotations
 
 import json
+import time
 import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -47,6 +48,9 @@ from repro.core.interface import RowRequestKind, requests_for_transfer
 from repro.core.virtual_bank import paper_vba_config
 from repro.defaults import DEFAULT_DRAIN_HORIZON_NS
 from repro.latency import LatencyAccumulator
+from repro.obs.metrics import MetricRegistry
+from repro.obs.sink import ObsSink
+from repro.obs.trace import TraceRecorder
 from repro.reliability.ras import ReliabilityStats
 from repro.sim.checkpoint import (
     CHECKPOINT_VERSION,
@@ -147,6 +151,13 @@ class WorkloadResult:
     #: whole run for cold runs -- and part of equality: fault campaigns
     #: must be bit-identical like every other workload outcome.
     reliability: Optional[ReliabilityStats] = None
+    #: Trace events / windowed metric series recorded when the spec
+    #: carried an enabled :class:`~repro.obs.config.ObsConfig` (``None``
+    #: otherwise).  Snapshots at collection time, like ``reliability``,
+    #: and part of equality: observed runs must be bit-identical across
+    #: worker counts, start methods, and checkpoint cuts.
+    trace: Optional[TraceRecorder] = None
+    metrics: Optional[MetricRegistry] = None
 
     @property
     def saturated(self) -> bool:
@@ -194,10 +205,12 @@ class _RomeMaterializer:
 
     def __init__(self, spec: ScenarioSpec) -> None:
         self.vba = paper_vba_config()
+        self.obs = ObsSink.from_config(spec.obs, track="chan0")
         self.controller = RoMeMemoryController(
             config=RoMeControllerConfig(num_stack_ids=1,
                                         enable_refresh=spec.enable_refresh),
             reliability=spec.reliability,
+            obs=self.obs,
         )
         self._row_cursor = 0
 
@@ -241,10 +254,12 @@ class _ConventionalMaterializer:
     request_bytes = 4096
 
     def __init__(self, spec: ScenarioSpec) -> None:
+        self.obs = ObsSink.from_config(spec.obs, track="chan0")
         self.controller = ConventionalMemoryController(
             config=ControllerConfig(num_stack_ids=1,
                                     enable_refresh=spec.enable_refresh),
             reliability=spec.reliability,
+            obs=self.obs,
         )
         self._address_cursor = 0
 
@@ -288,6 +303,18 @@ def _reliability_snapshot(controller: Any) -> Optional[ReliabilityStats]:
     if getattr(controller, "ras", None) is None:
         return None
     return replace(controller.ras.stats)
+
+
+def _obs_snapshot(materializer: Any) -> Tuple[Optional[TraceRecorder],
+                                              Optional[MetricRegistry]]:
+    """Copies of the run's trace/metrics (``(None, None)`` when obs is
+    off).  Copies, not the live recorders: warm-started rate steps keep
+    appending to the sink after the step's result is collected."""
+    sink = getattr(materializer, "obs", None)
+    if sink is None:
+        return None, None
+    return (sink.trace.snapshot() if sink.trace is not None else None,
+            sink.metrics.snapshot() if sink.metrics is not None else None)
 
 
 # ------------------------------------------------------------ run plumbing
@@ -361,6 +388,7 @@ def _collect_result(spec: ScenarioSpec, transfers: int, horizon_rel_ns: int,
     """
     overall, by_tag = _transfer_latencies(issued)
     controller = materializer.controller
+    trace, metrics = _obs_snapshot(materializer)
     tail = end_ns - (start_ns + horizon_rel_ns)
     overloaded = (horizon_rel_ns == 0
                   or tail > _SATURATION_TAIL_FRACTION * horizon_rel_ns)
@@ -383,6 +411,8 @@ def _collect_result(spec: ScenarioSpec, transfers: int, horizon_rel_ns: int,
         overloaded=overloaded,
         evaluations=controller.stats.evaluations - evaluations_before,
         reliability=_reliability_snapshot(controller),
+        trace=trace,
+        metrics=metrics,
     )
 
 
@@ -440,7 +470,8 @@ def _run_closed_loop(spec: ScenarioSpec, materializer, simulation: Simulation,
     if plan is None:
         plan = serving_plan(spec)
     times = [start_ns + time_ns for time_ns in plan.arrival_times_ns]
-    server = ClosedLoopServer(plan.serving, times)
+    server = ClosedLoopServer(plan.serving, times,
+                              obs=getattr(materializer, "obs", None))
     horizon_abs = max(times) if times else start_ns
     deadline_ns = horizon_abs + max_drain_ns
     issued: List[Tuple[int, Transfer, List]] = []
@@ -491,6 +522,7 @@ def _collect_closed_result(spec: ScenarioSpec, materializer,
     """
     overall, by_tag = _transfer_latencies(issued)
     controller = materializer.controller
+    trace, metrics = _obs_snapshot(materializer)
     slo = spec.slo if spec.slo is not None else SLOSpec()
     horizon_rel = horizon_abs_ns - start_ns
     total = len(server.records)
@@ -535,6 +567,8 @@ def _collect_closed_result(spec: ScenarioSpec, materializer,
         peak_kv_bytes=server.peak_kv_bytes,
         evaluations=controller.stats.evaluations - evaluations_before,
         reliability=_reliability_snapshot(controller),
+        trace=trace,
+        metrics=metrics,
     )
 
 
@@ -833,12 +867,19 @@ def rate_sweep(spec: ScenarioSpec, rates_per_s: Sequence[float],
 
 @dataclass(frozen=True)
 class RateProbe:
-    """One bisection probe: the rate offered and what it achieved."""
+    """One bisection probe: the rate offered and what it achieved.
+
+    ``wall_s`` is the wall-clock cost of simulating the probe (0.0 for a
+    probe replayed from an old journal without the field).  Excluded from
+    equality like every other cost counter -- the simulated outcome is
+    deterministic, the wall-clock is not.
+    """
 
     rate_per_s: float
     goodput_per_s: float
     goodput_fraction: float
     sustainable: bool
+    wall_s: float = field(default=0.0, compare=False)
 
 
 @dataclass
@@ -930,16 +971,20 @@ def find_max_sustainable_rate(spec: ScenarioSpec, low_per_s: float,
             probe = RateProbe(rate_per_s=rate,
                               goodput_per_s=entry["goodput_per_s"],
                               goodput_fraction=entry["goodput_fraction"],
-                              sustainable=entry["sustainable"])
+                              sustainable=entry["sustainable"],
+                              wall_s=entry.get("wall_s", 0.0))
         else:
+            started = time.perf_counter()
             result = rate_sweep(spec, [rate], systems=(spec.system,),
                                 warm_start=True, event_driven=event_driven,
                                 max_drain_ns=max_drain_ns)[0]
+            wall_s = time.perf_counter() - started
             probe = RateProbe(rate_per_s=rate,
                               goodput_per_s=result.goodput_per_s,
                               goodput_fraction=result.goodput_fraction,
                               sustainable=result.goodput_fraction
-                              >= threshold)
+                              >= threshold,
+                              wall_s=wall_s)
             executed += 1
             if journal:
                 with open(journal, "a", encoding="utf-8") as handle:
@@ -947,7 +992,8 @@ def find_max_sustainable_rate(spec: ScenarioSpec, low_per_s: float,
                         {"probe": index, "rate_per_s": rate,
                          "goodput_per_s": probe.goodput_per_s,
                          "goodput_fraction": probe.goodput_fraction,
-                         "sustainable": probe.sustainable},
+                         "sustainable": probe.sustainable,
+                         "wall_s": probe.wall_s},
                         sort_keys=True) + "\n")
         recorded.append(probe)
         return probe

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.obs.config import ObsConfig
 from repro.reliability.faults import ReliabilityConfig
 from repro.workloads.arrivals import (
     ArrivalSchedule,
@@ -81,6 +82,12 @@ class ScenarioSpec:
     #: from plain values, so fault campaigns pickle into sweep workers
     #: exactly like every other spec field.
     reliability: Optional[ReliabilityConfig] = None
+    #: Observability gate: ``None`` (or a config with everything off)
+    #: records nothing and keeps every hot path bit-identical to the
+    #: pre-obs tree; an enabled config threads a deterministic
+    #: :class:`~repro.obs.sink.ObsSink` through the run's controller and
+    #: serving loop, and the result carries ``trace``/``metrics``.
+    obs: Optional[ObsConfig] = None
 
     def __post_init__(self) -> None:
         if self.system not in ("rome", "hbm4"):

@@ -58,10 +58,13 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Deque, List, Optional, Sequence, Tuple
 
 from repro.llm.models import ModelConfig, model_by_name
 from repro.workloads.arrivals import ArrivalSchedule, Transfer
+
+if TYPE_CHECKING:
+    from repro.obs.sink import ObsSink
 
 __all__ = [
     "ClosedLoopServer",
@@ -389,8 +392,14 @@ class ClosedLoopServer:
     """
 
     def __init__(self, config: ServingConfig,
-                 arrival_times_ns: Sequence[int]) -> None:
+                 arrival_times_ns: Sequence[int],
+                 obs: Optional[ObsSink] = None) -> None:
         self.config = config
+        # Observability sink shared with the run's controller; ``None``
+        # keeps every hook short-circuited (the unobserved loop is
+        # bit-identical to the pre-obs tree).  Serving events land on
+        # their own "serving" track.
+        self._obs = obs
         self.model = DecodeServingModel(config)
         self.records: List[RequestRecord] = [
             RequestRecord(index=index, arrival_ns=time_ns,
@@ -466,6 +475,12 @@ class ClosedLoopServer:
         ))
         self.peak_batch = max(self.peak_batch, len(self._active))
         self.peak_kv_bytes = max(self.peak_kv_bytes, self._kv_reserved)
+        obs = self._obs
+        if obs is not None:
+            obs.event(now_ns, "serving.admit", track="serving",
+                      request=record.index)
+            obs.gauge(now_ns, "serving.running_batch", len(self._active))
+            obs.gauge(now_ns, "serving.kv_reserved_bytes", self._kv_reserved)
         return True
 
     def _admit_queue(self, now_ns: int) -> None:
@@ -487,6 +502,11 @@ class ClosedLoopServer:
             else:
                 record.rejected = True
                 self.rejected += 1
+                obs = self._obs
+                if obs is not None:
+                    obs.event(now_ns, "serving.reject", track="serving",
+                              request=record.index)
+                    obs.count(now_ns, "serving.rejected")
 
     def begin_iteration(self, now_ns: int) -> List[Transfer]:
         """Admit due arrivals and build this iteration's transfers.
@@ -518,6 +538,10 @@ class ClosedLoopServer:
         if kv_tokens:
             transfers.append(
                 self.model.prefill_chunk_transfer(largest_chunk, kv_tokens))
+            if self._obs is not None:
+                self._obs.event(now_ns, "serving.prefill_chunk",
+                                track="serving", tokens=largest_chunk,
+                                kv_tokens=kv_tokens)
         decoding = [s for s in self._active if s.decoding]
         if decoding:
             transfers.append(self.model.decode_transfer(decoding))
@@ -528,6 +552,11 @@ class ClosedLoopServer:
         and retire finished sequences (freeing their KV reservation)."""
         self._last_launch_ns = launch_ns
         self._last_completion_ns = completion_ns
+        obs = self._obs
+        if obs is not None:
+            decoding = sum(1 for s in self._active if s.decoding)
+            obs.span(launch_ns, max(completion_ns - launch_ns, 1),
+                     "serving.decode_iter", track="serving", batch=decoding)
         still_active: List[_ClosedLoopSequence] = []
         for sequence in self._active:
             if sequence.decoding:
@@ -542,3 +571,8 @@ class ClosedLoopServer:
                     continue
             still_active.append(sequence)
         self._active = still_active
+        if obs is not None:
+            obs.gauge(completion_ns, "serving.running_batch",
+                      len(self._active))
+            obs.gauge(completion_ns, "serving.kv_reserved_bytes",
+                      self._kv_reserved)

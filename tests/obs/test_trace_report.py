@@ -1,0 +1,127 @@
+"""Trace exporters, the span self-time profile, and the CLI surface."""
+
+import json
+
+from repro.cli import main
+from repro.obs import (
+    TraceRecorder,
+    load_events,
+    span_self_times,
+    to_chrome_trace,
+    trace_report,
+    write_trace,
+)
+
+
+def _recorder():
+    recorder = TraceRecorder()
+    # parent [0, 100) wraps child [10, 30): parent self = 80, child = 20.
+    recorder.span(0, 100, "chan0", "train.apply", steps=4)
+    recorder.span(10, 20, "chan0", "serving.decode_iter", batch=2)
+    recorder.instant(50, "chan0", "scheduler.eval")
+    return recorder
+
+
+class TestSelfTimes:
+    def test_nested_spans_split_self_time(self):
+        rows = span_self_times(_recorder().events)
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["train.apply"]["self_ns"] == 80.0
+        assert by_name["serving.decode_iter"]["self_ns"] == 20.0
+        assert by_name["train.apply"]["total_ns"] == 100
+        assert rows[0]["name"] == "train.apply"  # sorted by self time
+
+    def test_spans_on_different_tracks_do_not_nest(self):
+        recorder = TraceRecorder()
+        recorder.span(0, 100, "a", "outer")
+        recorder.span(10, 20, "b", "inner")
+        by_name = {row["name"]: row
+                   for row in span_self_times(recorder.events)}
+        assert by_name["outer"]["self_ns"] == 100.0
+        assert by_name["inner"]["self_ns"] == 20.0
+
+    def test_top_limits_rows(self):
+        rows = span_self_times(_recorder().events, top=1)
+        assert len(rows) == 1
+
+
+class TestExportRoundTrip:
+    def test_chrome_export_loads_back(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_trace(str(path), _recorder())
+        document = json.loads(path.read_text())
+        assert "traceEvents" in document
+        phases = {record["ph"] for record in document["traceEvents"]}
+        assert {"M", "X", "i"} <= phases
+        events = load_events(str(path))
+        assert {event.name for event in events} \
+            == {"train.apply", "serving.decode_iter", "scheduler.eval"}
+
+    def test_jsonl_export_loads_back(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace(str(path), _recorder())
+        events = load_events(str(path))
+        assert len(events) == 3
+        assert events[0].name == "train.apply"
+        assert dict(events[0].args) == {"steps": 4}
+
+    def test_trace_report_agrees_across_formats(self, tmp_path):
+        chrome, jsonl = tmp_path / "t.json", tmp_path / "t.jsonl"
+        write_trace(str(chrome), _recorder())
+        write_trace(str(jsonl), _recorder())
+        assert trace_report(str(chrome)) == trace_report(str(jsonl))
+
+    def test_bounded_recorder_drops_loudly(self):
+        recorder = TraceRecorder(max_events=2)
+        for ts_ns in range(5):
+            recorder.instant(ts_ns, "chan0", "scheduler.eval")
+        assert len(recorder.events) == 2
+        assert recorder.dropped == 3
+        assert json.loads(to_chrome_trace(recorder))["otherData"] \
+            == {"dropped_events": 3}
+
+
+class TestCli:
+    def test_workload_trace_out_and_report(self, tmp_path, capsys):
+        trace_path = tmp_path / "serving.json"
+        metrics_path = tmp_path / "metrics.json"
+        assert main(["workload", "--scenario", "decode-serving",
+                     "--system", "rome", "--rate", "1000000",
+                     "--requests", "2", "--closed-loop",
+                     "--trace-out", str(trace_path),
+                     "--metrics-out", str(metrics_path)]) == 0
+        captured = capsys.readouterr()
+        assert "trace:" in captured.err
+        assert "metrics:" in captured.err
+        document = json.loads(trace_path.read_text())
+        assert "traceEvents" in document  # Perfetto-loadable
+        metrics = json.loads(metrics_path.read_text())
+        assert "controller.queue_depth" in metrics
+
+        assert main(["trace-report", str(trace_path), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "self_ns" in out
+        assert "train.apply" in out or "serving.decode_iter" in out
+
+    def test_workload_obs_requires_single_point(self, capsys, tmp_path):
+        assert main(["workload", "--rate", "1000", "2000",
+                     "--trace-out", str(tmp_path / "t.json")]) == 2
+        assert "single run" in capsys.readouterr().err
+
+    def test_fleet_trace_out(self, tmp_path, capsys):
+        trace_path = tmp_path / "fleet.jsonl"
+        assert main(["fleet", "--requests", "4", "--rate", "400000",
+                     "--trace-out", str(trace_path)]) == 0
+        capsys.readouterr()
+        events = load_events(str(trace_path))
+        assert any(event.name == "fleet.route" for event in events)
+
+    def test_find_max_rate_reports_probe_wall_time(self, capsys):
+        assert main(["workload", "--scenario", "decode-serving",
+                     "--system", "rome", "--requests", "2",
+                     "--rate", "200000", "800000",
+                     "--find-max-rate"]) == 0
+        captured = capsys.readouterr()
+        assert "probe rome[0]" in captured.err
+        assert "s wall" in captured.err
+        assert "probe_wall_s" in captured.out

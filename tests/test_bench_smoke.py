@@ -36,6 +36,9 @@ def _argv(out_path, **overrides):
         # shared box; the identity half of the checkpoint gate is
         # structural and always enforced.
         "--max-checkpoint-overhead": "100",
+        # Same reasoning for the obs overhead ceiling: the bit-identity
+        # and byte-determinism halves of the observability gate stay on.
+        "--max-obs-overhead": "100",
     }
     gates.update(overrides)
     argv = ["--json", "bench-smoke", "--output", str(out_path)]
@@ -55,7 +58,10 @@ def _assert_report_schema(report):
     schema 6 additionally requires the ``reliability`` rows (the
     device-fault zero-rate-identity and campaign-determinism gates);
     schema 7 additionally requires the ``fleet`` rows (the zero-fault
-    fleet-identity and failover-campaign-determinism gates).
+    fleet-identity and failover-campaign-determinism gates); schema 8
+    additionally requires the ``observability`` rows (the obs-off
+    bit-identity, obs-on byte-determinism, and recording-overhead
+    gates).
     """
     assert isinstance(report["gates_passed"], bool)
     meta = report["meta"]
@@ -135,6 +141,16 @@ def _assert_report_schema(report):
                 assert row["rerouted"] > 0
                 assert row["hedged"] > 0
                 assert row["availability"] < 1.0
+    if meta["schema"] >= 8:
+        observability = report["observability"]
+        assert {row["target"] for row in observability} \
+            == {"rome", "hbm4", "fleet"}
+        for row in observability:
+            assert row["obs_off_identical"] is True
+            assert row["obs_on_deterministic"] is True
+            assert row["trace_events"] > 0
+            assert row["metric_series"] > 0
+            assert row["overhead_x"] > 0.0
     assert {row["phase"] for row in report["sweep"]} == {"cold", "warm"}
     assert report["cache"]["cold_ms"] > 0
 
@@ -146,7 +162,7 @@ def test_bench_smoke_gates_pass_and_write_perf_document(capsys, tmp_path):
     report = json.loads(out.read_text())
     assert report["gates_passed"] is True
     _assert_report_schema(report)
-    assert report["meta"]["schema"] == 7
+    assert report["meta"]["schema"] == 8
     streaming = report["streaming_conventional"]
     assert streaming["evaluation_reduction"] >= 5.0
     assert streaming["tick_evaluations"] == streaming["simulated_ns"]

@@ -126,12 +126,14 @@ def test_bench_smoke_reports_sweep_and_cache_rows(capsys, tmp_path):
                  "--min-speedup", "0", "--min-conventional-speedup", "0",
                  "--min-evaluation-reduction", "0",
                  "--max-checkpoint-overhead", "100",
+                 "--max-obs-overhead", "100",
                  "--output", str(out)]) == 0
     report = json.loads(capsys.readouterr().out)
     assert set(report) == {"meta", "core", "streaming_conventional",
                            "streaming_conventional_refresh", "rome_refresh",
                            "workload", "max_sustainable_rate", "checkpoint",
-                           "reliability", "fleet", "sweep", "cache"}
+                           "reliability", "fleet", "observability",
+                           "sweep", "cache"}
     assert {row["system"] for row in report["reliability"]} == {"rome", "hbm4"}
     assert all(row["zero_rate_identical"] and row["campaign_identical"]
                for row in report["reliability"])
@@ -169,7 +171,8 @@ def test_bench_smoke_parallel_warm_sweep_still_hits_cache(capsys):
                  "--conventional-bytes", "65536", "--repeats",
                  "1", "--min-speedup", "0", "--min-conventional-speedup",
                  "0", "--min-evaluation-reduction", "0",
-                 "--max-checkpoint-overhead", "100", "--output", "",
+                 "--max-checkpoint-overhead", "100",
+                 "--max-obs-overhead", "100", "--output", "",
                  "--workers", "4"]) == 0
     report = json.loads(capsys.readouterr().out)
     warm = next(row for row in report["sweep"] if row["phase"] == "warm")
@@ -187,7 +190,8 @@ def test_bench_out_alias_still_works_but_warns(capsys, tmp_path):
             "--conventional-bytes", "65536", "--repeats", "1",
             "--min-speedup", "0", "--min-conventional-speedup", "0",
             "--min-evaluation-reduction", "0",
-            "--max-checkpoint-overhead", "100", "--bench-out", str(out)]
+            "--max-checkpoint-overhead", "100",
+            "--max-obs-overhead", "100", "--bench-out", str(out)]
     # FutureWarning, not DeprecationWarning: the latter is filtered out by
     # default outside pytest, so real CLI users would never see it.
     with pytest.warns(FutureWarning, match="--bench-out is deprecated"):
@@ -203,6 +207,7 @@ def test_output_flag_does_not_warn(recwarn, capsys, tmp_path):
                  "--min-speedup", "0", "--min-conventional-speedup", "0",
                  "--min-evaluation-reduction", "0",
                  "--max-checkpoint-overhead", "100",
+                 "--max-obs-overhead", "100",
                  "--output", str(out)]) == 0
     capsys.readouterr()
     assert not [w for w in recwarn.list
@@ -291,6 +296,14 @@ def test_workload_open_loop_rows_keep_their_shape(capsys):
     assert all("goodput_per_s" not in row for row in rows)
 
 
+def _simulated(rows):
+    """Rows minus the wall-clock cost column (the ``compare=False``
+    convention for result rows: ``probe_wall_s`` measures the box, not
+    the search)."""
+    return [{key: value for key, value in row.items()
+             if key != "probe_wall_s"} for row in rows]
+
+
 def test_workload_find_max_rate_bisects_the_rate_bracket(capsys):
     argv = ["--json", "workload", "--scenario", "decode-serving",
             "--system", "rome", "--rate", "1000", "4000", "--seed", "0",
@@ -302,9 +315,10 @@ def test_workload_find_max_rate_bisects_the_rate_bracket(capsys):
     assert row["scenario"] == "max-sustainable-rate"
     assert row["max_rate_per_s"] == 4000.0  # default SLO: bracket top holds
     assert row["probe_rates"].startswith("1000 4000")
+    assert row["probe_wall_s"] > 0.0
     # The search is a pure function of its arguments.
     assert main(argv) == 0
-    assert json.loads(capsys.readouterr().out) == rows
+    assert _simulated(json.loads(capsys.readouterr().out)) == _simulated(rows)
 
 
 def test_workload_find_max_rate_requires_a_bracket(capsys):
@@ -321,7 +335,8 @@ def test_workload_find_max_rate_journal_resumes(capsys, tmp_path):
     assert main(argv) == 0
     first = json.loads(capsys.readouterr().out)
     assert (tmp_path / "rate-search-rome.jsonl").exists()
-    # --resume replays every journaled probe without re-simulating.
+    # --resume replays every journaled probe without re-simulating --
+    # including the recorded probe wall time, so the rows match exactly.
     assert main(argv + ["--resume"]) == 0
     captured = capsys.readouterr()
     assert json.loads(captured.out) == first
@@ -329,7 +344,7 @@ def test_workload_find_max_rate_journal_resumes(capsys, tmp_path):
     # Without --resume the stale journal is discarded and rebuilt.
     assert main(argv) == 0
     captured = capsys.readouterr()
-    assert json.loads(captured.out) == first
+    assert _simulated(json.loads(captured.out)) == _simulated(first)
     assert "restored" not in captured.err
 
 

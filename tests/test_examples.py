@@ -97,6 +97,20 @@ def test_fleet_failover_example_campaign_helper():
     assert first.served + first.shed + first.failed == first.requests
 
 
+def test_trace_decode_serving_example_record_helper():
+    # One cheap recorded episode instead of the full script: the helper
+    # must return a deterministic result carrying a live trace and
+    # metrics without perturbing the serving outputs.
+    module = _load("trace_decode_serving.py")
+    assert callable(module.main)
+    first = module.record("rome", requests=4, seed=0)
+    second = module.record("rome", requests=4, seed=0)
+    assert first == second
+    assert len(first.trace.events) > 0
+    assert "serving.decode_iter" in {e.name for e in first.trace.events}
+    assert "serving.running_batch" in first.metrics.names()
+
+
 def test_checkpointed_long_run_example_end_to_end(capsys, monkeypatch):
     # The checkpoint example is small enough to execute for real: it
     # kills and resumes a run, and asserts bit-identity itself.
